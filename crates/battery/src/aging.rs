@@ -1,0 +1,238 @@
+//! Capacity-loss (battery-lifetime) model, paper Eq. 5:
+//!
+//! `Q_loss = l1 · e^(−l2 / (R·T_bat)) · I^l3`
+//!
+//! We read Eq. 5 as a *rate* law: at every instant the cell loses capacity
+//! at a rate given by an Arrhenius factor in absolute temperature times a
+//! power-law stress factor in the discharge C-rate. The coefficients
+//! follow the Millner / Wang-et-al. Arrhenius cycling-loss literature the
+//! paper cites (\[6\]); `l2` is an activation energy (J/mol) and `l3 > 1`
+//! makes high-rate discharge superlinearly damaging.
+
+use crate::error::BatteryError;
+use otem_units::{Kelvin, Ratio, Seconds, GAS_CONSTANT};
+use serde::{Deserialize, Serialize};
+
+/// Coefficients of the capacity-loss rate law (paper Eq. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgingParams {
+    /// Pre-exponential factor `l1` (fraction of capacity per second at
+    /// unit C-rate and infinite temperature).
+    pub l1: f64,
+    /// Activation energy `l2` (J/mol).
+    pub l2: f64,
+    /// Current-stress exponent `l3` (dimensionless).
+    pub l3: f64,
+}
+
+impl AgingParams {
+    /// Coefficients calibrated so that sustained 1C discharge at 40 °C
+    /// consumes the 20 % end-of-life budget in roughly 1,500 hours of
+    /// driving — the order of magnitude of the Millner model for an
+    /// NMC/LMO EV cell.
+    pub fn millner_like() -> Self {
+        Self {
+            l1: 6.7e-3,
+            l2: 31_500.0,
+            l3: 1.15,
+        }
+    }
+
+    /// Validates the coefficient ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatteryError::InvalidParameter`] for non-positive `l1`
+    /// or `l2`, or `l3 < 1` (sublinear stress would reward high-rate
+    /// pulsing, inverting the physics the paper relies on).
+    pub fn validate(&self) -> Result<(), BatteryError> {
+        if self.l1 <= 0.0 {
+            return Err(BatteryError::InvalidParameter {
+                name: "aging.l1",
+                value: self.l1,
+                constraint: "> 0",
+            });
+        }
+        if self.l2 <= 0.0 {
+            return Err(BatteryError::InvalidParameter {
+                name: "aging.l2",
+                value: self.l2,
+                constraint: "> 0 J/mol",
+            });
+        }
+        if self.l3 < 1.0 {
+            return Err(BatteryError::InvalidParameter {
+                name: "aging.l3",
+                value: self.l3,
+                constraint: ">= 1",
+            });
+        }
+        Ok(())
+    }
+
+    /// Instantaneous capacity-loss rate (fraction of rated capacity per
+    /// second) at the given cell temperature and discharge C-rate.
+    ///
+    /// Charging (negative C-rate) stresses the cell too; the model uses
+    /// the magnitude, matching the paper's use of `I_bat` drawn in either
+    /// direction.
+    #[inline]
+    pub fn loss_rate(&self, temperature: Kelvin, c_rate: f64) -> f64 {
+        let t = temperature.value().max(200.0);
+        self.l1 * (-self.l2 / (GAS_CONSTANT * t)).exp() * c_rate.abs().powf(self.l3)
+    }
+}
+
+impl Default for AgingParams {
+    fn default() -> Self {
+        Self::millner_like()
+    }
+}
+
+/// Accumulates capacity loss over a simulation and answers
+/// lifetime questions ("how long until 20 % of capacity is gone?").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgingModel {
+    params: AgingParams,
+    cumulative_loss: f64,
+    elapsed: Seconds,
+}
+
+impl AgingModel {
+    /// End-of-life threshold: the paper considers the battery useless
+    /// after 20 % capacity loss.
+    pub const END_OF_LIFE_LOSS: f64 = 0.20;
+
+    /// Creates a fresh accumulator.
+    pub fn new(params: AgingParams) -> Self {
+        Self {
+            params,
+            cumulative_loss: 0.0,
+            elapsed: Seconds::ZERO,
+        }
+    }
+
+    /// The coefficients in use.
+    pub fn params(&self) -> &AgingParams {
+        &self.params
+    }
+
+    /// Integrates one time step at the given temperature and C-rate,
+    /// returning the incremental loss fraction added by this step.
+    pub fn accumulate(&mut self, temperature: Kelvin, c_rate: f64, dt: Seconds) -> f64 {
+        let delta = self.params.loss_rate(temperature, c_rate) * dt.value();
+        self.cumulative_loss += delta;
+        self.elapsed += dt;
+        delta
+    }
+
+    /// Total capacity-loss fraction so far.
+    pub fn cumulative_loss(&self) -> f64 {
+        self.cumulative_loss
+    }
+
+    /// Remaining usable capacity as a fraction of rated.
+    pub fn remaining_capacity(&self) -> Ratio {
+        Ratio::new(1.0 - self.cumulative_loss)
+    }
+
+    /// Simulated time integrated so far.
+    pub fn elapsed(&self) -> Seconds {
+        self.elapsed
+    }
+
+    /// Extrapolated battery lifetime: at the average loss rate observed so
+    /// far, how long until the 20 % end-of-life budget is exhausted?
+    ///
+    /// Returns `None` until any loss has accumulated.
+    pub fn projected_lifetime(&self) -> Option<Seconds> {
+        if self.cumulative_loss <= 0.0 || self.elapsed.value() <= 0.0 {
+            return None;
+        }
+        let rate = self.cumulative_loss / self.elapsed.value();
+        Some(Seconds::new(Self::END_OF_LIFE_LOSS / rate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(celsius: f64) -> Kelvin {
+        Kelvin::from_celsius(celsius)
+    }
+
+    #[test]
+    fn hotter_cells_age_faster() {
+        let p = AgingParams::default();
+        assert!(p.loss_rate(t(45.0), 1.0) > p.loss_rate(t(25.0), 1.0));
+        assert!(p.loss_rate(t(25.0), 1.0) > p.loss_rate(t(5.0), 1.0));
+    }
+
+    #[test]
+    fn higher_rate_ages_superlinearly() {
+        let p = AgingParams::default();
+        let one_c = p.loss_rate(t(25.0), 1.0);
+        let two_c = p.loss_rate(t(25.0), 2.0);
+        assert!(
+            two_c > 2.0 * one_c,
+            "2C loss {two_c} should exceed twice 1C loss {one_c}"
+        );
+    }
+
+    #[test]
+    fn idle_cell_does_not_age() {
+        let p = AgingParams::default();
+        assert_eq!(p.loss_rate(t(25.0), 0.0), 0.0);
+    }
+
+    #[test]
+    fn charging_stress_uses_magnitude() {
+        let p = AgingParams::default();
+        assert_eq!(p.loss_rate(t(25.0), -1.5), p.loss_rate(t(25.0), 1.5));
+    }
+
+    #[test]
+    fn calibration_order_of_magnitude() {
+        // Sustained 1C at 40 °C should exhaust the 20 % EOL budget in
+        // hundreds to a few thousand hours.
+        let p = AgingParams::default();
+        let rate = p.loss_rate(t(40.0), 1.0);
+        let hours_to_eol = AgingModel::END_OF_LIFE_LOSS / rate / 3600.0;
+        assert!(
+            (200.0..20_000.0).contains(&hours_to_eol),
+            "EOL after {hours_to_eol} h"
+        );
+    }
+
+    #[test]
+    fn accumulator_tracks_loss_and_lifetime() {
+        let mut aging = AgingModel::new(AgingParams::default());
+        assert_eq!(aging.projected_lifetime(), None);
+        assert_eq!(aging.remaining_capacity(), Ratio::ONE);
+
+        let step = Seconds::new(60.0);
+        let mut total = 0.0;
+        for _ in 0..60 {
+            total += aging.accumulate(t(35.0), 1.2, step);
+        }
+        assert!((aging.cumulative_loss() - total).abs() < 1e-15);
+        assert!(aging.remaining_capacity() < Ratio::ONE);
+        assert_eq!(aging.elapsed(), Seconds::new(3600.0));
+
+        let life = aging.projected_lifetime().expect("loss accumulated");
+        // Constant conditions: lifetime = EOL budget / constant rate.
+        let expected = AgingModel::END_OF_LIFE_LOSS / (total / 3600.0);
+        assert!((life.value() - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn sublinear_stress_exponent_rejected() {
+        let p = AgingParams {
+            l3: 0.5,
+            ..AgingParams::default()
+        };
+        assert!(p.validate().is_err());
+        assert!(AgingParams::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for battery model construction and operation.
+
+use otem_units::Watts;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the battery models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BatteryError {
+    /// A model parameter was outside its physically meaningful range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The requested terminal power exceeds what the pack can deliver at
+    /// the present state of charge and temperature (the discriminant of
+    /// `V_oc·I − R·I² = P` went negative).
+    PowerInfeasible {
+        /// The power that was requested.
+        requested: Watts,
+        /// The maximum deliverable terminal power right now.
+        available: Watts,
+    },
+}
+
+impl fmt::Display for BatteryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(
+                f,
+                "invalid battery parameter {name} = {value}: must satisfy {constraint}"
+            ),
+            Self::PowerInfeasible {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested terminal power {requested:.1} exceeds deliverable {available:.1}"
+            ),
+        }
+    }
+}
+
+impl Error for BatteryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = BatteryError::InvalidParameter {
+            name: "capacity",
+            value: -1.0,
+            constraint: "> 0",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("capacity"));
+        assert!(msg.contains("-1"));
+
+        let e = BatteryError::PowerInfeasible {
+            requested: Watts::new(1e6),
+            available: Watts::new(2e5),
+        };
+        assert!(e.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BatteryError>();
+    }
+}

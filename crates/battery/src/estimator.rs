@@ -1,0 +1,253 @@
+//! Extension: extended-Kalman-filter state-of-charge estimation — the
+//! BMS capability the paper's related work (\[9\], \[10\]) centres on.
+//!
+//! In the paper's simulation the controller reads SoC directly; a real
+//! BMS only sees terminal voltage and current, both noisy. This module
+//! closes that gap: a 1-state EKF propagates the coulomb-counting model
+//! (paper Eq. 1) and corrects it against the measured terminal voltage
+//! through the OCV curve's local slope (Eq. 2–3 linearised).
+
+use crate::cell::Cell;
+use crate::error::BatteryError;
+use crate::params::CellParams;
+use otem_units::{Amps, Kelvin, Ratio, Seconds, Volts};
+use serde::{Deserialize, Serialize};
+
+/// EKF tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EkfConfig {
+    /// Process-noise variance per second on the SoC state (captures
+    /// current-sensor bias and coulombic-efficiency error).
+    pub process_noise: f64,
+    /// Measurement-noise variance on the terminal voltage (V²).
+    pub measurement_noise: f64,
+    /// Initial estimate variance.
+    pub initial_variance: f64,
+}
+
+impl Default for EkfConfig {
+    fn default() -> Self {
+        Self {
+            process_noise: 1.0e-10,
+            measurement_noise: 4.0e-4, // σ ≈ 20 mV
+            initial_variance: 0.01,    // σ ≈ 10 % SoC
+        }
+    }
+}
+
+/// Extended Kalman filter over the cell's SoC.
+///
+/// # Examples
+///
+/// ```
+/// use otem_battery::{CellParams, SocEstimator};
+/// use otem_units::{Amps, Kelvin, Ratio, Seconds, Volts};
+///
+/// # fn main() -> Result<(), otem_battery::BatteryError> {
+/// // BMS boots believing the cell is at 50 %; truth is 80 %.
+/// let mut ekf = SocEstimator::new(CellParams::ncr18650a(), Ratio::HALF)?;
+/// let truth = 0.8;
+/// let room = Kelvin::from_celsius(25.0);
+/// // Feed it rest-voltage measurements of the true cell:
+/// let v_true = CellParams::ncr18650a().ocv.voltage(Ratio::new(truth));
+/// for _ in 0..50 {
+///     ekf.update(Amps::ZERO, v_true, room, Seconds::new(1.0));
+/// }
+/// assert!((ekf.estimate().value() - truth).abs() < 0.02);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocEstimator {
+    model: Cell,
+    variance: f64,
+    config: EkfConfig,
+}
+
+impl SocEstimator {
+    /// Builds an estimator with default tuning from an initial guess.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatteryError::InvalidParameter`] for invalid cell
+    /// parameters.
+    pub fn new(params: CellParams, initial_guess: Ratio) -> Result<Self, BatteryError> {
+        Self::with_config(params, initial_guess, EkfConfig::default())
+    }
+
+    /// Builds with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatteryError::InvalidParameter`] for invalid cell
+    /// parameters.
+    pub fn with_config(
+        params: CellParams,
+        initial_guess: Ratio,
+        config: EkfConfig,
+    ) -> Result<Self, BatteryError> {
+        Ok(Self {
+            model: Cell::new(params, initial_guess)?,
+            variance: config.initial_variance,
+            config,
+        })
+    }
+
+    /// Current SoC estimate.
+    pub fn estimate(&self) -> Ratio {
+        self.model.soc()
+    }
+
+    /// Current estimate variance.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// One predict/correct cycle: `current` and `measured_voltage` are
+    /// the sensor readings for the period just elapsed.
+    pub fn update(
+        &mut self,
+        current: Amps,
+        measured_voltage: Volts,
+        temperature: Kelvin,
+        dt: Seconds,
+    ) {
+        // --- Predict: coulomb counting (Eq. 1) --------------------------
+        self.model.integrate_current(current, dt);
+        self.variance += self.config.process_noise * dt.value();
+
+        // --- Correct: voltage innovation through the OCV slope ----------
+        let predicted_v = self.model.terminal_voltage(current, temperature);
+        let innovation = measured_voltage.value() - predicted_v.value();
+
+        // h = dV/dSoC: numerical slope of the OCV curve at the estimate
+        // (the I·R term's SoC dependence is second order; ignored).
+        let soc = self.model.soc().value();
+        let eps = 1e-4;
+        let hi = self
+            .model
+            .params()
+            .ocv
+            .voltage(Ratio::new((soc + eps).min(1.0)));
+        let lo = self
+            .model
+            .params()
+            .ocv
+            .voltage(Ratio::new((soc - eps).max(0.0)));
+        let h = ((hi.value() - lo.value()) / (2.0 * eps)).max(1e-3);
+
+        let s = h * self.variance * h + self.config.measurement_noise;
+        let gain = self.variance * h / s;
+        self.model.set_soc(Ratio::new(soc + gain * innovation));
+        self.variance *= 1.0 - gain * h;
+        self.variance = self.variance.max(1e-12);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn room() -> Kelvin {
+        Kelvin::from_celsius(25.0)
+    }
+
+    /// Simulates the true cell under a load profile, feeding the EKF
+    /// noisy-free voltage/current (determinism keeps the test exact; the
+    /// noise robustness is exercised through the deliberately wrong
+    /// initial guess and process noise).
+    fn run_filter(true_initial: f64, guess: f64, current_profile: &[f64]) -> (f64, f64) {
+        let params = CellParams::ncr18650a();
+        let mut truth = Cell::new(params.clone(), Ratio::new(true_initial)).unwrap();
+        let mut ekf = SocEstimator::new(params, Ratio::new(guess)).unwrap();
+        for &i in current_profile {
+            let current = Amps::new(i);
+            let v = truth.terminal_voltage(current, room());
+            truth.integrate_current(current, Seconds::new(1.0));
+            ekf.update(current, v, room(), Seconds::new(1.0));
+        }
+        (truth.soc().value(), ekf.estimate().value())
+    }
+
+    #[test]
+    fn converges_from_wrong_initial_guess_at_rest() {
+        let (truth, estimate) = run_filter(0.8, 0.5, &[0.0; 120]);
+        assert!((estimate - truth).abs() < 0.01, "{estimate} vs {truth}");
+    }
+
+    #[test]
+    fn tracks_through_a_discharge() {
+        let profile: Vec<f64> = (0..600).map(|k| if k % 60 < 30 { 3.0 } else { 0.5 }).collect();
+        let (truth, estimate) = run_filter(0.9, 0.7, &profile);
+        assert!((estimate - truth).abs() < 0.02, "{estimate} vs {truth}");
+    }
+
+    #[test]
+    fn variance_shrinks_with_measurements() {
+        let params = CellParams::ncr18650a();
+        let mut ekf = SocEstimator::new(params.clone(), Ratio::HALF).unwrap();
+        let v0 = ekf.variance();
+        let truth = Cell::new(params, Ratio::new(0.6)).unwrap();
+        for _ in 0..30 {
+            let v = truth.terminal_voltage(Amps::ZERO, room());
+            ekf.update(Amps::ZERO, v, room(), Seconds::new(1.0));
+        }
+        assert!(ekf.variance() < v0 / 10.0);
+    }
+
+    #[test]
+    fn flat_ocv_region_converges_slower_than_steep_region() {
+        // The OCV curve is steep near empty and flat in the middle: the
+        // filter should close an error faster where the voltage carries
+        // more SoC information.
+        let steps = 25;
+        let profile = vec![0.0; steps];
+        let (truth_steep, est_steep) = run_filter(0.15, 0.30, &profile);
+        let (truth_flat, est_flat) = run_filter(0.60, 0.75, &profile);
+        let err_steep = (est_steep - truth_steep).abs();
+        let err_flat = (est_flat - truth_flat).abs();
+        assert!(
+            err_steep < err_flat,
+            "steep-region error {err_steep} should beat flat-region {err_flat}"
+        );
+    }
+
+    #[test]
+    fn coulomb_counting_alone_drifts_but_ekf_corrects() {
+        // A 5 % current-sensor bias: pure coulomb counting accumulates
+        // the error, the EKF's voltage correction bounds it.
+        let params = CellParams::ncr18650a();
+        let mut truth = Cell::new(params.clone(), Ratio::new(0.95)).unwrap();
+        let mut dead_reckoning = Cell::new(params.clone(), Ratio::new(0.95)).unwrap();
+        let mut ekf = SocEstimator::new(params, Ratio::new(0.95)).unwrap();
+        for _ in 0..1800 {
+            let i_true = Amps::new(2.0);
+            let i_sensed = Amps::new(2.0 * 1.05); // biased sensor
+            let v = truth.terminal_voltage(i_true, room());
+            truth.integrate_current(i_true, Seconds::new(1.0));
+            dead_reckoning.integrate_current(i_sensed, Seconds::new(1.0));
+            ekf.update(i_sensed, v, room(), Seconds::new(1.0));
+        }
+        let drift = (dead_reckoning.soc().value() - truth.soc().value()).abs();
+        let ekf_err = (ekf.estimate().value() - truth.soc().value()).abs();
+        assert!(drift > 0.01, "bias should visibly drift ({drift})");
+        assert!(
+            ekf_err < drift / 2.0,
+            "EKF {ekf_err} should beat dead reckoning {drift}"
+        );
+    }
+
+    #[test]
+    fn estimator_state_is_bounded() {
+        // Garbage measurements cannot push the estimate outside [0, 1].
+        let params = CellParams::ncr18650a();
+        let mut ekf = SocEstimator::new(params, Ratio::HALF).unwrap();
+        for k in 0..50 {
+            let v = if k % 2 == 0 { 10.0 } else { 0.1 };
+            ekf.update(Amps::ZERO, Volts::new(v), room(), Seconds::new(1.0));
+            let e = ekf.estimate().value();
+            assert!((0.0..=1.0).contains(&e), "estimate escaped: {e}");
+            assert!(ekf.variance().is_finite());
+        }
+    }
+}

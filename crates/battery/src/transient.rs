@@ -1,0 +1,305 @@
+//! Extension: second-order Thevenin (RC-pair) transient electrical
+//! model.
+//!
+//! The paper's Eq. 2–3 model the cell as `V_oc(SoC)` plus a pure series
+//! resistance, noting that "more detailed battery electrical model may
+//! increase behavior modeling accuracy, [but] will not contradict our
+//! methodology". This module provides that refinement: two RC pairs
+//! capture the charge-transfer (seconds) and diffusion (minutes)
+//! relaxation that make terminal voltage sag deepen under sustained load
+//! and recover after it — the dynamics a BMS voltage-based SoC estimator
+//! has to see through.
+
+use crate::cell::Cell;
+use crate::error::BatteryError;
+use otem_units::{Amps, Kelvin, Ohms, Seconds, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One RC relaxation branch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RcPair {
+    /// Branch resistance (Ω).
+    pub resistance: f64,
+    /// Branch capacitance (F).
+    pub capacitance: f64,
+}
+
+impl RcPair {
+    /// Relaxation time constant τ = R·C.
+    pub fn time_constant(&self) -> Seconds {
+        Seconds::new(self.resistance * self.capacitance)
+    }
+
+    /// Validates the branch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatteryError::InvalidParameter`] for non-positive R or
+    /// C.
+    pub fn validate(&self) -> Result<(), BatteryError> {
+        if self.resistance <= 0.0 || !self.resistance.is_finite() {
+            return Err(BatteryError::InvalidParameter {
+                name: "rc.resistance",
+                value: self.resistance,
+                constraint: "> 0 Ω",
+            });
+        }
+        if self.capacitance <= 0.0 || !self.capacitance.is_finite() {
+            return Err(BatteryError::InvalidParameter {
+                name: "rc.capacitance",
+                value: self.capacitance,
+                constraint: "> 0 F",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A [`Cell`] augmented with two RC relaxation branches.
+///
+/// The static cell's resistance plays the role of the ohmic `R_0`; the
+/// RC branches add state: `V = V_oc − I·R_0 − V_1 − V_2` with
+/// `dV_k/dt = (I·R_k − V_k)/τ_k`.
+///
+/// # Examples
+///
+/// ```
+/// use otem_battery::{CellParams, TransientCell};
+/// use otem_units::{Amps, Kelvin, Ratio, Seconds};
+///
+/// # fn main() -> Result<(), otem_battery::BatteryError> {
+/// let mut cell = TransientCell::ncr18650a(Ratio::new(0.8))?;
+/// let room = Kelvin::from_celsius(25.0);
+/// let v_instant = cell.terminal_voltage(Amps::new(3.1), room);
+/// for _ in 0..120 {
+///     cell.step(Amps::new(3.1), room, Seconds::new(1.0));
+/// }
+/// let v_settled = cell.terminal_voltage(Amps::new(3.1), room);
+/// assert!(v_settled < v_instant); // sag deepens as the RC pairs charge
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientCell {
+    cell: Cell,
+    charge_transfer: RcPair,
+    diffusion: RcPair,
+    v1: f64,
+    v2: f64,
+}
+
+impl TransientCell {
+    /// Builds from an existing static cell and explicit RC branches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatteryError::InvalidParameter`] for invalid branches.
+    pub fn new(
+        cell: Cell,
+        charge_transfer: RcPair,
+        diffusion: RcPair,
+    ) -> Result<Self, BatteryError> {
+        charge_transfer.validate()?;
+        diffusion.validate()?;
+        Ok(Self {
+            cell,
+            charge_transfer,
+            diffusion,
+            v1: 0.0,
+            v2: 0.0,
+        })
+    }
+
+    /// The NCR18650A preset with literature-typical RC branches
+    /// (charge transfer τ ≈ 8 s, diffusion τ ≈ 150 s).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation failures.
+    pub fn ncr18650a(initial_soc: otem_units::Ratio) -> Result<Self, BatteryError> {
+        let cell = Cell::new(crate::params::CellParams::ncr18650a(), initial_soc)?;
+        Self::new(
+            cell,
+            RcPair {
+                resistance: 0.015,
+                capacitance: 550.0,
+            },
+            RcPair {
+                resistance: 0.020,
+                capacitance: 7_500.0,
+            },
+        )
+    }
+
+    /// The underlying static cell (SoC, OCV, ohmic resistance).
+    pub fn cell(&self) -> &Cell {
+        &self.cell
+    }
+
+    /// Present relaxation-branch voltages `(V_1, V_2)`.
+    pub fn branch_voltages(&self) -> (Volts, Volts) {
+        (Volts::new(self.v1), Volts::new(self.v2))
+    }
+
+    /// Terminal voltage at the given instant (before the RC states move):
+    /// `V = V_oc − I·R_0 − V_1 − V_2`.
+    pub fn terminal_voltage(&self, current: Amps, temperature: Kelvin) -> Volts {
+        self.cell.terminal_voltage(current, temperature) - Volts::new(self.v1 + self.v2)
+    }
+
+    /// Total effective resistance once fully relaxed under DC load
+    /// (`R_0 + R_1 + R_2`).
+    pub fn dc_resistance(&self, temperature: Kelvin) -> Ohms {
+        self.cell.internal_resistance(temperature)
+            + Ohms::new(self.charge_transfer.resistance + self.diffusion.resistance)
+    }
+
+    /// Heat generated right now: ohmic + both branch dissipations plus
+    /// the entropic term (extends paper Eq. 4 to the transient model).
+    pub fn heat_generation(&self, current: Amps, temperature: Kelvin) -> Watts {
+        let base = self.cell.heat_generation(current, temperature);
+        let q1 = self.v1 * self.v1 / self.charge_transfer.resistance;
+        let q2 = self.v2 * self.v2 / self.diffusion.resistance;
+        base + Watts::new(q1 + q2)
+    }
+
+    /// Advances the RC states and the coulomb counter by one step
+    /// (exact exponential update per branch, so any `dt` is stable).
+    pub fn step(&mut self, current: Amps, _temperature: Kelvin, dt: Seconds) {
+        let i = current.value();
+        for (v, pair) in [
+            (&mut self.v1, &self.charge_transfer),
+            (&mut self.v2, &self.diffusion),
+        ] {
+            let target = i * pair.resistance;
+            let alpha = (-dt.value() / pair.time_constant().value()).exp();
+            *v = target + (*v - target) * alpha;
+        }
+        self.cell.integrate_current(current, dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otem_units::Ratio;
+
+    fn cell() -> TransientCell {
+        TransientCell::ncr18650a(Ratio::new(0.8)).expect("valid")
+    }
+
+    fn room() -> Kelvin {
+        Kelvin::from_celsius(25.0)
+    }
+
+    #[test]
+    fn sag_deepens_toward_dc_resistance() {
+        let mut c = cell();
+        let i = Amps::new(3.1);
+        let v0 = c.terminal_voltage(i, room());
+        for _ in 0..900 {
+            c.step(i, room(), Seconds::new(1.0));
+        }
+        let v_settled = c.terminal_voltage(i, room());
+        assert!(v_settled < v0);
+        // Isolate the RC contribution by removing the OCV/R0 drift the
+        // 900 s of discharge caused in the static part of the model.
+        let static_now = c.cell().terminal_voltage(i, room());
+        let rc_sag = (static_now - v_settled).value();
+        let expected = 3.1 * (0.015 + 0.020);
+        assert!(
+            (rc_sag - expected).abs() < 1e-3,
+            "RC sag {rc_sag} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn voltage_recovers_after_load_removal() {
+        let mut c = cell();
+        for _ in 0..120 {
+            c.step(Amps::new(4.0), room(), Seconds::new(1.0));
+        }
+        let (v1_loaded, _) = c.branch_voltages();
+        assert!(v1_loaded.value() > 0.0);
+        // Rest: branches decay toward zero.
+        for _ in 0..120 {
+            c.step(Amps::ZERO, room(), Seconds::new(1.0));
+        }
+        let (v1_rested, v2_rested) = c.branch_voltages();
+        assert!(v1_rested.value() < 0.01 * v1_loaded.value().max(1e-9) + 1e-6);
+        // Diffusion branch (τ = 150 s) relaxes more slowly but shrinks.
+        assert!(v2_rested.value() >= 0.0);
+    }
+
+    #[test]
+    fn fast_branch_settles_before_slow_branch() {
+        let mut c = cell();
+        for _ in 0..30 {
+            c.step(Amps::new(3.0), room(), Seconds::new(1.0));
+        }
+        let (v1, v2) = c.branch_voltages();
+        let v1_frac = v1.value() / (3.0 * 0.015);
+        let v2_frac = v2.value() / (3.0 * 0.020);
+        assert!(v1_frac > 0.9, "fast branch at {v1_frac}");
+        assert!(v2_frac < 0.5, "slow branch already at {v2_frac}");
+    }
+
+    #[test]
+    fn transient_heat_exceeds_static_heat_under_load() {
+        let mut c = cell();
+        let static_heat = c.cell().heat_generation(Amps::new(3.0), room());
+        for _ in 0..300 {
+            c.step(Amps::new(3.0), room(), Seconds::new(1.0));
+        }
+        let transient_heat = c.heat_generation(Amps::new(3.0), room());
+        assert!(transient_heat > static_heat);
+    }
+
+    #[test]
+    fn exact_update_is_stable_at_large_steps() {
+        let mut c = cell();
+        for _ in 0..50 {
+            c.step(Amps::new(3.0), room(), Seconds::new(60.0));
+            let (v1, v2) = c.branch_voltages();
+            assert!(v1.is_finite() && v2.is_finite());
+            assert!(v1.value() <= 3.0 * 0.015 + 1e-9);
+            assert!(v2.value() <= 3.0 * 0.020 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_branches_rejected() {
+        let base = Cell::new(crate::params::CellParams::ncr18650a(), Ratio::ONE).unwrap();
+        assert!(TransientCell::new(
+            base.clone(),
+            RcPair {
+                resistance: 0.0,
+                capacitance: 100.0
+            },
+            RcPair {
+                resistance: 0.01,
+                capacitance: 100.0
+            },
+        )
+        .is_err());
+        assert!(TransientCell::new(
+            base,
+            RcPair {
+                resistance: 0.01,
+                capacitance: 100.0
+            },
+            RcPair {
+                resistance: 0.01,
+                capacitance: -5.0
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn dc_resistance_sums_branches() {
+        let c = cell();
+        let r0 = c.cell().internal_resistance(room()).value();
+        assert!((c.dc_resistance(room()).value() - (r0 + 0.035)).abs() < 1e-12);
+    }
+}

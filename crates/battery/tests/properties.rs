@@ -1,0 +1,117 @@
+//! Property-based tests for the battery models: physical invariants that
+//! must hold across the whole operating envelope.
+
+use otem_battery::{AgingParams, BatteryPack, Cell, CellParams, PackConfig};
+use otem_units::{Amps, Kelvin, Ratio, Seconds, Watts};
+use proptest::prelude::*;
+
+fn soc() -> impl Strategy<Value = Ratio> {
+    (0.0..=1.0f64).prop_map(Ratio::new)
+}
+
+fn temperature() -> impl Strategy<Value = Kelvin> {
+    (-10.0..60.0f64).prop_map(Kelvin::from_celsius)
+}
+
+proptest! {
+    #[test]
+    fn ocv_monotonic_and_bounded(s1 in soc(), s2 in soc()) {
+        let cell = Cell::new(CellParams::ncr18650a(), s1).unwrap();
+        let mut cell2 = cell.clone();
+        cell2.set_soc(s2);
+        let (v1, v2) = (cell.open_circuit_voltage(), cell2.open_circuit_voltage());
+        if s1 < s2 {
+            prop_assert!(v1 <= v2);
+        }
+        prop_assert!((2.0..4.5).contains(&v1.value()));
+    }
+
+    #[test]
+    fn resistance_positive_and_falls_with_temperature(s in soc(), t in temperature()) {
+        let cell = Cell::new(CellParams::ncr18650a(), s).unwrap();
+        let r = cell.internal_resistance(t);
+        prop_assert!(r.value() > 0.0);
+        let hotter = Kelvin::new(t.value() + 10.0);
+        prop_assert!(cell.internal_resistance(hotter) < r);
+    }
+
+    #[test]
+    fn heat_is_nonnegative_for_realistic_currents(
+        s in soc(),
+        t in temperature(),
+        i in -6.0..6.0f64,
+    ) {
+        let cell = Cell::new(CellParams::ncr18650a(), s).unwrap();
+        // The quadratic Joule term dominates the linear entropic term at
+        // high current; near zero current, entropic cooling may win
+        // (physically real), so only assert above 2 A.
+        let q = cell.heat_generation(Amps::new(i), t);
+        if i.abs() > 2.0 {
+            prop_assert!(q.value() > 0.0, "heat {q:?} at I = {i}");
+        }
+    }
+
+    #[test]
+    fn soc_integration_is_reversible_and_bounded(
+        s in soc(),
+        i in -6.0..6.0f64,
+        dt in 0.1..600.0f64,
+    ) {
+        let mut cell = Cell::new(CellParams::ncr18650a(), s).unwrap();
+        cell.integrate_current(Amps::new(i), Seconds::new(dt));
+        let after = cell.soc().value();
+        prop_assert!((0.0..=1.0).contains(&after));
+        // Discharging lowers SoC, charging raises it (unless clamped).
+        if i > 0.0 {
+            prop_assert!(after <= s.value());
+        } else if i < 0.0 {
+            prop_assert!(after >= s.value());
+        }
+    }
+
+    #[test]
+    fn pack_draw_conserves_energy(
+        s in 0.2..1.0f64,
+        t in temperature(),
+        p_kw in -80.0..80.0f64,
+    ) {
+        let mut pack = BatteryPack::new(CellParams::ncr18650a(), PackConfig::tesla_s_like()).unwrap();
+        pack.set_soc(Ratio::new(s));
+        let power = Watts::new(p_kw * 1000.0);
+        if let Ok(draw) = pack.draw_power(power, t) {
+            // internal = terminal + Joule loss; loss is non-negative.
+            prop_assert!(draw.loss().value() >= -1e-9, "loss {:?}", draw.loss());
+            // Terminal power reproduced by V·I.
+            let vi = draw.terminal_voltage.value() * draw.current.value();
+            prop_assert!((vi - power.value()).abs() < 1e-5 * power.value().abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn aging_rate_monotonic_in_temperature_and_rate(
+        t1 in 273.0..330.0f64,
+        dt_k in 1.0..30.0f64,
+        c1 in 0.1..3.0f64,
+        dc in 0.1..2.0f64,
+    ) {
+        let aging = AgingParams::default();
+        let base = aging.loss_rate(Kelvin::new(t1), c1);
+        prop_assert!(base > 0.0);
+        prop_assert!(aging.loss_rate(Kelvin::new(t1 + dt_k), c1) > base);
+        prop_assert!(aging.loss_rate(Kelvin::new(t1), c1 + dc) > base);
+    }
+
+    #[test]
+    fn infeasible_requests_identified_consistently(
+        s in 0.2..1.0f64,
+        t in temperature(),
+    ) {
+        let mut pack = BatteryPack::new(CellParams::ncr18650a(), PackConfig::tesla_s_like()).unwrap();
+        pack.set_soc(Ratio::new(s));
+        let voc = pack.open_circuit_voltage().value();
+        let r = pack.internal_resistance(t).value();
+        let peak = voc * voc / (4.0 * r);
+        prop_assert!(pack.draw_power(Watts::new(peak * 0.99), t).is_ok());
+        prop_assert!(pack.draw_power(Watts::new(peak * 1.01), t).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Design-choice ablation benchmarks: Crank–Nicolson vs forward Euler,
+//! and warm- vs cold-started MPC solves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use otem::mpc::{Mpc, MpcConfig, MpcPlant};
+use otem::SystemConfig;
+use otem_hees::HybridHees;
+use otem_thermal::{CoolingPlant, ThermalModel, ThermalParams, ThermalState};
+use otem_units::{Kelvin, Ratio, Seconds, Watts};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    // Discretisation: CN pays a 2×2 solve per step; Euler does not. The
+    // accuracy difference is covered by the thermal crate's tests — here
+    // we show the cost difference is negligible.
+    let model = ThermalModel::new(ThermalParams::ev_pack()).unwrap();
+    let state = ThermalState::uniform(Kelvin::from_celsius(30.0));
+    c.bench_function("discretisation/crank_nicolson", |b| {
+        b.iter(|| {
+            black_box(model.step_crank_nicolson(
+                black_box(state),
+                Watts::new(2_000.0),
+                Kelvin::from_celsius(15.0),
+                Seconds::new(1.0),
+            ))
+        })
+    });
+    c.bench_function("discretisation/euler", |b| {
+        b.iter(|| {
+            black_box(model.step_euler(
+                black_box(state),
+                Watts::new(2_000.0),
+                Kelvin::from_celsius(15.0),
+                Seconds::new(1.0),
+            ))
+        })
+    });
+
+    // Warm start: re-solving a shifted problem from the previous plan
+    // versus from scratch.
+    let config = SystemConfig::default();
+    let mut hees = HybridHees::ev_default(config.capacitance).unwrap();
+    hees.set_state(Ratio::new(0.8), Ratio::new(0.6));
+    let plant = MpcPlant {
+        hees,
+        thermal: ThermalModel::new(config.thermal_active).unwrap(),
+        plant: CoolingPlant::new(config.plant).unwrap(),
+        state: ThermalState::uniform(Kelvin::from_celsius(33.0)),
+        aging: config.aging,
+        soc_min: config.soc_min,
+        soe_min: config.soe_min,
+        battery_power_max: config.battery_power_max,
+        cap_power_max: config.cap_power_max,
+    };
+    let loads: Vec<Watts> = (0..12)
+        .map(|k| Watts::new(15_000.0 + 35_000.0 * ((k % 4) as f64 / 3.0)))
+        .collect();
+
+    let mut mpc_group = c.benchmark_group("mpc");
+    mpc_group.sample_size(10);
+    mpc_group.bench_function("warm_start", |b| {
+        let mut mpc = Mpc::new(MpcConfig::default());
+        mpc.solve(&plant, &loads, Seconds::new(1.0)); // prime the plan
+        b.iter(|| black_box(mpc.solve(&plant, &loads, Seconds::new(1.0))));
+    });
+    mpc_group.bench_function("cold_start", |b| {
+        b.iter(|| {
+            let mut mpc = Mpc::new(MpcConfig::default());
+            black_box(mpc.solve(&plant, &loads, Seconds::new(1.0)))
+        });
+    });
+    mpc_group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Drive-cycle synthesis and power-trace generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use otem_drivecycle::{standard, synthesize, Powertrain, StandardCycle, VehicleParams};
+use std::hint::black_box;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize");
+    for cycle in [StandardCycle::Us06, StandardCycle::Udds] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cycle.spec().name.clone()),
+            &cycle,
+            |b, &cycle| {
+                let spec = cycle.spec();
+                b.iter(|| black_box(synthesize(&spec, cycle.seed()).unwrap()));
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("power_trace_us06", |b| {
+        let cycle = standard(StandardCycle::Us06).unwrap();
+        let train = Powertrain::new(VehicleParams::midsize_ev()).unwrap();
+        b.iter(|| black_box(train.power_trace(&cycle)));
+    });
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! The Eq. 10–13 parallel current-split solve (the per-step work of the
+//! Parallel baseline) and the dual architecture's switched step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use otem_hees::{DualHees, DualMode, ParallelHees};
+use otem_units::{Farads, Kelvin, Ratio, Seconds, Watts};
+use std::hint::black_box;
+
+fn bench_split(c: &mut Criterion) {
+    c.bench_function("parallel_circuit_step", |b| {
+        let mut hees = ParallelHees::ev_default(Farads::new(25_000.0)).unwrap();
+        hees.set_state(Ratio::new(0.8), Ratio::new(0.7));
+        let temp = Kelvin::from_celsius(30.0);
+        b.iter(|| {
+            let mut h = hees.clone();
+            black_box(h.step(Watts::new(35_000.0), temp, Seconds::new(1.0)))
+        });
+    });
+
+    c.bench_function("dual_switched_step", |b| {
+        let mut hees = DualHees::ev_default(Farads::new(25_000.0)).unwrap();
+        hees.set_state(Ratio::new(0.8), Ratio::new(0.7));
+        let temp = Kelvin::from_celsius(30.0);
+        b.iter(|| {
+            let mut h = hees.clone();
+            black_box(h.step(
+                DualMode::BatteryRecharging(8_000.0),
+                Watts::new(35_000.0),
+                temp,
+                Seconds::new(1.0),
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_split);
+criterion_main!(benches);

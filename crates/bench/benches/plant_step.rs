@@ -1,0 +1,50 @@
+//! Plant-model micro-benchmarks: one hybrid-HEES power-split step and
+//! one Crank–Nicolson thermal step — the inner loop of every rollout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use otem_hees::{HybridCommand, HybridHees};
+use otem_thermal::{ThermalModel, ThermalParams, ThermalState};
+use otem_units::{Farads, Kelvin, Ratio, Seconds, Watts};
+use std::hint::black_box;
+
+fn bench_plant(c: &mut Criterion) {
+    c.bench_function("hybrid_hees_step", |b| {
+        let mut hees = HybridHees::ev_default(Farads::new(25_000.0)).unwrap();
+        hees.set_state(Ratio::new(0.8), Ratio::new(0.6));
+        let cmd = HybridCommand {
+            battery_bus: Watts::new(30_000.0),
+            cap_bus: Watts::new(10_000.0),
+        };
+        let temp = Kelvin::from_celsius(30.0);
+        b.iter(|| {
+            let mut h = hees.clone();
+            black_box(h.step(black_box(cmd), temp, Seconds::new(1.0)))
+        });
+    });
+
+    c.bench_function("thermal_crank_nicolson_step", |b| {
+        let model = ThermalModel::new(ThermalParams::ev_pack()).unwrap();
+        let state = ThermalState::uniform(Kelvin::from_celsius(30.0));
+        b.iter(|| {
+            black_box(model.step_crank_nicolson(
+                black_box(state),
+                Watts::new(2_000.0),
+                Kelvin::from_celsius(18.0),
+                Seconds::new(1.0),
+            ))
+        });
+    });
+
+    c.bench_function("battery_draw_power", |b| {
+        let pack = otem_battery::BatteryPack::new(
+            otem_battery::CellParams::ncr18650a(),
+            otem_battery::PackConfig::compact_ev(),
+        )
+        .unwrap();
+        let temp = Kelvin::from_celsius(30.0);
+        b.iter(|| black_box(pack.draw_power(Watts::new(45_000.0), temp)));
+    });
+}
+
+criterion_group!(benches, bench_plant);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! **Ablation** — move blocking: covering a long control window with
+//! coarse decision blocks buys most of the long-horizon benefit at a
+//! fraction of the optimisation cost.
+//!
+//! ```sh
+//! cargo run --release -p otem-bench --bin ablation_blocking
+//! ```
+
+use otem::mpc::MpcConfig;
+use otem::policy::Otem;
+use otem::Simulator;
+use otem_bench::{stress_config, stress_trace};
+use otem_drivecycle::StandardCycle;
+
+fn main() {
+    let config = stress_config();
+    let trace = stress_trace(StandardCycle::Us06, 2).expect("trace");
+
+    println!("# Ablation — move blocking (window = horizon × block), US06 x2 stress rig");
+    println!(
+        "{:>8} {:>7} {:>9} {:>12} {:>10} {:>10}",
+        "horizon", "block", "window(s)", "Q_loss", "avgP (kW)", "time (s)"
+    );
+    for (horizon, block) in [(6usize, 1usize), (12, 1), (24, 1), (6, 4), (12, 5), (12, 2)] {
+        let mpc = MpcConfig {
+            horizon,
+            block_size: block,
+            ..MpcConfig::default()
+        };
+        let mut otem = Otem::with_mpc(&config, mpc).expect("controller");
+        let start = std::time::Instant::now();
+        let r = Simulator::new(&config).run(&mut otem, &trace);
+        println!(
+            "{:>8} {:>7} {:>9} {:>12.4e} {:>10.2} {:>10.1}",
+            horizon,
+            block,
+            horizon * block,
+            r.capacity_loss(),
+            r.average_power().value() / 1000.0,
+            start.elapsed().as_secs_f64()
+        );
+    }
+    println!("\nMeasured finding: on this pulse-dominated problem, blocking *hurts* —");
+    println!("pooling the forecast smears the second-scale pulses the ultracapacitor");
+    println!("exists to absorb, so a flat 12 s window beats blocked 24–60 s windows.");
+    println!("The window's grain matters as much as its length; the paper's 1 s");
+    println!("control period is load-bearing.");
+}

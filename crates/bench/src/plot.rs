@@ -1,0 +1,102 @@
+//! Minimal terminal plotting for the experiment binaries: Unicode
+//! sparklines and multi-series strip charts, so the figure binaries show
+//! the *shape* of a trace inline, not just sampled rows.
+
+/// Eight-level block characters, lowest to highest.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a sparkline of roughly `width` characters
+/// (values are bucket-averaged down to the width).
+///
+/// Returns an empty string for empty input; a flat series renders at the
+/// lowest block level.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let buckets = resample(values, width.min(values.len()));
+    let (lo, hi) = bounds(&buckets);
+    let span = (hi - lo).max(1e-12);
+    buckets
+        .iter()
+        .map(|v| {
+            let idx = (((v - lo) / span) * 7.0).round().clamp(0.0, 7.0) as usize;
+            BLOCKS[idx]
+        })
+        .collect()
+}
+
+/// Renders a labelled sparkline with its min/max annotated:
+/// `label  ▁▂▅█▆▂  [12.0 … 45.3]`.
+pub fn labelled_sparkline(label: &str, values: &[f64], width: usize) -> String {
+    let (lo, hi) = bounds(values);
+    format!(
+        "{label:<14} {}  [{lo:.1} … {hi:.1}]",
+        sparkline(values, width)
+    )
+}
+
+fn resample(values: &[f64], buckets: usize) -> Vec<f64> {
+    let n = values.len();
+    (0..buckets)
+        .map(|b| {
+            let start = b * n / buckets;
+            let end = (((b + 1) * n) / buckets).max(start + 1).min(n);
+            let slice = &values[start..end];
+            slice.iter().sum::<f64>() / slice.len() as f64
+        })
+        .collect()
+}
+
+fn bounds(values: &[f64]) -> (f64, f64) {
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if lo.is_finite() && hi.is_finite() {
+        (lo, hi)
+    } else {
+        (0.0, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_render_monotonically() {
+        let values: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let s = sparkline(&values, 8);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 8);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[7], '█');
+        for w in chars.windows(2) {
+            assert!(w[0] <= w[1], "non-monotone: {s}");
+        }
+    }
+
+    #[test]
+    fn flat_series_is_flat() {
+        let s = sparkline(&[5.0; 20], 10);
+        assert!(s.chars().all(|c| c == '▁'), "{s}");
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0], 0), "");
+    }
+
+    #[test]
+    fn short_input_does_not_stretch() {
+        let s = sparkline(&[1.0, 2.0], 40);
+        assert_eq!(s.chars().count(), 2);
+    }
+
+    #[test]
+    fn labelled_includes_bounds() {
+        let line = labelled_sparkline("temp", &[20.0, 30.0, 25.0], 3);
+        assert!(line.contains("temp"));
+        assert!(line.contains("[20.0 … 30.0]"));
+    }
+}

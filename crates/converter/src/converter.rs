@@ -1,0 +1,363 @@
+//! The converter loss model and its forward/inverse power mappings.
+
+use crate::error::ConverterError;
+use otem_units::{Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A DC/DC converter between a storage element and the EV's DC bus.
+///
+/// Loss model: `P_loss = P_0 + k_i·|I| + k_r·I²` with `I = P/V` the
+/// storage-side current. Power flowing in either direction pays the loss.
+///
+/// Two mappings are provided:
+///
+/// * [`DcDcConverter::input_for_output`] — how much storage power must be
+///   drawn to deliver `P_out` onto the bus (discharge path),
+/// * [`DcDcConverter::output_for_input`] — how much reaches the storage
+///   when `P_in` is taken off the bus (charge path).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DcDcConverter {
+    /// Quiescent (controller/switching) loss `P_0` in watts, paid
+    /// whenever power flows.
+    pub quiescent_loss: f64,
+    /// Conduction loss coefficient `k_i` (V): loss linear in current.
+    pub conduction_coefficient: f64,
+    /// Ohmic loss coefficient `k_r` (Ω): loss quadratic in current.
+    pub ohmic_coefficient: f64,
+}
+
+impl DcDcConverter {
+    /// Converter preset for the high-voltage battery string (≈ 350 V):
+    /// ≈ 97–98 % efficient across the load range.
+    pub fn battery_side() -> Self {
+        Self {
+            quiescent_loss: 25.0,
+            conduction_coefficient: 2.5,
+            ohmic_coefficient: 0.02,
+        }
+    }
+
+    /// Converter preset for the low-voltage ultracapacitor bank (≈ 16 V
+    /// rated): efficiency is strongly voltage-dependent, dropping several
+    /// points as the bank sags toward half voltage.
+    pub fn ultracap_side() -> Self {
+        Self {
+            quiescent_loss: 15.0,
+            conduction_coefficient: 0.12,
+            ohmic_coefficient: 4.0e-5,
+        }
+    }
+
+    /// An idealised lossless converter (baselines that ignore conversion
+    /// losses, and tests).
+    pub const fn lossless() -> Self {
+        Self {
+            quiescent_loss: 0.0,
+            conduction_coefficient: 0.0,
+            ohmic_coefficient: 0.0,
+        }
+    }
+
+    /// Validates coefficient ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConverterError::InvalidParameter`] for negative
+    /// coefficients.
+    pub fn validate(&self) -> Result<(), ConverterError> {
+        for (name, value) in [
+            ("quiescent_loss", self.quiescent_loss),
+            ("conduction_coefficient", self.conduction_coefficient),
+            ("ohmic_coefficient", self.ohmic_coefficient),
+        ] {
+            if value < 0.0 || !value.is_finite() {
+                return Err(ConverterError::InvalidParameter {
+                    name,
+                    value,
+                    constraint: ">= 0 and finite",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Width of the quiescent-loss wake-up ramp (W): below this power the
+    /// controller overhead fades toward zero, keeping the loss model
+    /// smooth at zero transfer (the MPC differentiates through it).
+    const QUIESCENT_RAMP: f64 = 50.0;
+
+    /// Loss for a given storage-side power magnitude at a given storage
+    /// voltage.
+    ///
+    /// `P_loss = P_0·p/(p + 50 W) + k_i·|I| + k_r·I²` — the quiescent
+    /// term ramps in smoothly as the converter wakes from idle.
+    #[inline]
+    pub fn loss(&self, storage_power: Watts, storage_voltage: Volts) -> Watts {
+        let p = storage_power.value().abs();
+        if p == 0.0 {
+            return Watts::ZERO;
+        }
+        let v = storage_voltage.value().max(1e-3);
+        let i = p / v;
+        let quiescent = self.quiescent_loss * p / (p + Self::QUIESCENT_RAMP);
+        Watts::new(quiescent + self.conduction_coefficient * i + self.ohmic_coefficient * i * i)
+    }
+
+    /// Discharge path: storage power that must be drawn so that `bus_out`
+    /// is delivered to the bus. Solves
+    /// `P_storage = P_bus + loss(P_storage, V)` for `P_storage`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConverterError::TransferInfeasible`] when no real
+    /// solution exists (the converter saturates at this voltage) and
+    /// [`ConverterError::InvalidParameter`] for a non-positive voltage.
+    pub fn input_for_output(
+        &self,
+        bus_out: Watts,
+        storage_voltage: Volts,
+    ) -> Result<Watts, ConverterError> {
+        let p_out = bus_out.value();
+        if p_out == 0.0 {
+            return Ok(Watts::ZERO);
+        }
+        let v = storage_voltage.value();
+        if v <= 0.0 {
+            return Err(ConverterError::InvalidParameter {
+                name: "storage_voltage",
+                value: v,
+                constraint: "> 0 V",
+            });
+        }
+        let p_out = p_out.abs();
+        // Solve x − loss(x) = P_out by fixed-point iteration from the
+        // constant-quiescent closed form. The iteration is a contraction
+        // (∂loss/∂x < 1 in the feasible regime) and converges in a
+        // handful of rounds.
+        let a = self.ohmic_coefficient / (v * v);
+        let b = self.conduction_coefficient / v - 1.0;
+        let c = p_out + self.quiescent_loss;
+        let seed = if a == 0.0 {
+            if b >= 0.0 {
+                return Err(ConverterError::TransferInfeasible {
+                    requested: p_out,
+                    voltage: v,
+                });
+            }
+            -c / b
+        } else {
+            let disc = b * b - 4.0 * a * c;
+            if disc < 0.0 {
+                return Err(ConverterError::TransferInfeasible {
+                    requested: p_out,
+                    voltage: v,
+                });
+            }
+            (-b - disc.sqrt()) / (2.0 * a)
+        };
+        if !seed.is_finite() || seed <= 0.0 {
+            return Err(ConverterError::TransferInfeasible {
+                requested: p_out,
+                voltage: v,
+            });
+        }
+        let mut x = seed;
+        for _ in 0..30 {
+            let next = p_out + self.loss(Watts::new(x), storage_voltage).value();
+            if (next - x).abs() < 1e-9 * x.max(1.0) {
+                x = next;
+                break;
+            }
+            x = next;
+        }
+        if !x.is_finite() || x <= 0.0 {
+            return Err(ConverterError::TransferInfeasible {
+                requested: p_out,
+                voltage: v,
+            });
+        }
+        Ok(Watts::new(x.copysign(bus_out.value())))
+    }
+
+    /// Charge path: storage power received when `bus_in` is taken off the
+    /// bus: `P_storage = P_bus − loss(P_bus, V)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConverterError::TransferInfeasible`] when the loss
+    /// exceeds the supplied power (nothing would reach the storage).
+    pub fn output_for_input(
+        &self,
+        bus_in: Watts,
+        storage_voltage: Volts,
+    ) -> Result<Watts, ConverterError> {
+        let p_in = bus_in.value();
+        if p_in == 0.0 {
+            return Ok(Watts::ZERO);
+        }
+        let magnitude = p_in.abs();
+        let loss = self.loss(Watts::new(magnitude), storage_voltage).value();
+        let delivered = magnitude - loss;
+        if delivered <= 0.0 {
+            return Err(ConverterError::TransferInfeasible {
+                requested: magnitude,
+                voltage: storage_voltage.value(),
+            });
+        }
+        Ok(Watts::new(delivered.copysign(p_in)))
+    }
+
+    /// Conversion efficiency for a transfer of the given bus-side power at
+    /// the given storage voltage (paper's `η_DC`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConverterError::TransferInfeasible`] from the inverse
+    /// mapping.
+    pub fn efficiency(
+        &self,
+        bus_power: Watts,
+        storage_voltage: Volts,
+    ) -> Result<f64, ConverterError> {
+        let p = bus_power.value().abs();
+        if p == 0.0 {
+            return Ok(1.0);
+        }
+        let storage = self.input_for_output(Watts::new(p), storage_voltage)?;
+        Ok(p / storage.value())
+    }
+}
+
+impl Default for DcDcConverter {
+    /// The ultracapacitor-side preset (the voltage-sensitive one the
+    /// paper's analysis centres on).
+    fn default() -> Self {
+        Self::ultracap_side()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_converter_is_identity() {
+        let dc = DcDcConverter::lossless();
+        let p = Watts::new(12_345.0);
+        let v = Volts::new(12.0);
+        assert_eq!(dc.input_for_output(p, v).unwrap(), p);
+        assert_eq!(dc.output_for_input(p, v).unwrap(), p);
+        assert_eq!(dc.efficiency(p, v).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn efficiency_reasonable_at_rated_voltage() {
+        let dc = DcDcConverter::ultracap_side();
+        let eta = dc
+            .efficiency(Watts::new(10_000.0), Volts::new(16.0))
+            .unwrap();
+        assert!((0.88..0.99).contains(&eta), "η = {eta}");
+    }
+
+    #[test]
+    fn efficiency_degrades_as_voltage_sags() {
+        let dc = DcDcConverter::ultracap_side();
+        let p = Watts::new(10_000.0);
+        let full = dc.efficiency(p, Volts::new(16.0)).unwrap();
+        let half = dc.efficiency(p, Volts::new(8.0)).unwrap();
+        let low = dc.efficiency(p, Volts::new(5.0)).unwrap();
+        assert!(full > half && half > low, "{full} {half} {low}");
+        assert!(full - low > 0.02, "swing should cost > 2 points");
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let dc = DcDcConverter::ultracap_side();
+        let v = Volts::new(12.0);
+        let bus = Watts::new(8_000.0);
+        let storage = dc.input_for_output(bus, v).unwrap();
+        assert!(storage > bus);
+        // Pushing that storage power forward re-delivers the bus power:
+        // storage − loss(storage) = bus.
+        let loss = dc.loss(storage, v);
+        assert!((storage.value() - loss.value() - bus.value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn charge_path_loses_power() {
+        let dc = DcDcConverter::ultracap_side();
+        let v = Volts::new(14.0);
+        let delivered = dc.output_for_input(Watts::new(5_000.0), v).unwrap();
+        assert!(delivered.value() < 5_000.0);
+        assert!(delivered.value() > 4_000.0);
+    }
+
+    #[test]
+    fn signs_are_preserved() {
+        let dc = DcDcConverter::ultracap_side();
+        let v = Volts::new(14.0);
+        assert!(dc.input_for_output(Watts::new(-6_000.0), v).unwrap().value() < 0.0);
+        assert!(dc.output_for_input(Watts::new(-6_000.0), v).unwrap().value() < 0.0);
+    }
+
+    #[test]
+    fn battery_side_is_more_efficient_than_ultracap_side_at_sag() {
+        let bat = DcDcConverter::battery_side();
+        let cap = DcDcConverter::ultracap_side();
+        let p = Watts::new(20_000.0);
+        let eta_bat = bat.efficiency(p, Volts::new(340.0)).unwrap();
+        let eta_cap = cap.efficiency(p, Volts::new(8.0)).unwrap();
+        assert!(eta_bat > eta_cap);
+        assert!(eta_bat > 0.95, "battery-side η = {eta_bat}");
+    }
+
+    #[test]
+    fn infeasible_transfer_rejected() {
+        let dc = DcDcConverter::ultracap_side();
+        // At 0.5 V the current for 50 kW would be 100 kA — the quadratic
+        // has no positive root.
+        assert!(matches!(
+            dc.input_for_output(Watts::new(50_000.0), Volts::new(0.5)),
+            Err(ConverterError::TransferInfeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_transfer_dominated_by_quiescent_loss() {
+        let dc = DcDcConverter::ultracap_side();
+        let tiny = dc.efficiency(Watts::new(30.0), Volts::new(16.0)).unwrap();
+        let moderate = dc.efficiency(Watts::new(5_000.0), Volts::new(16.0)).unwrap();
+        assert!(tiny < 0.90, "η = {tiny} should be poor at 30 W");
+        assert!(moderate > tiny + 0.05, "light-load collapse missing");
+    }
+
+    #[test]
+    fn loss_is_smooth_through_zero() {
+        // The wake-up ramp keeps the loss differentiable at zero — no
+        // fixed quiescent jump the MPC's gradient would trip over.
+        let dc = DcDcConverter::ultracap_side();
+        let v = Volts::new(16.0);
+        let small = dc.loss(Watts::new(1.0), v).value();
+        assert!(small < 1.0, "loss({small}) at 1 W transfer");
+        let smaller = dc.loss(Watts::new(0.1), v).value();
+        assert!(smaller < small / 5.0, "ramp not proportional: {smaller}");
+    }
+
+    #[test]
+    fn zero_power_zero_loss() {
+        let dc = DcDcConverter::ultracap_side();
+        assert_eq!(dc.loss(Watts::ZERO, Volts::new(16.0)), Watts::ZERO);
+        assert_eq!(dc.input_for_output(Watts::ZERO, Volts::new(16.0)).unwrap(), Watts::ZERO);
+        assert_eq!(dc.efficiency(Watts::ZERO, Volts::new(16.0)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn negative_coefficients_rejected() {
+        let dc = DcDcConverter {
+            quiescent_loss: -1.0,
+            ..DcDcConverter::ultracap_side()
+        };
+        assert!(dc.validate().is_err());
+        assert!(DcDcConverter::ultracap_side().validate().is_ok());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the converter model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the DC/DC converter model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConverterError {
+    /// A parameter was outside its physically meaningful range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The conversion is infeasible: the requested transfer cannot be
+    /// sustained at the given storage voltage (losses would exceed the
+    /// input).
+    TransferInfeasible {
+        /// Requested power magnitude (W).
+        requested: f64,
+        /// Storage-side voltage at the time (V).
+        voltage: f64,
+    },
+}
+
+impl fmt::Display for ConverterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(
+                f,
+                "invalid converter parameter {name} = {value}: must satisfy {constraint}"
+            ),
+            Self::TransferInfeasible { requested, voltage } => write!(
+                f,
+                "converter cannot transfer {requested} W at storage voltage {voltage} V"
+            ),
+        }
+    }
+}
+
+impl Error for ConverterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = ConverterError::TransferInfeasible {
+            requested: 5_000.0,
+            voltage: 1.0,
+        };
+        assert!(e.to_string().contains("5000"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConverterError>();
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests: the converter must never create energy, and its
+//! efficiency must be monotone in storage voltage.
+
+use otem_converter::DcDcConverter;
+use otem_units::{Volts, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn efficiency_bounded_and_conservative(
+        p_kw in 0.1..60.0f64,
+        v in 4.0..20.0f64,
+    ) {
+        let dc = DcDcConverter::ultracap_side();
+        if let Ok(eta) = dc.efficiency(Watts::new(p_kw * 1000.0), Volts::new(v)) {
+            prop_assert!(eta > 0.0 && eta <= 1.0, "η = {eta}");
+        }
+    }
+
+    #[test]
+    fn efficiency_monotone_in_voltage(
+        p_kw in 1.0..40.0f64,
+        v in 6.0..16.0f64,
+        dv in 0.5..4.0f64,
+    ) {
+        let dc = DcDcConverter::ultracap_side();
+        let p = Watts::new(p_kw * 1000.0);
+        let lo = dc.efficiency(p, Volts::new(v));
+        let hi = dc.efficiency(p, Volts::new(v + dv));
+        if let (Ok(lo), Ok(hi)) = (lo, hi) {
+            prop_assert!(hi >= lo, "η({}) = {hi} < η({}) = {lo}", v + dv, v);
+        }
+    }
+
+    #[test]
+    fn round_trip_loses_twice(
+        p_kw in 1.0..30.0f64,
+        v in 8.0..16.0f64,
+    ) {
+        // bus → storage → bus must return strictly less than sent.
+        let dc = DcDcConverter::ultracap_side();
+        let volts = Volts::new(v);
+        let sent = Watts::new(p_kw * 1000.0);
+        if let Ok(stored) = dc.output_for_input(sent, volts) {
+            // Re-deliver the stored power to the bus.
+            let loss_back = dc.loss(stored, volts);
+            let returned = stored - loss_back;
+            prop_assert!(returned < sent);
+            // But still positive for sensible magnitudes.
+            prop_assert!(returned.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn input_exceeds_output_on_discharge_path(
+        p_kw in 0.5..50.0f64,
+        v in 5.0..18.0f64,
+    ) {
+        let dc = DcDcConverter::ultracap_side();
+        if let Ok(storage) = dc.input_for_output(Watts::new(p_kw * 1000.0), Volts::new(v)) {
+            prop_assert!(storage.value() > p_kw * 1000.0);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Post-simulation analysis: TEB-event detection, energy breakdowns and
+//! thermal compliance reports over a [`SimulationResult`].
+//!
+//! The paper's Fig. 7 narrative — "the OTEM provides enough TEB when it
+//! notices large EV power requests in the near-future" — is made
+//! measurable here: a *pre-charge event* is a step that charges the
+//! ultracapacitor during modest load with a large request inside the
+//! lookahead; a *pre-cool event* runs the cooler while the battery is
+//! already below the soft ceiling, ahead of such a request.
+
+use crate::metrics::SimulationResult;
+use otem_units::{Joules, Kelvin, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Thresholds for classifying TEB events.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TebCriteria {
+    /// How far ahead (steps) a "near-future" request may sit.
+    pub lookahead: usize,
+    /// What counts as a large upcoming request.
+    pub peak_threshold: Watts,
+    /// Loads below this are "modest" (preparation can happen).
+    pub quiet_threshold: Watts,
+    /// Minimum charging power for a pre-charge event.
+    pub charge_threshold: Watts,
+    /// Minimum cooling electric power for a pre-cool event.
+    pub cool_threshold: Watts,
+}
+
+impl Default for TebCriteria {
+    fn default() -> Self {
+        Self {
+            lookahead: 15,
+            peak_threshold: Watts::new(25_000.0),
+            quiet_threshold: Watts::new(20_000.0),
+            charge_threshold: Watts::new(500.0),
+            cool_threshold: Watts::new(200.0),
+        }
+    }
+}
+
+/// Counted TEB events over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TebReport {
+    /// Steps that pre-charged the bank ahead of a large request.
+    pub precharge_events: usize,
+    /// Steps that pre-cooled the battery ahead of a large request.
+    pub precool_events: usize,
+    /// Large-request steps where the bank shared the load.
+    pub peaks_shared: usize,
+    /// Large-request steps the battery served alone.
+    pub peaks_alone: usize,
+}
+
+impl TebReport {
+    /// Fraction of large-request steps the bank helped with.
+    pub fn peak_share_fraction(&self) -> f64 {
+        let total = self.peaks_shared + self.peaks_alone;
+        if total == 0 {
+            0.0
+        } else {
+            self.peaks_shared as f64 / total as f64
+        }
+    }
+}
+
+/// Scans a result for TEB events under the given criteria.
+pub fn teb_report(result: &SimulationResult, criteria: &TebCriteria) -> TebReport {
+    let records = &result.records;
+    let mut report = TebReport::default();
+    for (t, rec) in records.iter().enumerate() {
+        let upcoming_peak = records
+            .iter()
+            .take((t + 1 + criteria.lookahead).min(records.len()))
+            .skip(t + 1)
+            .map(|r| r.load)
+            .fold(Watts::ZERO, Watts::max);
+        let peak_coming = upcoming_peak >= criteria.peak_threshold;
+        let quiet_now = rec.load < criteria.quiet_threshold;
+
+        if quiet_now && peak_coming {
+            if rec.hees.cap_internal <= -criteria.charge_threshold {
+                report.precharge_events += 1;
+            }
+            if rec.cooling_power >= criteria.cool_threshold {
+                report.precool_events += 1;
+            }
+        }
+        if rec.load >= criteria.peak_threshold {
+            if rec.hees.cap_internal >= criteria.charge_threshold {
+                report.peaks_shared += 1;
+            } else {
+                report.peaks_alone += 1;
+            }
+        }
+    }
+    report
+}
+
+/// Where the consumed energy went.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy delivered toward the EV load (net of cooling).
+    pub delivered: Joules,
+    /// Joule + entropic losses inside the battery.
+    pub battery_loss: Joules,
+    /// DC/DC conversion losses.
+    pub converter_loss: Joules,
+    /// Electric energy spent on the cooling system.
+    pub cooling: Joules,
+    /// Load energy that could not be served.
+    pub shortfall: Joules,
+}
+
+impl EnergyBreakdown {
+    /// Losses as a fraction of delivered energy.
+    pub fn loss_fraction(&self) -> f64 {
+        let delivered = self.delivered.value();
+        if delivered <= 0.0 {
+            return 0.0;
+        }
+        (self.battery_loss.value() + self.converter_loss.value()) / delivered
+    }
+}
+
+/// Integrates the per-step records into an [`EnergyBreakdown`].
+pub fn energy_breakdown(result: &SimulationResult) -> EnergyBreakdown {
+    let dt = result.dt;
+    let mut b = EnergyBreakdown::default();
+    for rec in &result.records {
+        // The battery's realised loss is its generated heat (Joule +
+        // entropic, Eq. 4) — robust for both discharge and charge.
+        b.delivered += (rec.hees.delivered - rec.cooling_power) * dt;
+        b.battery_loss += rec.hees.battery_heat * dt;
+        b.converter_loss += rec.hees.converter_loss * dt;
+        b.cooling += rec.cooling_power * dt;
+        b.shortfall += rec.hees.shortfall * dt;
+    }
+    b
+}
+
+/// Thermal compliance summary against a limit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalReport {
+    /// The limit applied.
+    pub limit: Kelvin,
+    /// Hottest battery temperature reached.
+    pub peak: Kelvin,
+    /// Time spent above the limit.
+    pub time_above: Seconds,
+    /// Longest contiguous violation.
+    pub longest_violation: Seconds,
+}
+
+/// Summarises thermal compliance over a run.
+pub fn thermal_report(result: &SimulationResult, limit: Kelvin) -> ThermalReport {
+    let mut longest = 0usize;
+    let mut current = 0usize;
+    for rec in &result.records {
+        if rec.state.battery_temp > limit {
+            current += 1;
+            longest = longest.max(current);
+        } else {
+            current = 0;
+        }
+    }
+    ThermalReport {
+        limit,
+        peak: result.peak_battery_temp(),
+        time_above: result.time_above(limit),
+        longest_violation: result.dt * longest as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{StepRecord, SystemState};
+    use otem_hees::HeesStep;
+    use otem_units::Ratio;
+
+    fn rec(load: f64, cap_internal: f64, cooling: f64, temp_c: f64) -> StepRecord {
+        StepRecord {
+            load: Watts::new(load),
+            hees: HeesStep {
+                delivered: Watts::new(load),
+                battery_internal: Watts::new(load - cap_internal),
+                cap_internal: Watts::new(cap_internal),
+                battery_heat: Watts::new(0.02 * load.abs()),
+                converter_loss: Watts::new(0.01 * load.abs()),
+                ..HeesStep::default()
+            },
+            cooling_power: Watts::new(cooling),
+            state: SystemState {
+                battery_temp: Kelvin::from_celsius(temp_c),
+                coolant_temp: Kelvin::from_celsius(temp_c),
+                soc: Ratio::HALF,
+                soe: Ratio::HALF,
+            },
+        }
+    }
+
+    fn result(records: Vec<StepRecord>) -> SimulationResult {
+        SimulationResult {
+            methodology: "test",
+            dt: Seconds::new(1.0),
+            records,
+            capacity_loss: 1e-6,
+        }
+    }
+
+    #[test]
+    fn precharge_before_peak_is_detected() {
+        // Quiet + charging for 3 steps, then a 40 kW peak served by the bank.
+        let mut records = vec![rec(5_000.0, -2_000.0, 0.0, 28.0); 3];
+        records.push(rec(40_000.0, 15_000.0, 0.0, 29.0));
+        let report = teb_report(&result(records), &TebCriteria::default());
+        assert_eq!(report.precharge_events, 3);
+        assert_eq!(report.peaks_shared, 1);
+        assert_eq!(report.peaks_alone, 0);
+        assert_eq!(report.peak_share_fraction(), 1.0);
+    }
+
+    #[test]
+    fn unprepared_peak_counts_as_alone() {
+        let mut records = vec![rec(5_000.0, 0.0, 0.0, 28.0); 3];
+        records.push(rec(40_000.0, 0.0, 0.0, 29.0));
+        let report = teb_report(&result(records), &TebCriteria::default());
+        assert_eq!(report.precharge_events, 0);
+        assert_eq!(report.peaks_alone, 1);
+        assert_eq!(report.peak_share_fraction(), 0.0);
+    }
+
+    #[test]
+    fn precooling_ahead_of_peak_is_detected() {
+        let mut records = vec![rec(5_000.0, 0.0, 3_000.0, 30.0); 2];
+        records.push(rec(40_000.0, 0.0, 0.0, 31.0));
+        let report = teb_report(&result(records), &TebCriteria::default());
+        assert_eq!(report.precool_events, 2);
+    }
+
+    #[test]
+    fn quiet_route_has_no_events() {
+        let records = vec![rec(5_000.0, -2_000.0, 3_000.0, 28.0); 10];
+        let report = teb_report(&result(records), &TebCriteria::default());
+        assert_eq!(report.precharge_events, 0);
+        assert_eq!(report.precool_events, 0);
+        assert_eq!(report.peak_share_fraction(), 0.0);
+    }
+
+    #[test]
+    fn energy_breakdown_integrates_components() {
+        let records = vec![rec(10_000.0, 0.0, 500.0, 30.0); 10];
+        let b = energy_breakdown(&result(records));
+        assert_eq!(b.delivered, Joules::new(95_000.0));
+        assert_eq!(b.battery_loss, Joules::new(2_000.0));
+        assert_eq!(b.converter_loss, Joules::new(1_000.0));
+        assert_eq!(b.cooling, Joules::new(5_000.0));
+        assert!((b.loss_fraction() - 3_000.0 / 95_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_report_tracks_longest_violation() {
+        let limit = Kelvin::from_celsius(40.0);
+        let mut records = vec![rec(1.0, 0.0, 0.0, 35.0); 3];
+        records.extend(vec![rec(1.0, 0.0, 0.0, 42.0); 4]); // 4 s violation
+        records.push(rec(1.0, 0.0, 0.0, 39.0));
+        records.extend(vec![rec(1.0, 0.0, 0.0, 41.0); 2]); // 2 s violation
+        let report = thermal_report(&result(records), limit);
+        assert_eq!(report.time_above, Seconds::new(6.0));
+        assert_eq!(report.longest_violation, Seconds::new(4.0));
+        assert_eq!(report.peak, Kelvin::from_celsius(42.0));
+    }
+}

@@ -1,0 +1,84 @@
+//! The controller abstraction every methodology implements, and the
+//! per-step record the simulator collects.
+
+use otem_hees::HeesStep;
+use otem_units::{Kelvin, Ratio, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of the paper's state vector `x = [T_b, T_c, SoE, SoC]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemState {
+    /// Battery temperature `T_b`.
+    pub battery_temp: Kelvin,
+    /// Coolant temperature `T_c` (equals `T_b`'s environment for
+    /// passive architectures).
+    pub coolant_temp: Kelvin,
+    /// Ultracapacitor state of energy.
+    pub soe: Ratio,
+    /// Battery state of charge.
+    pub soc: Ratio,
+}
+
+/// Everything that happened during one control period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// The EV power request this period served.
+    pub load: Watts,
+    /// HEES bookkeeping (delivered, internal powers, heat, stress).
+    pub hees: HeesStep,
+    /// Electric power drawn by the cooling system (cooler + pump).
+    pub cooling_power: Watts,
+    /// State after the step.
+    pub state: SystemState,
+}
+
+impl StepRecord {
+    /// Total power consumed this period: HEES internal consumption
+    /// (which already includes serving the cooling load via the bus).
+    pub fn total_power(&self) -> Watts {
+        self.hees.hees_power()
+    }
+}
+
+/// A thermal/energy management methodology driving one HEES
+/// architecture.
+///
+/// Implementations own their architecture and thermal plant; the
+/// [`crate::Simulator`] feeds them the load and the forecast window and
+/// collects the records.
+pub trait Controller {
+    /// Human-readable methodology name (used by the experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Executes one control period: serve `load`, given the forecast of
+    /// upcoming requests (`forecast[0]` is the *next* period's load).
+    fn step(&mut self, load: Watts, forecast: &[Watts], dt: Seconds) -> StepRecord;
+
+    /// Current state vector.
+    fn state(&self) -> SystemState;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_power_reads_hees_internal() {
+        let rec = StepRecord {
+            load: Watts::new(1_000.0),
+            hees: HeesStep {
+                battery_internal: Watts::new(900.0),
+                cap_internal: Watts::new(300.0),
+                ..HeesStep::default()
+            },
+            cooling_power: Watts::new(100.0),
+            state: SystemState {
+                battery_temp: Kelvin::from_celsius(25.0),
+                coolant_temp: Kelvin::from_celsius(25.0),
+                soe: Ratio::ONE,
+                soc: Ratio::ONE,
+            },
+        };
+        assert_eq!(rec.total_power(), Watts::new(1_200.0));
+    }
+}

@@ -1,0 +1,521 @@
+//! The OTEM model-predictive optimisation (paper Section III-B,
+//! Eq. 17–19).
+//!
+//! # Transcription
+//!
+//! The paper states the OCP over state variables `x = [T_b, T_c, SoE,
+//! SoC]`, control inputs `i = [T_i, P_bat, P_cap]` and auxiliaries, with
+//! the discretised dynamics as equality constraints (Eq. 18) and the
+//! weighted cost of Eq. 19. We solve the same problem by **single
+//! shooting**: the dynamics are eliminated by forward simulation of the
+//! component models, leaving a box-constrained problem in the genuinely
+//! free inputs —
+//!
+//! * `u_cap[k]` — the ultracapacitor's bus-side power share (the bus
+//!   power balance then pins the battery's share:
+//!   `P_bat = P_e + P_c + P_m − P_cap`), and
+//! * `u_cool[k]` — the cooler duty in `[0, 1]` (scaling the inlet
+//!   temperature drop, and thereby `P_c`, within actuator limits);
+//!
+//! state constraints C1/C4/C5/C6 become smooth quadratic penalties. The
+//! box-constrained NLP is solved with [`otem_solver::ProjectedGradient`],
+//! warm-started from the previous period's shifted solution (standard
+//! receding-horizon practice).
+
+use otem_battery::AgingParams;
+use otem_hees::{HybridCommand, HybridHees};
+use otem_solver::{Bounds, Objective, ProjectedGradient, Solution};
+use otem_thermal::{CoolingPlant, ThermalModel, ThermalState};
+use otem_units::{Kelvin, Ratio, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Tuning of the OTEM optimisation (Eq. 19 weights, horizon, penalties).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MpcConfig {
+    /// Control window length `N` (steps of `dt`).
+    pub horizon: usize,
+    /// `w1`: weight on cooling energy `P_c·Δt` (per joule).
+    pub w1: f64,
+    /// `w2`: weight on battery capacity loss `Q_loss` (joule-equivalents
+    /// per unit loss fraction — prices battery wear against energy).
+    pub w2: f64,
+    /// `w3`: weight on HEES energy `dE_bat + dE_cap` (per joule).
+    pub w3: f64,
+    /// Soft ceiling for the battery temperature (a margin below the hard
+    /// C1 limit).
+    pub temp_soft: Kelvin,
+    /// Penalty weight per K² of soft-ceiling violation per step.
+    pub temp_penalty: f64,
+    /// Penalty weight per unit² of SoC/SoE bound violation per step.
+    pub state_penalty: f64,
+    /// Penalty weight per W² of unserved load per step.
+    pub shortfall_penalty: f64,
+    /// Penalty weight per W² of battery bus-power limit violation.
+    pub power_penalty: f64,
+    /// Inner solver iteration budget per control period.
+    pub solver_iterations: usize,
+    /// Whether to warm-start from the shifted previous solution.
+    pub warm_start: bool,
+    /// Terminal-cost tail (s): the end-of-horizon battery temperature is
+    /// priced as if it persisted this long, so the controller sees the
+    /// value of pre-cooling beyond its own window (thermal time
+    /// constants far exceed practical horizons).
+    pub terminal_tail: f64,
+    /// Move blocking: each of the `horizon` decision blocks spans this
+    /// many control periods, so the window covers `horizon × block_size`
+    /// seconds at the optimisation cost of `horizon` steps. The first
+    /// block's move is applied for one control period and the problem is
+    /// re-solved (standard receding-horizon practice).
+    pub block_size: usize,
+}
+
+impl Default for MpcConfig {
+    fn default() -> Self {
+        Self {
+            horizon: 12,
+            w1: 1.0,
+            w2: 8.0e12,
+            w3: 1.0,
+            temp_soft: Kelvin::from_celsius(38.0),
+            temp_penalty: 5.0e5,
+            state_penalty: 1.0e10,
+            shortfall_penalty: 1.0e-2,
+            power_penalty: 1.0e-3,
+            solver_iterations: 30,
+            warm_start: true,
+            terminal_tail: 600.0,
+            block_size: 1,
+        }
+    }
+}
+
+/// Everything the rollout needs to predict the plant over the horizon.
+#[derive(Debug, Clone)]
+pub struct MpcPlant {
+    /// The hybrid architecture (cloned per rollout; cheap).
+    pub hees: HybridHees,
+    /// The actively cooled thermal model.
+    pub thermal: ThermalModel,
+    /// The cooling plant (cooler + pump).
+    pub plant: CoolingPlant,
+    /// Current thermal state.
+    pub state: ThermalState,
+    /// Aging coefficients for the `Q_loss` cost term.
+    pub aging: AgingParams,
+    /// C4 lower bound on SoC.
+    pub soc_min: Ratio,
+    /// C5 lower bound on SoE.
+    pub soe_min: Ratio,
+    /// C6 battery bus-power limit.
+    pub battery_power_max: Watts,
+    /// C7 ultracapacitor bus-power limit.
+    pub cap_power_max: Watts,
+}
+
+/// One period's optimised control move.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MpcDecision {
+    /// Bus-side ultracapacitor power for the coming period (positive =
+    /// the bank serves the bus).
+    pub cap_bus: Watts,
+    /// Cooler duty in `[0, 1]`.
+    pub cool_duty: f64,
+    /// Diagnostics: cost at the solution.
+    pub cost: f64,
+    /// Diagnostics: solver iterations consumed.
+    pub iterations: usize,
+    /// Diagnostics: whether the solver met tolerance.
+    pub converged: bool,
+}
+
+/// The receding-horizon optimiser (Algorithm 1 lines 13–14).
+#[derive(Debug, Clone)]
+pub struct Mpc {
+    config: MpcConfig,
+    previous: Option<Vec<f64>>,
+    solver: ProjectedGradient,
+}
+
+impl Mpc {
+    /// Builds an optimiser with the given tuning.
+    pub fn new(config: MpcConfig) -> Self {
+        let solver = ProjectedGradient {
+            max_iterations: config.solver_iterations,
+            tolerance: 1e-5,
+            ..ProjectedGradient::default()
+        };
+        Self {
+            config,
+            previous: None,
+            solver,
+        }
+    }
+
+    /// The tuning in use.
+    pub fn config(&self) -> &MpcConfig {
+        &self.config
+    }
+
+    /// Clears the warm-start memory (e.g. when the route changes).
+    pub fn reset(&mut self) {
+        self.previous = None;
+    }
+
+    /// Solves the control window given the plant snapshot and the load
+    /// forecast (`loads[0]` is the period being decided). Returns the
+    /// first move, retaining the full solution as the next warm start.
+    pub fn solve(&mut self, plant: &MpcPlant, loads: &[Watts], dt: Seconds) -> MpcDecision {
+        let n = self.config.horizon;
+        let dim = 2 * n;
+
+        // Decision vector layout: [cap_share_0..n-1, cool_duty_0..n-1],
+        // cap shares normalised by the C7 limit into [-1, 1].
+        let mut x0 = vec![0.0; dim];
+        if self.config.warm_start {
+            if let Some(prev) = &self.previous {
+                // Shift by one period, repeating the tail.
+                for k in 0..n - 1 {
+                    x0[k] = prev[k + 1];
+                    x0[n + k] = prev[n + k + 1];
+                }
+                x0[n - 1] = prev[n - 1];
+                x0[2 * n - 1] = prev[2 * n - 1];
+            }
+        }
+
+        let mut lower = vec![-1.0; n];
+        lower.extend(std::iter::repeat_n(0.0, n));
+        let mut upper = vec![1.0; n];
+        upper.extend(std::iter::repeat_n(1.0, n));
+        let bounds = Bounds::new(lower, upper);
+
+        let objective = RolloutObjective {
+            plant,
+            loads,
+            dt,
+            config: &self.config,
+        };
+        let Solution {
+            x,
+            value,
+            iterations,
+            converged,
+        } = self.solver.minimize(&objective, &bounds, &x0);
+
+        let decision = MpcDecision {
+            cap_bus: Watts::new(x[0] * plant.cap_power_max.value()),
+            cool_duty: x[n],
+            cost: value,
+            iterations,
+            converged,
+        };
+        self.previous = Some(x);
+        decision
+    }
+}
+
+struct RolloutObjective<'a> {
+    plant: &'a MpcPlant,
+    loads: &'a [Watts],
+    dt: Seconds,
+    config: &'a MpcConfig,
+}
+
+impl Objective for RolloutObjective<'_> {
+    fn value(&self, z: &[f64]) -> f64 {
+        rollout_cost(self.plant, self.loads, self.dt, self.config, z)
+    }
+}
+
+/// Simulates the horizon under the candidate controls and returns the
+/// Eq. 19 cost plus constraint penalties.
+pub fn rollout_cost(
+    plant: &MpcPlant,
+    loads: &[Watts],
+    dt: Seconds,
+    config: &MpcConfig,
+    z: &[f64],
+) -> f64 {
+    let n = config.horizon;
+    debug_assert_eq!(z.len(), 2 * n);
+    let mut hees = plant.hees.clone();
+    let mut state = plant.state;
+    let dtv = dt.value();
+    let mut cost = 0.0;
+    let mut c_rate_sum = 0.0;
+
+    for k in 0..n {
+        let load = loads.get(k).copied().unwrap_or(Watts::ZERO);
+        let cap_bus = Watts::new(z[k] * plant.cap_power_max.value());
+        let duty = z[n + k].clamp(0.0, 1.0);
+
+        // Cooling actuation: duty scales the inlet drop toward the
+        // coldest achievable; price it with Eq. 16.
+        let outlet = state.coolant;
+        let coldest = plant.plant.coldest_inlet(outlet);
+        let inlet = Kelvin::new(
+            outlet.value() - duty * (outlet.value() - coldest.value()),
+        );
+        let action = plant.plant.actuate(outlet, inlet);
+        // Smooth relaxation of the pump's on/off behaviour: the rollout
+        // prices the pump proportionally to the duty so the objective
+        // stays differentiable at duty = 0 (the applied move re-imposes
+        // the real on/off gate).
+        let cooling_electric =
+            action.cooler_power + action.pump_power * duty;
+
+        // Bus power balance pins the battery's share.
+        let battery_bus = load + cooling_electric - cap_bus;
+        let step = hees.step(
+            HybridCommand {
+                battery_bus,
+                cap_bus,
+            },
+            state.battery,
+            dt,
+        );
+
+        state = plant
+            .thermal
+            .step_crank_nicolson(state, step.battery_heat, action.inlet, dt);
+
+        // --- Eq. 19 terms ---------------------------------------------
+        cost += config.w1 * cooling_electric.value() * dtv;
+        let loss = plant
+            .aging
+            .loss_rate(state.battery, step.battery_c_rate)
+            * dtv;
+        cost += config.w2 * loss;
+        cost += config.w3 * step.hees_power().value() * dtv;
+
+        // --- Constraint penalties ---------------------------------------
+        let over_t = (state.battery.value() - config.temp_soft.value()).max(0.0);
+        cost += config.temp_penalty * over_t * over_t;
+
+        let soc_short = (plant.soc_min.value() - hees.soc().value()).max(0.0);
+        let soe_short = (plant.soe_min.value() - hees.soe().value()).max(0.0);
+        cost += config.state_penalty * (soc_short * soc_short + soe_short * soe_short);
+
+        cost += config.shortfall_penalty * step.shortfall.value().powi(2);
+
+        let over_p = (battery_bus.value().abs() - plant.battery_power_max.value()).max(0.0);
+        cost += config.power_penalty * over_p * over_p;
+
+        c_rate_sum += step.battery_c_rate;
+    }
+
+    // Terminal cost: the horizon is far shorter than the pack's thermal
+    // time constant, so value the end-of-horizon temperature as if the
+    // route's stress persisted for `terminal_tail` seconds. The nominal
+    // C-rate is derived from the *load forecast alone* — deliberately
+    // excluding the cooling-induced battery current, which would
+    // otherwise make the tail punish the very cooling that lowers the
+    // terminal temperature.
+    let _ = c_rate_sum;
+    if config.terminal_tail > 0.0 {
+        let mean_load: f64 = loads
+            .iter()
+            .take(n)
+            .map(|p| p.value().abs())
+            .sum::<f64>()
+            / n as f64;
+        let pack = plant.hees.battery();
+        let pack_voltage = pack.open_circuit_voltage().value().max(1.0);
+        let cell_current =
+            mean_load / pack_voltage / pack.config().parallel as f64;
+        let c_load = (cell_current / pack.cell().effective_capacity().value()).max(0.2);
+        cost += config.w2
+            * plant.aging.loss_rate(state.battery, c_load)
+            * config.terminal_tail;
+        let over_t = (state.battery.value() - config.temp_soft.value()).max(0.0);
+        cost += config.temp_penalty * over_t * over_t * (config.terminal_tail / dtv.max(1e-9));
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use otem_units::Farads;
+
+    fn plant(config: &SystemConfig) -> MpcPlant {
+        let mut hees = HybridHees::ev_default(Farads::new(25_000.0)).unwrap();
+        hees.set_state(config.initial_soc, Ratio::new(0.6));
+        MpcPlant {
+            hees,
+            thermal: ThermalModel::new(config.thermal_active).unwrap(),
+            plant: CoolingPlant::new(config.plant).unwrap(),
+            state: ThermalState::uniform(config.ambient),
+            aging: config.aging,
+            soc_min: config.soc_min,
+            soe_min: config.soe_min,
+            battery_power_max: config.battery_power_max,
+            cap_power_max: config.cap_power_max,
+        }
+    }
+
+    #[test]
+    fn idle_horizon_prefers_doing_nothing() {
+        let config = SystemConfig::default();
+        let p = plant(&config);
+        let mut mpc = Mpc::new(MpcConfig {
+            horizon: 6,
+            ..MpcConfig::default()
+        });
+        let loads = vec![Watts::ZERO; 6];
+        let d = mpc.solve(&p, &loads, Seconds::new(1.0));
+        assert!(
+            d.cap_bus.value().abs() < 2_000.0,
+            "idle cap command {:?}",
+            d.cap_bus
+        );
+        assert!(d.cool_duty < 0.1, "idle cooling duty {}", d.cool_duty);
+    }
+
+    #[test]
+    fn hot_battery_triggers_cooling_or_cap_use() {
+        let config = SystemConfig::default();
+        let mut p = plant(&config);
+        p.state = ThermalState::uniform(Kelvin::from_celsius(39.5));
+        let mut mpc = Mpc::new(MpcConfig {
+            horizon: 6,
+            ..MpcConfig::default()
+        });
+        let loads = vec![Watts::new(40_000.0); 6];
+        let d = mpc.solve(&p, &loads, Seconds::new(1.0));
+        assert!(
+            d.cool_duty > 0.3 || d.cap_bus.value() > 10_000.0,
+            "hot battery ignored: duty {} cap {:?}",
+            d.cool_duty,
+            d.cap_bus
+        );
+    }
+
+    #[test]
+    fn upcoming_peak_prepares_teb() {
+        // Quiet now, 80 kW pulse later in the window: the solution should
+        // either pre-charge the bank now (negative cap power) or plan to
+        // discharge it during the pulse.
+        let config = SystemConfig::default();
+        let mut p = plant(&config);
+        p.hees.set_state(Ratio::ONE, Ratio::new(0.4)); // bank part-empty
+        let mut mpc = Mpc::new(MpcConfig {
+            horizon: 10,
+            ..MpcConfig::default()
+        });
+        let mut loads = vec![Watts::new(2_000.0); 10];
+        for sample in loads.iter_mut().skip(5) {
+            *sample = Watts::new(80_000.0);
+        }
+        let d = mpc.solve(&p, &loads, Seconds::new(1.0));
+        // Inspect the retained full plan: cap must serve during the pulse.
+        let plan = mpc.previous.clone().expect("plan retained");
+        let served: f64 = plan[5..10].iter().sum();
+        assert!(
+            served > 0.2 || d.cap_bus.value() < -500.0,
+            "no TEB preparation: plan {plan:?}"
+        );
+    }
+
+    #[test]
+    fn warm_start_reuses_previous_plan() {
+        let config = SystemConfig::default();
+        let p = plant(&config);
+        let mut mpc = Mpc::new(MpcConfig {
+            horizon: 6,
+            ..MpcConfig::default()
+        });
+        let loads = vec![Watts::new(20_000.0); 6];
+        let first = mpc.solve(&p, &loads, Seconds::new(1.0));
+        let second = mpc.solve(&p, &loads, Seconds::new(1.0));
+        // Warm-started re-solve of the same problem should converge at
+        // least as fast.
+        assert!(second.iterations <= first.iterations + 5);
+        mpc.reset();
+        assert!(mpc.previous.is_none());
+    }
+
+    #[test]
+    fn terminal_tail_makes_sustained_cooling_profitable() {
+        // The design note in DESIGN.md §5: without the terminal cost a
+        // short window cannot see that cooling pays off; with it, the
+        // full-cooling rollout must under-cost the no-cooling rollout on
+        // a warm battery — and the tail's nominal C-rate must come from
+        // the load, not from the cooling-induced battery current. The
+        // effect needs the stress rig's fast thermal response (a 284 kJ/K
+        // premium pack barely moves in 12 s either way).
+        let config = SystemConfig::stress_rig();
+        let mut p = plant(&config);
+        p.state = ThermalState::uniform(Kelvin::from_celsius(36.0));
+        let n = 12;
+        let loads = vec![Watts::new(15_000.0); n];
+        let dt = Seconds::new(1.0);
+        let mut z_cool = vec![0.0; 2 * n];
+        for k in n..2 * n {
+            z_cool[k] = 1.0;
+        }
+        let z_off = vec![0.0; 2 * n];
+
+        let with_tail = MpcConfig {
+            horizon: n,
+            ..MpcConfig::default()
+        };
+        let cool = rollout_cost(&p, &loads, dt, &with_tail, &z_cool);
+        let idle = rollout_cost(&p, &loads, dt, &with_tail, &z_off);
+        assert!(
+            cool < idle,
+            "tail should make cooling profitable: cool {cool:.4e} vs idle {idle:.4e}"
+        );
+
+        let no_tail = MpcConfig {
+            horizon: n,
+            terminal_tail: 0.0,
+            ..MpcConfig::default()
+        };
+        let cool_nt = rollout_cost(&p, &loads, dt, &no_tail, &z_cool);
+        let idle_nt = rollout_cost(&p, &loads, dt, &no_tail, &z_off);
+        assert!(
+            cool_nt > idle_nt,
+            "without the tail a 12 s window cannot justify cooling:              cool {cool_nt:.4e} vs idle {idle_nt:.4e}"
+        );
+    }
+
+    #[test]
+    fn block_size_extends_the_window() {
+        // With block_size the same decision vector spans a longer window;
+        // sanity: solving still returns finite, bounded commands.
+        let config = SystemConfig::default();
+        let p = plant(&config);
+        let mut mpc = Mpc::new(MpcConfig {
+            horizon: 6,
+            block_size: 5,
+            ..MpcConfig::default()
+        });
+        let loads = vec![Watts::new(20_000.0); 6];
+        let d = mpc.solve(&p, &loads, Seconds::new(5.0));
+        assert!(d.cap_bus.is_finite());
+        assert!((0.0..=1.0).contains(&d.cool_duty));
+        assert!(d.cap_bus.abs() <= p.cap_power_max + Watts::new(1e-6));
+    }
+
+    #[test]
+    fn rollout_cost_penalises_shortfall() {
+        let config = SystemConfig::default();
+        let mut p = plant(&config);
+        p.hees.set_state(Ratio::ONE, Ratio::new(0.01)); // bank empty
+        let cfg = MpcConfig {
+            horizon: 3,
+            ..MpcConfig::default()
+        };
+        let loads = vec![Watts::new(20_000.0); 3];
+        // Command the empty bank to serve everything: big shortfall.
+        let mut z = vec![0.0; 6];
+        z[0] = 0.5;
+        z[1] = 0.5;
+        z[2] = 0.5;
+        let bad = rollout_cost(&p, &loads, Seconds::new(1.0), &cfg, &z);
+        let good = rollout_cost(&p, &loads, Seconds::new(1.0), &cfg, &[0.0; 6]);
+        assert!(bad > good, "shortfall not penalised: {bad} vs {good}");
+    }
+}

@@ -1,0 +1,222 @@
+//! The paper's contribution: OTEM — MPC-based joint thermal and energy
+//! management of the hybrid architecture plus active cooling
+//! (Section III, Algorithm 1).
+
+use crate::config::SystemConfig;
+use crate::controller::{Controller, StepRecord, SystemState};
+use crate::error::OtemError;
+use crate::mpc::{Mpc, MpcConfig, MpcPlant};
+use otem_battery::BatteryPack;
+use otem_converter::DcDcConverter;
+use otem_hees::{HybridCommand, HybridHees};
+use otem_thermal::{CoolerAction, CoolingPlant, ThermalModel, ThermalState};
+use otem_ultracap::UltracapParams;
+use otem_units::{Kelvin, Seconds, Watts};
+
+/// The OTEM controller: hybrid (DC-bus) HEES + active cooling, jointly
+/// optimised each period by a receding-horizon MPC that maintains the
+/// Thermal and Energy Budget — pre-charging the ultracapacitor and
+/// pre-cooling the battery ahead of predicted demand.
+#[derive(Debug, Clone)]
+pub struct Otem {
+    hees: HybridHees,
+    thermal: ThermalModel,
+    plant: CoolingPlant,
+    state: ThermalState,
+    mpc: Mpc,
+    config: SystemConfig,
+}
+
+impl Otem {
+    /// Builds the controller with default MPC tuning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component validation errors.
+    pub fn new(config: &SystemConfig) -> Result<Self, OtemError> {
+        Self::with_mpc(config, MpcConfig::default())
+    }
+
+    /// Builds the controller with explicit MPC tuning (used by the
+    /// horizon/weight ablations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates component validation errors.
+    pub fn with_mpc(config: &SystemConfig, mpc_config: MpcConfig) -> Result<Self, OtemError> {
+        config.validate()?;
+        let battery = BatteryPack::new(config.cell.clone(), config.pack)?;
+        let mut hees = HybridHees::new(
+            battery,
+            UltracapParams::paper_bank(config.capacitance),
+            DcDcConverter::battery_side(),
+            DcDcConverter::ultracap_side(),
+        )?;
+        hees.set_state(config.initial_soc, config.initial_soe);
+        Ok(Self {
+            hees,
+            thermal: ThermalModel::new(config.thermal_active)?,
+            plant: CoolingPlant::new(config.plant)?,
+            state: ThermalState::uniform(config.ambient),
+            mpc: Mpc::new(mpc_config),
+            config: config.clone(),
+        })
+    }
+
+    /// The MPC tuning in use.
+    pub fn mpc_config(&self) -> &MpcConfig {
+        self.mpc.config()
+    }
+
+    fn plant_snapshot(&self) -> MpcPlant {
+        MpcPlant {
+            hees: self.hees.clone(),
+            thermal: self.thermal,
+            plant: self.plant,
+            state: self.state,
+            aging: self.config.aging,
+            soc_min: self.config.soc_min,
+            soe_min: self.config.soe_min,
+            battery_power_max: self.config.battery_power_max,
+            cap_power_max: self.config.cap_power_max,
+        }
+    }
+}
+
+impl Controller for Otem {
+    fn name(&self) -> &'static str {
+        "OTEM"
+    }
+
+    fn step(&mut self, load: Watts, forecast: &[Watts], dt: Seconds) -> StepRecord {
+        // Algorithm 1 lines 11–13: fill the control window with the
+        // current request followed by the forecast. With move blocking,
+        // each decision block spans `block_size` control periods and sees
+        // the mean load of its span.
+        let n = self.mpc.config().horizon;
+        let block = self.mpc.config().block_size.max(1);
+        let mut raw = Vec::with_capacity(n * block);
+        raw.push(load);
+        raw.extend(forecast.iter().take(n * block - 1).copied());
+        raw.resize(n * block, Watts::ZERO);
+        let loads: Vec<Watts> = raw
+            .chunks(block)
+            .map(|c| c.iter().copied().sum::<Watts>() / c.len() as f64)
+            .collect();
+
+        // Line 14: optimise (over block-sized model steps).
+        let decision = self
+            .mpc
+            .solve(&self.plant_snapshot(), &loads, dt * block as f64);
+
+        // Lines 15–16: apply the first move to the real plant.
+        let outlet = self.state.coolant;
+        let coldest = self.plant.coldest_inlet(outlet);
+        let inlet = Kelvin::new(
+            outlet.value() - decision.cool_duty.clamp(0.0, 1.0) * (outlet.value() - coldest.value()),
+        );
+        let action = if decision.cool_duty > 1e-3 {
+            self.plant.actuate(outlet, inlet)
+        } else {
+            CoolerAction::idle(outlet)
+        };
+
+        let battery_bus = load + action.total_power() - decision.cap_bus;
+        let hees_step = self.hees.step(
+            HybridCommand {
+                battery_bus,
+                cap_bus: decision.cap_bus,
+            },
+            self.state.battery,
+            dt,
+        );
+        self.state = self
+            .thermal
+            .step_crank_nicolson(self.state, hees_step.battery_heat, action.inlet, dt);
+
+        StepRecord {
+            load,
+            hees: hees_step,
+            cooling_power: action.total_power(),
+            state: self.snapshot(),
+        }
+    }
+
+    fn state(&self) -> SystemState {
+        self.snapshot()
+    }
+}
+
+impl Otem {
+    fn snapshot(&self) -> SystemState {
+        SystemState {
+            battery_temp: self.state.battery,
+            coolant_temp: self.state.coolant,
+            soe: self.hees.soe(),
+            soc: self.hees.soc(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_mpc() -> MpcConfig {
+        MpcConfig {
+            horizon: 6,
+            solver_iterations: 15,
+            ..MpcConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_the_load() {
+        let config = SystemConfig::default();
+        let mut otem = Otem::with_mpc(&config, short_mpc()).expect("valid");
+        let forecast = vec![Watts::new(20_000.0); 6];
+        let rec = otem.step(Watts::new(20_000.0), &forecast, Seconds::new(1.0));
+        assert!(
+            (rec.hees.delivered.value() - 20_000.0 - rec.cooling_power.value()).abs() < 2_000.0,
+            "delivered {:?} for 20 kW + cooling {:?}",
+            rec.hees.delivered,
+            rec.cooling_power
+        );
+        assert!(rec.hees.shortfall.value() < 1_000.0);
+    }
+
+    #[test]
+    fn hot_pack_gets_managed() {
+        let config = SystemConfig::default();
+        let mut otem = Otem::with_mpc(&config, short_mpc()).expect("valid");
+        otem.state = ThermalState::uniform(Kelvin::from_celsius(39.0));
+        let forecast = vec![Watts::new(50_000.0); 6];
+        let mut cooled_or_offloaded = false;
+        for _ in 0..30 {
+            let rec = otem.step(Watts::new(50_000.0), &forecast, Seconds::new(1.0));
+            if rec.cooling_power.value() > 0.0 || rec.hees.cap_internal.value() > 1_000.0 {
+                cooled_or_offloaded = true;
+                break;
+            }
+        }
+        assert!(cooled_or_offloaded, "hot pack ignored by the MPC");
+    }
+
+    #[test]
+    fn regen_is_absorbed() {
+        let config = SystemConfig::default();
+        let mut otem = Otem::with_mpc(&config, short_mpc()).expect("valid");
+        otem.hees.set_state(otem_units::Ratio::new(0.8), otem_units::Ratio::new(0.5));
+        let forecast = vec![Watts::new(-30_000.0); 6];
+        let before_soc = otem.state().soc;
+        let before_soe = otem.state().soe;
+        for _ in 0..10 {
+            let _ = otem.step(Watts::new(-30_000.0), &forecast, Seconds::new(1.0));
+        }
+        let after = otem.state();
+        assert!(
+            after.soc > before_soc || after.soe > before_soe,
+            "regeneration vanished"
+        );
+    }
+}

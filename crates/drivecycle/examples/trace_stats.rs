@@ -1,0 +1,32 @@
+//! Prints summary statistics of every standard cycle's synthesised trace
+//! and power profile (developer sanity check).
+
+use otem_drivecycle::{standard, Powertrain, StandardCycle, VehicleParams};
+
+fn main() {
+    let train = Powertrain::new(VehicleParams::midsize_ev()).expect("valid vehicle");
+    println!(
+        "{:<7} {:>6} {:>8} {:>7} {:>7} {:>6} {:>9} {:>9} {:>10}",
+        "cycle", "dur_s", "dist_km", "vavg", "vmax", "stops", "Pmean_kW", "Ppeak_kW", "Pregen_kW"
+    );
+    for c in StandardCycle::ALL {
+        let cycle = standard(c).expect("synthesis");
+        let trace = train.power_trace(&cycle);
+        let min = trace
+            .samples()
+            .iter()
+            .fold(f64::INFINITY, |m, p| m.min(p.value()));
+        println!(
+            "{:<7} {:>6.0} {:>8.2} {:>7.1} {:>7.1} {:>6} {:>9.1} {:>9.1} {:>10.1}",
+            cycle.name(),
+            cycle.duration().value(),
+            cycle.distance().value() / 1000.0,
+            cycle.average_speed().to_kmh(),
+            cycle.max_speed().to_kmh(),
+            cycle.stops(),
+            trace.mean().value() / 1000.0,
+            trace.peak().value() / 1000.0,
+            min / 1000.0,
+        );
+    }
+}

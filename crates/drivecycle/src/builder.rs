@@ -1,0 +1,187 @@
+//! Programmatic drive-cycle construction: compose accelerate / cruise /
+//! brake / idle segments into a valid speed trace.
+
+use crate::cycle::DriveCycle;
+use crate::error::CycleError;
+use otem_units::{MetersPerSecond, MetersPerSecondSquared};
+
+/// Builds a [`DriveCycle`] from kinematic segments.
+///
+/// The builder tracks the current speed; each segment appends 1 Hz
+/// samples. Acceleration magnitudes are capped by the builder's limit so
+/// the resulting trace always satisfies a known envelope.
+///
+/// # Examples
+///
+/// ```
+/// use otem_drivecycle::CycleBuilder;
+/// use otem_units::{MetersPerSecond, MetersPerSecondSquared, Seconds};
+///
+/// # fn main() -> Result<(), otem_drivecycle::CycleError> {
+/// let cycle = CycleBuilder::new("depot-run", MetersPerSecondSquared::new(2.0))
+///     .accelerate_to(MetersPerSecond::from_kmh(50.0))
+///     .cruise(Seconds::new(120.0))
+///     .brake_to(MetersPerSecond::ZERO)
+///     .idle(Seconds::new(30.0))
+///     .build()?;
+/// assert_eq!(cycle.stops(), 1); // the stop before the trailing idle
+/// assert!(cycle.max_speed().to_kmh() <= 50.0 + 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CycleBuilder {
+    name: String,
+    accel_limit: f64,
+    speeds: Vec<f64>,
+}
+
+impl CycleBuilder {
+    /// Starts a cycle at standstill with the given acceleration limit.
+    pub fn new(name: impl Into<String>, accel_limit: MetersPerSecondSquared) -> Self {
+        Self {
+            name: name.into(),
+            accel_limit: accel_limit.value().abs().max(0.1),
+            speeds: vec![0.0],
+        }
+    }
+
+    fn current(&self) -> f64 {
+        self.speeds.last().copied().unwrap_or(0.0)
+    }
+
+    /// Ramps to the target speed at the acceleration limit.
+    #[must_use]
+    pub fn accelerate_to(mut self, target: MetersPerSecond) -> Self {
+        let target = target.value().max(0.0);
+        let mut v = self.current();
+        while (v - target).abs() > 1e-9 {
+            let step = (target - v).clamp(-self.accel_limit, self.accel_limit);
+            v += step;
+            self.speeds.push(v);
+        }
+        self
+    }
+
+    /// Holds the current speed for the given duration.
+    #[must_use]
+    pub fn cruise(mut self, duration: otem_units::Seconds) -> Self {
+        let v = self.current();
+        for _ in 0..duration.value().round().max(0.0) as usize {
+            self.speeds.push(v);
+        }
+        self
+    }
+
+    /// Decelerates to the target speed (an alias of
+    /// [`CycleBuilder::accelerate_to`] that reads better for braking).
+    #[must_use]
+    pub fn brake_to(self, target: MetersPerSecond) -> Self {
+        self.accelerate_to(target)
+    }
+
+    /// Stands still for the given duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while moving — brake to zero first (this is a
+    /// construction-order bug, not a runtime condition).
+    #[must_use]
+    pub fn idle(mut self, duration: otem_units::Seconds) -> Self {
+        assert!(
+            self.current() < 1e-9,
+            "idle() while moving at {} m/s — brake_to(0) first",
+            self.current()
+        );
+        for _ in 0..duration.value().round().max(0.0) as usize {
+            self.speeds.push(0.0);
+        }
+        self
+    }
+
+    /// Finalises the cycle (appending a braking ramp to standstill if the
+    /// last segment left the vehicle moving).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError::InvalidTrace`] if the trace ended up empty
+    /// (cannot happen through this API, but the constructor contract of
+    /// [`DriveCycle::from_speeds`] is preserved).
+    pub fn build(self) -> Result<DriveCycle, CycleError> {
+        let finished = if self.current() > 1e-9 {
+            self.brake_to(MetersPerSecond::ZERO)
+        } else {
+            self
+        };
+        DriveCycle::from_speeds(
+            finished.name,
+            finished
+                .speeds
+                .into_iter()
+                .map(MetersPerSecond::new)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otem_units::Seconds;
+
+    #[test]
+    fn composed_cycle_obeys_the_envelope() {
+        let cycle = CycleBuilder::new("test", MetersPerSecondSquared::new(1.5))
+            .accelerate_to(MetersPerSecond::new(20.0))
+            .cruise(Seconds::new(60.0))
+            .brake_to(MetersPerSecond::new(5.0))
+            .accelerate_to(MetersPerSecond::new(15.0))
+            .brake_to(MetersPerSecond::ZERO)
+            .idle(Seconds::new(10.0))
+            .build()
+            .expect("valid");
+        assert!(cycle.max_acceleration().value() <= 1.5 + 1e-9);
+        assert_eq!(cycle.max_speed(), MetersPerSecond::new(20.0));
+        assert!(cycle.distance().value() > 1_000.0);
+    }
+
+    #[test]
+    fn build_auto_brakes_a_moving_cycle() {
+        let cycle = CycleBuilder::new("moving", MetersPerSecondSquared::new(2.0))
+            .accelerate_to(MetersPerSecond::new(10.0))
+            .build()
+            .expect("valid");
+        assert_eq!(cycle.speeds().last().unwrap().value(), 0.0);
+    }
+
+    #[test]
+    fn multiple_trips_count_stops() {
+        let cycle = CycleBuilder::new("two-trips", MetersPerSecondSquared::new(2.0))
+            .accelerate_to(MetersPerSecond::new(10.0))
+            .brake_to(MetersPerSecond::ZERO)
+            .idle(Seconds::new(5.0))
+            .accelerate_to(MetersPerSecond::new(8.0))
+            .build()
+            .expect("valid");
+        assert_eq!(cycle.stops(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle() while moving")]
+    fn idle_while_moving_is_a_bug() {
+        let _ = CycleBuilder::new("bug", MetersPerSecondSquared::new(2.0))
+            .accelerate_to(MetersPerSecond::new(10.0))
+            .idle(Seconds::new(5.0));
+    }
+
+    #[test]
+    fn zero_duration_segments_are_noops() {
+        let cycle = CycleBuilder::new("empty", MetersPerSecondSquared::new(2.0))
+            .cruise(Seconds::ZERO)
+            .idle(Seconds::ZERO)
+            .build()
+            .expect("valid");
+        assert_eq!(cycle.len(), 1);
+        assert_eq!(cycle.distance().value(), 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for cycle synthesis and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by drive-cycle construction and synthesis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CycleError {
+    /// A cycle specification field was out of range.
+    InvalidSpec {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The synthesiser could not match the specification (e.g. the
+    /// requested distance is unreachable within the duration at the
+    /// allowed maximum speed).
+    Unsatisfiable {
+        /// What could not be met.
+        reason: String,
+    },
+    /// A hand-built cycle contained invalid samples.
+    InvalidTrace {
+        /// Index of the offending sample.
+        index: usize,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidSpec { field, constraint } => {
+                write!(f, "invalid cycle spec: {field} must satisfy {constraint}")
+            }
+            Self::Unsatisfiable { reason } => {
+                write!(f, "cycle spec unsatisfiable: {reason}")
+            }
+            Self::InvalidTrace { index, reason } => {
+                write!(f, "invalid speed trace at sample {index}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CycleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CycleError>();
+    }
+
+    #[test]
+    fn display_mentions_field() {
+        let e = CycleError::InvalidSpec {
+            field: "duration",
+            constraint: "> 0",
+        };
+        assert!(e.to_string().contains("duration"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Road-grade profiles: routes are not flat, and climbing dominates the
+//! power request wherever it appears (the battery-aware driving work the
+//! paper builds on \[12\] routes around exactly this).
+
+use crate::error::CycleError;
+use otem_units::Meters;
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear elevation profile over route distance.
+///
+/// Grade (slope ratio) is queried by distance travelled, which the
+/// power-train integrates alongside the speed trace.
+///
+/// # Examples
+///
+/// ```
+/// use otem_drivecycle::GradeProfile;
+/// use otem_units::Meters;
+///
+/// # fn main() -> Result<(), otem_drivecycle::CycleError> {
+/// // 2 km flat, then 1 km at +5 %, then descend.
+/// let profile = GradeProfile::from_breakpoints(vec![
+///     (Meters::new(0.0), Meters::new(0.0)),
+///     (Meters::new(2_000.0), Meters::new(0.0)),
+///     (Meters::new(3_000.0), Meters::new(50.0)),
+///     (Meters::new(5_000.0), Meters::new(0.0)),
+/// ])?;
+/// assert_eq!(profile.grade_at(Meters::new(1_000.0)), 0.0);
+/// assert!((profile.grade_at(Meters::new(2_500.0)) - 0.05).abs() < 1e-12);
+/// assert!(profile.grade_at(Meters::new(4_000.0)) < 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradeProfile {
+    /// `(distance, elevation)` breakpoints, strictly increasing in
+    /// distance.
+    breakpoints: Vec<(f64, f64)>,
+}
+
+impl GradeProfile {
+    /// A perfectly flat route.
+    pub fn flat() -> Self {
+        Self {
+            breakpoints: vec![(0.0, 0.0)],
+        }
+    }
+
+    /// Builds from `(distance, elevation)` breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError::InvalidTrace`] when fewer than one
+    /// breakpoint is given, distances are not strictly increasing, any
+    /// value is non-finite, or a segment's grade magnitude exceeds 30 %
+    /// (steeper than any public road).
+    pub fn from_breakpoints(
+        breakpoints: Vec<(Meters, Meters)>,
+    ) -> Result<Self, CycleError> {
+        if breakpoints.is_empty() {
+            return Err(CycleError::InvalidTrace {
+                index: 0,
+                reason: "empty grade profile",
+            });
+        }
+        let raw: Vec<(f64, f64)> = breakpoints
+            .iter()
+            .map(|(d, e)| (d.value(), e.value()))
+            .collect();
+        for (i, w) in raw.windows(2).enumerate() {
+            let (d0, e0) = w[0];
+            let (d1, e1) = w[1];
+            if !(d0.is_finite() && e0.is_finite() && d1.is_finite() && e1.is_finite()) {
+                return Err(CycleError::InvalidTrace {
+                    index: i,
+                    reason: "non-finite breakpoint",
+                });
+            }
+            if d1 <= d0 {
+                return Err(CycleError::InvalidTrace {
+                    index: i + 1,
+                    reason: "distances must be strictly increasing",
+                });
+            }
+            let grade = (e1 - e0) / (d1 - d0);
+            if grade.abs() > 0.30 {
+                return Err(CycleError::InvalidTrace {
+                    index: i + 1,
+                    reason: "grade exceeds 30 %",
+                });
+            }
+        }
+        Ok(Self { breakpoints: raw })
+    }
+
+    /// The slope ratio at the given route distance (constant within each
+    /// segment; the last segment's grade extends past the final
+    /// breakpoint, zero before the first and for single-point profiles).
+    pub fn grade_at(&self, distance: Meters) -> f64 {
+        let d = distance.value();
+        if self.breakpoints.len() < 2 || d < self.breakpoints[0].0 {
+            return 0.0;
+        }
+        let idx = self
+            .breakpoints
+            .windows(2)
+            .position(|w| d < w[1].0)
+            .unwrap_or(self.breakpoints.len() - 2);
+        let (d0, e0) = self.breakpoints[idx];
+        let (d1, e1) = self.breakpoints[idx + 1];
+        (e1 - e0) / (d1 - d0)
+    }
+
+    /// Total elevation gained (sum of positive segment rises).
+    pub fn total_climb(&self) -> Meters {
+        let climb: f64 = self
+            .breakpoints
+            .windows(2)
+            .map(|w| (w[1].1 - w[0].1).max(0.0))
+            .sum();
+        Meters::new(climb)
+    }
+}
+
+impl Default for GradeProfile {
+    fn default() -> Self {
+        Self::flat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: f64) -> Meters {
+        Meters::new(v)
+    }
+
+    fn hill() -> GradeProfile {
+        GradeProfile::from_breakpoints(vec![
+            (m(0.0), m(0.0)),
+            (m(1_000.0), m(0.0)),
+            (m(2_000.0), m(60.0)),
+            (m(3_000.0), m(20.0)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn grades_per_segment() {
+        let p = hill();
+        assert_eq!(p.grade_at(m(500.0)), 0.0);
+        assert!((p.grade_at(m(1_500.0)) - 0.06).abs() < 1e-12);
+        assert!((p.grade_at(m(2_500.0)) + 0.04).abs() < 1e-12);
+        // Past the end: last segment's grade persists.
+        assert!((p.grade_at(m(9_999.0)) + 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_profile_is_zero_everywhere() {
+        let p = GradeProfile::flat();
+        assert_eq!(p.grade_at(m(0.0)), 0.0);
+        assert_eq!(p.grade_at(m(1e6)), 0.0);
+        assert_eq!(p.total_climb(), m(0.0));
+    }
+
+    #[test]
+    fn total_climb_counts_only_rises() {
+        assert_eq!(hill().total_climb(), m(60.0));
+    }
+
+    #[test]
+    fn invalid_profiles_rejected() {
+        assert!(GradeProfile::from_breakpoints(vec![]).is_err());
+        // Non-increasing distance.
+        assert!(GradeProfile::from_breakpoints(vec![
+            (m(0.0), m(0.0)),
+            (m(0.0), m(5.0)),
+        ])
+        .is_err());
+        // Cliff.
+        assert!(GradeProfile::from_breakpoints(vec![
+            (m(0.0), m(0.0)),
+            (m(100.0), m(50.0)),
+        ])
+        .is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! Published summary statistics of the standard regulatory drive cycles.
+//!
+//! The real second-by-second traces are EPA/ADVISOR data files we do not
+//! ship; the synthesiser reconstructs traces matching these statistics
+//! (see DESIGN.md §3).
+
+use crate::error::CycleError;
+use otem_units::{Meters, MetersPerSecond, MetersPerSecondSquared, Seconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics that characterise a drive cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleSpec {
+    /// Cycle name (e.g. `"US06"`).
+    pub name: String,
+    /// Total duration.
+    pub duration: Seconds,
+    /// Total distance.
+    pub distance: Meters,
+    /// Maximum speed.
+    pub max_speed: MetersPerSecond,
+    /// Number of complete stops (speed returns to zero mid-cycle),
+    /// excluding the final stop.
+    pub stops: u32,
+    /// Maximum acceleration magnitude.
+    pub max_accel: MetersPerSecondSquared,
+    /// Fraction of the duration spent at standstill.
+    pub idle_fraction: f64,
+    /// Peak specific tractive power (W/kg): real cycles are
+    /// power-limited, so hard accelerations only occur at low speed.
+    /// The synthesiser enforces `a·v ≤ max_specific_power`.
+    pub max_specific_power: f64,
+}
+
+impl CycleSpec {
+    /// Overall average speed (distance / duration).
+    pub fn average_speed(&self) -> MetersPerSecond {
+        MetersPerSecond::new(self.distance.value() / self.duration.value())
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError::InvalidSpec`] for non-positive duration,
+    /// distance, speeds or accelerations, an idle fraction outside
+    /// `[0, 0.9]`, or an average speed exceeding the maximum speed.
+    pub fn validate(&self) -> Result<(), CycleError> {
+        if self.duration.value() <= 0.0 {
+            return Err(CycleError::InvalidSpec {
+                field: "duration",
+                constraint: "> 0 s",
+            });
+        }
+        if self.distance.value() <= 0.0 {
+            return Err(CycleError::InvalidSpec {
+                field: "distance",
+                constraint: "> 0 m",
+            });
+        }
+        if self.max_speed.value() <= 0.0 {
+            return Err(CycleError::InvalidSpec {
+                field: "max_speed",
+                constraint: "> 0 m/s",
+            });
+        }
+        if self.max_accel.value() <= 0.0 {
+            return Err(CycleError::InvalidSpec {
+                field: "max_accel",
+                constraint: "> 0 m/s²",
+            });
+        }
+        if self.max_specific_power <= 0.0 {
+            return Err(CycleError::InvalidSpec {
+                field: "max_specific_power",
+                constraint: "> 0 W/kg",
+            });
+        }
+        if !(0.0..=0.9).contains(&self.idle_fraction) {
+            return Err(CycleError::InvalidSpec {
+                field: "idle_fraction",
+                constraint: "within [0, 0.9]",
+            });
+        }
+        if self.average_speed().value() >= self.max_speed.value() {
+            return Err(CycleError::InvalidSpec {
+                field: "distance",
+                constraint: "average speed < max speed",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The standard regulatory cycles the paper evaluates on ("multiple
+/// standard driving cycles" citing \[12\], which uses the EPA set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum StandardCycle {
+    /// EPA Urban Dynamometer Driving Schedule: city driving, frequent
+    /// stops.
+    Udds,
+    /// EPA Highway Fuel Economy Test: sustained highway cruising.
+    Hwfet,
+    /// EPA US06 Supplemental FTP: aggressive, high-speed, high-accel —
+    /// the paper's stress cycle for Figs. 1, 6, 7 and Table I.
+    Us06,
+    /// EPA SC03 Speed Correction cycle: urban with A/C load profile.
+    Sc03,
+    /// New York City Cycle: dense stop-and-go, very low speed.
+    Nycc,
+    /// California LA92 (Unified): harder urban cycle than UDDS.
+    La92,
+    /// WLTP Class 3 (WLTC): the worldwide harmonised cycle — long, with
+    /// low/medium/high/extra-high phases.
+    Wltc,
+    /// Japanese JC08: urban stop-and-go with a short expressway stint.
+    Jc08,
+    /// Artemis Urban: the European real-traffic urban cycle; denser
+    /// stop-and-go than UDDS.
+    ArtemisUrban,
+}
+
+impl StandardCycle {
+    /// The six cycles the paper's figures report, in their order.
+    pub const ALL: [StandardCycle; 6] = [
+        StandardCycle::Udds,
+        StandardCycle::Hwfet,
+        StandardCycle::Us06,
+        StandardCycle::Sc03,
+        StandardCycle::Nycc,
+        StandardCycle::La92,
+    ];
+
+    /// Every cycle this crate can synthesise, including the non-EPA
+    /// extensions.
+    pub const EXTENDED: [StandardCycle; 9] = [
+        StandardCycle::Udds,
+        StandardCycle::Hwfet,
+        StandardCycle::Us06,
+        StandardCycle::Sc03,
+        StandardCycle::Nycc,
+        StandardCycle::La92,
+        StandardCycle::Wltc,
+        StandardCycle::Jc08,
+        StandardCycle::ArtemisUrban,
+    ];
+
+    /// Published summary statistics (EPA dynamometer listings).
+    pub fn spec(self) -> CycleSpec {
+        let (name, dur, dist_km, vmax_kmh, stops, amax, idle, msp) = match self {
+            Self::Udds => ("UDDS", 1369.0, 11.99, 91.2, 17, 1.48, 0.19, 14.0),
+            Self::Hwfet => ("HWFET", 765.0, 16.45, 96.4, 0, 1.43, 0.01, 16.0),
+            Self::Us06 => ("US06", 596.0, 12.89, 129.2, 4, 3.76, 0.07, 40.0),
+            Self::Sc03 => ("SC03", 600.0, 5.76, 88.2, 5, 2.28, 0.19, 18.0),
+            Self::Nycc => ("NYCC", 598.0, 1.90, 44.6, 11, 2.68, 0.35, 14.0),
+            Self::La92 => ("LA92", 1435.0, 15.80, 108.1, 16, 3.08, 0.16, 26.0),
+            Self::Wltc => ("WLTC", 1800.0, 23.27, 131.3, 8, 1.67, 0.13, 22.0),
+            Self::Jc08 => ("JC08", 1204.0, 8.17, 81.6, 11, 1.69, 0.28, 14.0),
+            Self::ArtemisUrban => ("ArtemisUrban", 993.0, 4.87, 57.3, 20, 2.86, 0.28, 16.0),
+        };
+        CycleSpec {
+            name: name.to_owned(),
+            duration: Seconds::new(dur),
+            distance: Meters::new(dist_km * 1000.0),
+            max_speed: MetersPerSecond::from_kmh(vmax_kmh),
+            stops,
+            max_accel: MetersPerSecondSquared::new(amax),
+            idle_fraction: idle,
+            max_specific_power: msp,
+        }
+    }
+
+    /// Deterministic seed for the synthesiser, derived from the name so
+    /// every run of the workspace regenerates identical traces.
+    pub fn seed(self) -> u64 {
+        let name = self.spec().name;
+        // FNV-1a over the name: stable across platforms and runs.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        hash
+    }
+}
+
+impl fmt::Display for StandardCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtin_specs_validate() {
+        for cycle in StandardCycle::EXTENDED {
+            cycle
+                .spec()
+                .validate()
+                .unwrap_or_else(|e| panic!("{cycle} spec invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn us06_is_the_most_aggressive() {
+        let us06 = StandardCycle::Us06.spec();
+        // Fastest of the EPA set (WLTC's extra-high phase peaks slightly
+        // higher) and the highest specific power of every cycle.
+        for other in StandardCycle::ALL {
+            if other != StandardCycle::Us06 {
+                assert!(us06.max_speed >= other.spec().max_speed);
+            }
+        }
+        for other in StandardCycle::EXTENDED {
+            if other != StandardCycle::Us06 {
+                assert!(us06.max_specific_power >= other.spec().max_specific_power);
+            }
+        }
+        assert!(us06.max_accel.value() > 3.0);
+    }
+
+    #[test]
+    fn average_speed_sane() {
+        let nycc = StandardCycle::Nycc.spec();
+        assert!(nycc.average_speed().to_kmh() < 15.0);
+        let hwfet = StandardCycle::Hwfet.spec();
+        assert!(hwfet.average_speed().to_kmh() > 70.0);
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for cycle in StandardCycle::EXTENDED {
+            assert!(seen.insert(cycle.seed()), "duplicate seed for {cycle}");
+            assert_eq!(cycle.seed(), cycle.seed());
+        }
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut s = StandardCycle::Udds.spec();
+        s.duration = Seconds::new(0.0);
+        assert!(s.validate().is_err());
+
+        let mut s = StandardCycle::Udds.spec();
+        s.idle_fraction = 0.95;
+        assert!(s.validate().is_err());
+
+        let mut s = StandardCycle::Udds.spec();
+        // Average above max: unattainable.
+        s.max_speed = MetersPerSecond::new(2.0);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(StandardCycle::Us06.to_string(), "US06");
+        assert_eq!(StandardCycle::Nycc.to_string(), "NYCC");
+    }
+}

@@ -1,0 +1,297 @@
+//! Deterministic micro-trip synthesis of drive cycles from summary
+//! statistics.
+//!
+//! A cycle is assembled from `stops + 1` micro-trips (accelerate →
+//! cruise with bounded jitter → decelerate to standstill) separated by
+//! idle dwells. Trip durations and distances are drawn from a seeded
+//! RNG, then the whole trace is iteratively rescaled so that total
+//! distance matches the spec while the speed and acceleration envelopes
+//! stay inside their published limits.
+
+use crate::cycle::DriveCycle;
+use crate::error::CycleError;
+use crate::spec::CycleSpec;
+use otem_units::MetersPerSecond;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthesises a speed trace matching `spec`, deterministically for a
+/// given `seed`.
+///
+/// # Errors
+///
+/// Returns [`CycleError::InvalidSpec`] when the spec fails validation and
+/// [`CycleError::Unsatisfiable`] when the iterative distance correction
+/// cannot get within 2 % of the requested distance (e.g. the distance is
+/// unreachable at the allowed maximum speed).
+pub fn synthesize(spec: &CycleSpec, seed: u64) -> Result<DriveCycle, CycleError> {
+    spec.validate()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let duration = spec.duration.value().round() as usize;
+    let n_trips = spec.stops as usize + 1;
+    let vmax = spec.max_speed.value();
+    // Construction headroom: build with 80 % of the acceleration budget
+    // and 97 % of the speed budget so the distance-correction rescale
+    // cannot push the trace over its envelope.
+    let accel = 0.8 * spec.max_accel.value();
+    let vcap = 0.97 * vmax;
+
+    // Idle budget, split between the stops (plus a short lead-in/out).
+    let idle_total = (spec.idle_fraction * duration as f64).round() as usize;
+    let moving_total = duration.saturating_sub(idle_total);
+    if moving_total < n_trips * 4 {
+        return Err(CycleError::Unsatisfiable {
+            reason: format!(
+                "only {moving_total} moving seconds for {n_trips} trips"
+            ),
+        });
+    }
+
+    // Random trip weights: duration shares and (correlated) distance
+    // shares.
+    let dur_weights: Vec<f64> = (0..n_trips).map(|_| rng.gen_range(0.6..1.6)).collect();
+    let dist_weights: Vec<f64> = dur_weights
+        .iter()
+        .map(|w| w * rng.gen_range(0.75..1.35))
+        .collect();
+    let dur_sum: f64 = dur_weights.iter().sum();
+    let dist_sum: f64 = dist_weights.iter().sum();
+
+    // The trip with the highest implied mean speed carries the cycle's
+    // top-speed excursion.
+    let mean_speeds: Vec<f64> = (0..n_trips)
+        .map(|i| {
+            (dist_weights[i] / dist_sum * spec.distance.value())
+                / (dur_weights[i] / dur_sum * moving_total as f64)
+        })
+        .collect();
+    let fastest = mean_speeds
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    let mut speeds: Vec<f64> = Vec::with_capacity(duration);
+    // Lead-in idle second so every cycle starts from standstill.
+    speeds.push(0.0);
+    let idle_per_gap = if n_trips > 1 {
+        idle_total.saturating_sub(2) / n_trips.max(1)
+    } else {
+        idle_total.saturating_sub(2)
+    };
+
+    for trip in 0..n_trips {
+        let trip_secs =
+            ((dur_weights[trip] / dur_sum) * moving_total as f64).round().max(4.0) as usize;
+        let target_peak = if trip == fastest {
+            vcap
+        } else {
+            (mean_speeds[trip] * rng.gen_range(1.15..1.45)).min(vcap)
+        };
+        synth_trip(&mut speeds, trip_secs, target_peak, accel, &mut rng);
+        // Idle dwell after the trip (also after the last trip, consuming
+        // the remaining idle budget at the tail).
+        speeds.extend(std::iter::repeat_n(0.0, idle_per_gap));
+    }
+
+    // Exact duration: pad with trailing idle or trim tail idle samples.
+    match speeds.len().cmp(&duration) {
+        std::cmp::Ordering::Less => speeds.resize(duration, 0.0),
+        std::cmp::Ordering::Greater => {
+            speeds.truncate(duration);
+            // Ensure we end at standstill even if truncation cut a trip.
+            let n = speeds.len();
+            let tail = 6.min(n);
+            for (k, s) in speeds[n - tail..].iter_mut().enumerate() {
+                let factor = 1.0 - (k + 1) as f64 / tail as f64;
+                *s = s.min(vcap * factor);
+            }
+        }
+        std::cmp::Ordering::Equal => {}
+    }
+
+    // Iterative distance correction: scale speeds (clamping to the cap)
+    // until within 2 % of spec. After every rescale the acceleration
+    // envelope is re-enforced, since scaling up scales accelerations too.
+    let accel_limit = 0.98 * spec.max_accel.value();
+    enforce_envelope(&mut speeds, accel_limit, spec.max_specific_power);
+    let target = spec.distance.value();
+    for _ in 0..20 {
+        let actual = trace_distance(&speeds);
+        if actual <= 0.0 {
+            return Err(CycleError::Unsatisfiable {
+                reason: "synthesised trace covers no distance".to_owned(),
+            });
+        }
+        let k = target / actual;
+        if (k - 1.0).abs() < 0.015 {
+            break;
+        }
+        let k = k.clamp(0.7, 1.3);
+        for s in &mut speeds {
+            *s = (*s * k).min(vcap);
+        }
+        enforce_envelope(&mut speeds, accel_limit, spec.max_specific_power);
+    }
+    let actual = trace_distance(&speeds);
+    if (actual - target).abs() / target > 0.02 {
+        return Err(CycleError::Unsatisfiable {
+            reason: format!(
+                "distance converged to {actual:.0} m vs requested {target:.0} m"
+            ),
+        });
+    }
+
+    DriveCycle::from_speeds(
+        spec.name.clone(),
+        speeds.into_iter().map(MetersPerSecond::new).collect(),
+    )
+}
+
+/// Appends one micro-trip: accelerate to `peak`, cruise with jittered
+/// speed, decelerate to standstill, totalling `secs` samples.
+fn synth_trip(speeds: &mut Vec<f64>, secs: usize, peak: f64, accel: f64, rng: &mut StdRng) {
+    let ramp_up = ((peak / accel).ceil() as usize).max(1);
+    let ramp_down = ramp_up;
+    let cruise = secs.saturating_sub(ramp_up + ramp_down);
+
+    // If the trip is too short to reach the peak, use a triangular
+    // profile at the acceleration budget.
+    if cruise == 0 {
+        let half = (secs / 2).max(1);
+        let tri_peak = (accel * half as f64).min(peak);
+        for k in 1..=half {
+            speeds.push(tri_peak * k as f64 / half as f64);
+        }
+        for k in (0..secs.saturating_sub(half)).rev() {
+            speeds.push(tri_peak * k as f64 / (secs - half).max(1) as f64);
+        }
+        return;
+    }
+
+    for k in 1..=ramp_up {
+        speeds.push(peak * k as f64 / ramp_up as f64);
+    }
+    // Cruise: accel-bounded random walk around the peak.
+    let mut v = peak;
+    let jitter = (0.35 * accel).min(0.15 * peak.max(1.0));
+    for _ in 0..cruise {
+        v += rng.gen_range(-jitter..=jitter);
+        v = v.clamp(0.55 * peak, peak / 0.97 * 0.999).min(peak / 0.97 * 0.97 + jitter);
+        // Never exceed the construction cap implicitly handled by caller's
+        // vcap choice: peaks are already ≤ vcap, jitter stays within it.
+        v = v.min(peak);
+        speeds.push(v);
+    }
+    for k in (0..ramp_down).rev() {
+        speeds.push(v * k as f64 / ramp_down as f64);
+    }
+}
+
+/// Limits sample-to-sample speed changes with a forward pass
+/// (acceleration) and a backward pass (deceleration). The forward pass
+/// also enforces the specific-power cap `a·v ≤ msp`: hard launches are
+/// only possible from low speed, as on the real dynamometer traces.
+/// Idempotent; never raises any speed.
+fn enforce_envelope(speeds: &mut [f64], amax: f64, msp: f64) {
+    for i in 1..speeds.len() {
+        let v = speeds[i - 1];
+        let a_lim = if v > 1.0 { amax.min(msp / v) } else { amax };
+        speeds[i] = speeds[i].min(v + a_lim);
+    }
+    for i in (0..speeds.len().saturating_sub(1)).rev() {
+        speeds[i] = speeds[i].min(speeds[i + 1] + amax);
+    }
+}
+
+fn trace_distance(speeds: &[f64]) -> f64 {
+    speeds.windows(2).map(|w| 0.5 * (w[0] + w[1])).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::StandardCycle;
+
+    #[test]
+    fn every_standard_cycle_synthesises() {
+        for cycle in StandardCycle::EXTENDED {
+            let spec = cycle.spec();
+            let trace = synthesize(&spec, cycle.seed())
+                .unwrap_or_else(|e| panic!("{cycle}: {e}"));
+            assert_eq!(trace.duration().value(), spec.duration.value(), "{cycle} duration");
+            let dist_err =
+                (trace.distance().value() - spec.distance.value()).abs() / spec.distance.value();
+            assert!(dist_err < 0.02, "{cycle} distance off by {:.1}%", dist_err * 100.0);
+            assert!(
+                trace.max_speed().value() <= spec.max_speed.value() * 1.001,
+                "{cycle} overspeeds"
+            );
+            assert!(
+                trace.max_speed().value() >= spec.max_speed.value() * 0.75,
+                "{cycle} max speed {:.1} too far below spec {:.1}",
+                trace.max_speed().value(),
+                spec.max_speed.value()
+            );
+            assert!(
+                trace.max_acceleration().value() <= spec.max_accel.value() * 1.05,
+                "{cycle} accel envelope violated: {:?}",
+                trace.max_acceleration()
+            );
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let spec = StandardCycle::Us06.spec();
+        let a = synthesize(&spec, 42).unwrap();
+        let b = synthesize(&spec, 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = StandardCycle::Us06.spec();
+        let a = synthesize(&spec, 1).unwrap();
+        let b = synthesize(&spec, 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stop_counts_roughly_match() {
+        for cycle in StandardCycle::EXTENDED {
+            let spec = cycle.spec();
+            let trace = synthesize(&spec, cycle.seed()).unwrap();
+            let got = trace.stops();
+            assert!(
+                (got as i64 - spec.stops as i64).abs() <= 2,
+                "{cycle}: {got} stops vs spec {}",
+                spec.stops
+            );
+        }
+    }
+
+    #[test]
+    fn starts_and_ends_at_standstill() {
+        for cycle in StandardCycle::EXTENDED {
+            let trace = synthesize(&cycle.spec(), cycle.seed()).unwrap();
+            assert_eq!(trace.speeds()[0].value(), 0.0, "{cycle} start");
+            let last = trace.speeds().last().unwrap().value();
+            assert!(last < 3.0, "{cycle} ends at {last} m/s");
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_spec_is_reported() {
+        let mut spec = StandardCycle::Udds.spec();
+        // Demand the UDDS distance in a tenth of the time at the same
+        // max speed: impossible.
+        spec.duration = otem_units::Seconds::new(137.0);
+        assert!(matches!(
+            synthesize(&spec, 1),
+            Err(CycleError::Unsatisfiable { .. }) | Err(CycleError::InvalidSpec { .. })
+        ));
+    }
+}

@@ -1,0 +1,407 @@
+//! The hybrid (DC-bus) architecture — each storage behind its own DC/DC
+//! converter (\[3\]); the architecture OTEM controls.
+
+use crate::error::HeesError;
+use crate::step::HeesStep;
+use otem_battery::{BatteryPack, CellParams, PackConfig};
+use otem_converter::DcDcConverter;
+use otem_ultracap::{UltracapBank, UltracapParams};
+use otem_units::{Farads, Kelvin, Ratio, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Independent bus-side power commands for the two storages.
+///
+/// Positive = the storage delivers power to the bus; negative = power is
+/// taken off the bus into the storage (pre-charging the ultracapacitor,
+/// or routing regeneration).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HybridCommand {
+    /// Battery bus-side power.
+    pub battery_bus: Watts,
+    /// Ultracapacitor bus-side power.
+    pub cap_bus: Watts,
+}
+
+impl HybridCommand {
+    /// Net power the command puts on the bus.
+    pub fn net(&self) -> Watts {
+        self.battery_bus + self.cap_bus
+    }
+}
+
+/// Battery and ultracapacitor on a common DC bus through converters.
+///
+/// The controller (OTEM's MPC, or any policy) commands bus-side power for
+/// each storage independently. Conversion losses depend on each
+/// storage's voltage — the ultracapacitor's converter efficiency sags
+/// with √SoE, which is exactly the coupling OTEM's cost function prices.
+///
+/// # Examples
+///
+/// ```
+/// use otem_hees::{HybridCommand, HybridHees};
+/// use otem_units::{Farads, Kelvin, Ratio, Seconds, Watts};
+///
+/// # fn main() -> Result<(), otem_hees::HeesError> {
+/// let mut hees = HybridHees::ev_default(Farads::new(25_000.0))?;
+/// hees.set_state(Ratio::ONE, Ratio::from_percent(60.0));
+/// // Serve 20 kW from the battery while pre-charging the cap with 5 kW:
+/// let step = hees.step(
+///     HybridCommand {
+///         battery_bus: Watts::new(25_000.0),
+///         cap_bus: Watts::new(-5_000.0),
+///     },
+///     Kelvin::from_celsius(25.0),
+///     Seconds::new(1.0),
+/// );
+/// assert!(step.converter_loss.value() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridHees {
+    battery: BatteryPack,
+    cap: UltracapBank,
+    battery_converter: DcDcConverter,
+    cap_converter: DcDcConverter,
+}
+
+impl HybridHees {
+    /// Builds the paper's EV configuration: Tesla-S-like pack and a
+    /// native-voltage (16 V rated) bank of the given capacitance behind
+    /// their converters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeesError`] when any component's parameters fail
+    /// validation.
+    pub fn ev_default(capacitance: Farads) -> Result<Self, HeesError> {
+        let battery = BatteryPack::new(CellParams::ncr18650a(), PackConfig::tesla_s_like())?;
+        Self::new(
+            battery,
+            UltracapParams::paper_bank(capacitance),
+            DcDcConverter::battery_side(),
+            DcDcConverter::ultracap_side(),
+        )
+    }
+
+    /// Builds from explicit components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeesError`] when the bank or converter parameters fail
+    /// validation.
+    pub fn new(
+        battery: BatteryPack,
+        cap_params: UltracapParams,
+        battery_converter: DcDcConverter,
+        cap_converter: DcDcConverter,
+    ) -> Result<Self, HeesError> {
+        battery_converter.validate()?;
+        cap_converter.validate()?;
+        Ok(Self {
+            battery,
+            cap: UltracapBank::new(cap_params)?,
+            battery_converter,
+            cap_converter,
+        })
+    }
+
+    /// The battery pack.
+    pub fn battery(&self) -> &BatteryPack {
+        &self.battery
+    }
+
+    /// The ultracapacitor bank.
+    pub fn cap(&self) -> &UltracapBank {
+        &self.cap
+    }
+
+    /// The battery-side converter.
+    pub fn battery_converter(&self) -> &DcDcConverter {
+        &self.battery_converter
+    }
+
+    /// The ultracapacitor-side converter.
+    pub fn cap_converter(&self) -> &DcDcConverter {
+        &self.cap_converter
+    }
+
+    /// Battery state of charge.
+    pub fn soc(&self) -> Ratio {
+        self.battery.soc()
+    }
+
+    /// Ultracapacitor state of energy.
+    pub fn soe(&self) -> Ratio {
+        self.cap.soe()
+    }
+
+    /// Sets initial conditions.
+    pub fn set_state(&mut self, soc: Ratio, soe: Ratio) {
+        self.battery.set_soc(soc);
+        self.cap.set_soe(soe);
+    }
+
+    /// Largest bus-side power the battery path can deliver right now.
+    pub fn battery_bus_limit(&self, temperature: Kelvin) -> Watts {
+        let storage_peak = self.battery.max_discharge_power(temperature);
+        // Conversion shrinks what arrives on the bus; approximate with
+        // the efficiency at the peak.
+        let v = self.battery.open_circuit_voltage();
+        match self.battery_converter.efficiency(storage_peak, v) {
+            Ok(eta) => storage_peak * eta,
+            Err(_) => Watts::ZERO,
+        }
+    }
+
+    /// Largest bus-side power the ultracapacitor path can deliver right
+    /// now.
+    pub fn cap_bus_limit(&self) -> Watts {
+        let storage_peak = self.cap.max_discharge_power();
+        match self.cap_converter.efficiency(storage_peak, self.cap.voltage()) {
+            Ok(eta) => storage_peak * eta,
+            Err(_) => Watts::ZERO,
+        }
+    }
+
+    /// Executes one control period. Each leg clamps independently to its
+    /// feasibility envelope; the clamped remainder shows up as
+    /// [`HeesStep::shortfall`] relative to the commanded net.
+    pub fn step(
+        &mut self,
+        command: HybridCommand,
+        temperature: Kelvin,
+        dt: Seconds,
+    ) -> HeesStep {
+        let mut converter_loss = Watts::ZERO;
+        let mut delivered = Watts::ZERO;
+
+        // --- Battery leg -------------------------------------------------
+        let (bat_internal, bat_heat, bat_c_rate) = {
+            let bus = command.battery_bus;
+            let v = self.battery.open_circuit_voltage();
+            let storage_request = if bus.value() >= 0.0 {
+                self.battery_converter.input_for_output(bus, v)
+            } else {
+                self.battery_converter.output_for_input(bus, v)
+            };
+            match storage_request {
+                Ok(storage_power) => {
+                    let draw = self
+                        .battery
+                        .draw_power(storage_power, temperature)
+                        .or_else(|_| {
+                            let peak = self.battery.max_discharge_power(temperature) * 0.999;
+                            self.battery.draw_power(peak.min(storage_power), temperature)
+                        });
+                    match draw {
+                        Ok(d) => {
+                            self.battery.integrate(d, dt);
+                            // Bus power actually achieved on this leg.
+                            let bus_got = if d.terminal_power == storage_power {
+                                bus
+                            } else if bus.value() >= 0.0 {
+                                // Re-map the clamped storage power to bus.
+                                self.battery_converter
+                                    .output_for_input(d.terminal_power, v)
+                                    .unwrap_or(Watts::ZERO)
+                            } else {
+                                bus
+                            };
+                            delivered += bus_got;
+                            converter_loss += (d.terminal_power - bus_got).abs();
+                            (d.internal_power, d.heat, d.c_rate)
+                        }
+                        Err(_) => (Watts::ZERO, Watts::ZERO, 0.0),
+                    }
+                }
+                Err(_) => (Watts::ZERO, Watts::ZERO, 0.0),
+            }
+        };
+
+        // --- Ultracapacitor leg ------------------------------------------
+        let cap_internal = {
+            let bus = command.cap_bus;
+            let v = self.cap.voltage();
+            let storage_request = if bus.value() >= 0.0 {
+                self.cap_converter.input_for_output(bus, v)
+            } else {
+                self.cap_converter.output_for_input(bus, v)
+            };
+            match storage_request {
+                Ok(storage_power) => {
+                    // Clamp into the bank's envelope.
+                    let clamped = Watts::new(storage_power.value().clamp(
+                        -self.cap.max_charge_power().value(),
+                        self.cap.max_discharge_power().value(),
+                    ));
+                    match self.cap.draw_power(clamped) {
+                        Ok(d) => {
+                            self.cap.integrate(d, dt);
+                            let bus_got = if clamped == storage_power {
+                                bus
+                            } else if bus.value() >= 0.0 {
+                                self.cap_converter
+                                    .output_for_input(clamped, v)
+                                    .unwrap_or(Watts::ZERO)
+                            } else {
+                                // Charge leg clamped: less is taken off the
+                                // bus than commanded.
+                                self.cap_converter
+                                    .input_for_output(clamped, v)
+                                    .unwrap_or(Watts::ZERO)
+                            };
+                            delivered += bus_got;
+                            converter_loss += (d.terminal_power - bus_got).abs();
+                            d.internal_power
+                        }
+                        Err(_) => Watts::ZERO,
+                    }
+                }
+                Err(_) => Watts::ZERO,
+            }
+        };
+
+        let net = command.net();
+        HeesStep {
+            delivered,
+            shortfall: Watts::new((net.value() - delivered.value()).max(0.0)),
+            battery_internal: bat_internal,
+            cap_internal,
+            battery_heat: bat_heat,
+            battery_c_rate: bat_c_rate,
+            converter_loss,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn room() -> Kelvin {
+        Kelvin::from_celsius(25.0)
+    }
+
+    fn hees() -> HybridHees {
+        HybridHees::ev_default(Farads::new(25_000.0)).expect("valid")
+    }
+
+    #[test]
+    fn split_command_draws_both_storages() {
+        let mut h = hees();
+        h.set_state(Ratio::ONE, Ratio::new(0.8));
+        let step = h.step(
+            HybridCommand {
+                battery_bus: Watts::new(20_000.0),
+                cap_bus: Watts::new(10_000.0),
+            },
+            room(),
+            Seconds::new(1.0),
+        );
+        assert!(step.battery_internal.value() > 20_000.0); // + conversion + joule
+        assert!(step.cap_internal.value() > 10_000.0);
+        assert!(step.converter_loss.value() > 0.0);
+        assert!((step.delivered.value() - 30_000.0).abs() < 1.0);
+        assert_eq!(step.shortfall, Watts::ZERO);
+    }
+
+    #[test]
+    fn precharge_moves_energy_battery_to_cap() {
+        let mut h = hees();
+        h.set_state(Ratio::ONE, Ratio::new(0.4));
+        let soe0 = h.soe();
+        let soc0 = h.soc();
+        let step = h.step(
+            HybridCommand {
+                battery_bus: Watts::new(8_000.0),
+                cap_bus: Watts::new(-8_000.0),
+            },
+            room(),
+            Seconds::new(10.0),
+        );
+        assert!(h.soe() > soe0, "cap charged");
+        assert!(h.soc() < soc0, "battery paid for it");
+        assert!(step.cap_internal.value() < 0.0);
+        // Net bus power ≈ 0 (all internal transfer).
+        assert!(step.delivered.value().abs() < 100.0);
+    }
+
+    #[test]
+    fn conversion_loss_grows_as_cap_sags() {
+        let mut high = hees();
+        high.set_state(Ratio::ONE, Ratio::new(0.95));
+        let mut low = hees();
+        low.set_state(Ratio::ONE, Ratio::new(0.25));
+        let cmd = HybridCommand {
+            battery_bus: Watts::ZERO,
+            cap_bus: Watts::new(12_000.0),
+        };
+        let a = high.step(cmd, room(), Seconds::new(1.0));
+        let b = low.step(cmd, room(), Seconds::new(1.0));
+        assert!(
+            b.converter_loss > a.converter_loss,
+            "sagged bank {:?} vs full {:?}",
+            b.converter_loss,
+            a.converter_loss
+        );
+    }
+
+    #[test]
+    fn regen_routed_to_cap_charges_it() {
+        let mut h = hees();
+        h.set_state(Ratio::new(0.8), Ratio::new(0.5));
+        let step = h.step(
+            HybridCommand {
+                battery_bus: Watts::ZERO,
+                cap_bus: Watts::new(-20_000.0),
+            },
+            room(),
+            Seconds::new(5.0),
+        );
+        assert!(h.soe() > Ratio::new(0.5));
+        assert!(step.cap_internal.value() < 0.0);
+    }
+
+    #[test]
+    fn depleted_cap_cannot_deliver() {
+        let mut h = hees();
+        h.set_state(Ratio::ONE, Ratio::new(0.002));
+        let step = h.step(
+            HybridCommand {
+                battery_bus: Watts::ZERO,
+                cap_bus: Watts::new(15_000.0),
+            },
+            room(),
+            Seconds::new(1.0),
+        );
+        assert!(step.shortfall.value() > 10_000.0);
+    }
+
+    #[test]
+    fn battery_rests_when_cap_serves() {
+        let mut h = hees();
+        h.set_state(Ratio::ONE, Ratio::new(0.9));
+        let step = h.step(
+            HybridCommand {
+                battery_bus: Watts::ZERO,
+                cap_bus: Watts::new(15_000.0),
+            },
+            room(),
+            Seconds::new(1.0),
+        );
+        assert_eq!(step.battery_heat, Watts::ZERO);
+        assert_eq!(step.battery_c_rate, 0.0);
+    }
+
+    #[test]
+    fn bus_limits_are_positive_and_ordered() {
+        let h = hees();
+        assert!(h.battery_bus_limit(room()).value() > 100_000.0);
+        assert!(h.cap_bus_limit().value() > 10_000.0);
+        let mut depleted = hees();
+        depleted.set_state(Ratio::ONE, Ratio::new(0.01));
+        assert!(depleted.cap_bus_limit() < h.cap_bus_limit());
+    }
+}

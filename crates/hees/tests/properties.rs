@@ -1,0 +1,111 @@
+//! Property tests across the HEES architectures: energy conservation and
+//! state bounds under arbitrary command sequences.
+
+use otem_hees::{DualHees, DualMode, HybridCommand, HybridHees, ParallelHees};
+use otem_units::{Farads, Kelvin, Ratio, Seconds, Watts};
+use proptest::prelude::*;
+
+fn temp() -> impl Strategy<Value = Kelvin> {
+    (0.0..50.0f64).prop_map(Kelvin::from_celsius)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_states_bounded_under_arbitrary_loads(
+        loads in prop::collection::vec(-60_000.0..60_000.0f64, 1..80),
+        soc in 0.3..1.0f64,
+        soe in 0.0..=1.0f64,
+        t in temp(),
+    ) {
+        let mut h = ParallelHees::ev_default(Farads::new(25_000.0)).unwrap();
+        h.set_state(Ratio::new(soc), Ratio::new(soe));
+        for &p in &loads {
+            let step = h.step(Watts::new(p), t, Seconds::new(1.0));
+            prop_assert!((0.0..=1.0).contains(&h.soc().value()));
+            prop_assert!((0.0..=1.0).contains(&h.soe().value()));
+            prop_assert!(step.battery_heat.value().is_finite());
+            // The circuit never delivers more than requested (discharge).
+            if p > 0.0 {
+                prop_assert!(step.delivered.value() <= p + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn dual_modes_never_create_energy(
+        loads in prop::collection::vec(0.0..50_000.0f64, 1..60),
+        mode_seed in 0..3usize,
+        t in temp(),
+    ) {
+        let mut h = DualHees::ev_default(Farads::new(25_000.0)).unwrap();
+        h.set_state(Ratio::new(0.9), Ratio::new(0.8));
+        for (i, &p) in loads.iter().enumerate() {
+            let mode = match (i + mode_seed) % 3 {
+                0 => DualMode::Battery,
+                1 => DualMode::Ultracap,
+                _ => DualMode::BatteryRecharging(5_000.0),
+            };
+            let step = h.step(mode, Watts::new(p), t, Seconds::new(1.0));
+            let internal = step.battery_internal.value() + step.cap_internal.value();
+            prop_assert!(
+                internal >= step.delivered.value() - 1e-6,
+                "mode {mode:?} created energy: {internal} < {}",
+                step.delivered.value()
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_conversion_always_loses(
+        bat_kw in -40.0..40.0f64,
+        cap_kw in -40.0..40.0f64,
+        soe in 0.2..1.0f64,
+        t in temp(),
+    ) {
+        let mut h = HybridHees::ev_default(Farads::new(25_000.0)).unwrap();
+        h.set_state(Ratio::new(0.9), Ratio::new(soe));
+        let step = h.step(
+            HybridCommand {
+                battery_bus: Watts::new(bat_kw * 1000.0),
+                cap_bus: Watts::new(cap_kw * 1000.0),
+            },
+            t,
+            Seconds::new(1.0),
+        );
+        prop_assert!(step.converter_loss.value() >= -1e-9);
+        prop_assert!(step.battery_heat.value().is_finite());
+        prop_assert!((0.0..=1.0).contains(&h.soc().value()));
+        prop_assert!((0.0..=1.0).contains(&h.soe().value()));
+    }
+
+    #[test]
+    fn hybrid_precharge_round_trip_is_lossy(
+        transfer_kw in 2.0..30.0f64,
+        soe in 0.3..0.6f64,
+    ) {
+        // Move energy battery → cap, then cap → battery: the cap must
+        // return less than the battery originally spent.
+        let t = Kelvin::from_celsius(25.0);
+        let mut h = HybridHees::ev_default(Farads::new(25_000.0)).unwrap();
+        h.set_state(Ratio::new(0.9), Ratio::new(soe));
+        let p = Watts::new(transfer_kw * 1000.0);
+        let charge = h.step(
+            HybridCommand { battery_bus: p, cap_bus: -p },
+            t,
+            Seconds::new(5.0),
+        );
+        let discharge = h.step(
+            HybridCommand { battery_bus: -p, cap_bus: p },
+            t,
+            Seconds::new(5.0),
+        );
+        let battery_spent = charge.battery_internal.value() * 5.0;
+        let battery_got = -discharge.battery_internal.value() * 5.0;
+        prop_assert!(
+            battery_got < battery_spent,
+            "round trip gained energy: spent {battery_spent}, got {battery_got}"
+        );
+    }
+}

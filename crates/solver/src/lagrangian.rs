@@ -1,0 +1,262 @@
+//! Augmented-Lagrangian treatment of general equality/inequality
+//! constraints over a box-constrained inner solver.
+
+use crate::bounds::Bounds;
+use crate::objective::Objective;
+use crate::projected::ProjectedGradient;
+use crate::solution::Solution;
+
+/// A boxed constraint function `g: Rⁿ → R`.
+pub type ConstraintFn = Box<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+
+/// A scalar constraint on the decision vector.
+pub enum Constraint {
+    /// `g(x) = 0`.
+    Equality(ConstraintFn),
+    /// `g(x) ≤ 0`.
+    Inequality(ConstraintFn),
+}
+
+impl std::fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Equality(_) => f.write_str("Constraint::Equality(..)"),
+            Self::Inequality(_) => f.write_str("Constraint::Inequality(..)"),
+        }
+    }
+}
+
+impl Constraint {
+    /// Builds an equality constraint `g(x) = 0`.
+    pub fn equality(g: impl Fn(&[f64]) -> f64 + Send + Sync + 'static) -> Self {
+        Self::Equality(Box::new(g))
+    }
+
+    /// Builds an inequality constraint `g(x) ≤ 0`.
+    pub fn inequality(g: impl Fn(&[f64]) -> f64 + Send + Sync + 'static) -> Self {
+        Self::Inequality(Box::new(g))
+    }
+
+    fn evaluate(&self, x: &[f64]) -> f64 {
+        match self {
+            Self::Equality(g) | Self::Inequality(g) => g(x),
+        }
+    }
+
+    /// Constraint violation magnitude at `x`.
+    pub fn violation(&self, x: &[f64]) -> f64 {
+        match self {
+            Self::Equality(g) => g(x).abs(),
+            Self::Inequality(g) => g(x).max(0.0),
+        }
+    }
+}
+
+/// A constrained problem: objective + box + general constraints
+/// (the shape of the paper's Eq. 18).
+pub struct ConstrainedProblem<'a, F: Objective> {
+    /// The objective to minimise.
+    pub objective: &'a F,
+    /// Box constraints on the decision vector.
+    pub bounds: Bounds,
+    /// General constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+impl<F: Objective> std::fmt::Debug for ConstrainedProblem<'_, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConstrainedProblem")
+            .field("bounds", &self.bounds)
+            .field("constraints", &self.constraints.len())
+            .finish()
+    }
+}
+
+/// Classic augmented-Lagrangian (method of multipliers) outer loop around
+/// [`ProjectedGradient`] inner solves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AugmentedLagrangian {
+    /// Outer (multiplier-update) iterations.
+    pub outer_iterations: usize,
+    /// Initial penalty weight.
+    pub initial_penalty: f64,
+    /// Penalty growth factor when violation stalls.
+    pub penalty_growth: f64,
+    /// Feasibility tolerance on the maximum violation.
+    pub feasibility_tolerance: f64,
+    /// Inner box-constrained solver.
+    pub inner: ProjectedGradient,
+}
+
+impl Default for AugmentedLagrangian {
+    fn default() -> Self {
+        Self {
+            outer_iterations: 20,
+            initial_penalty: 10.0,
+            penalty_growth: 5.0,
+            feasibility_tolerance: 1e-6,
+            inner: ProjectedGradient::default(),
+        }
+    }
+}
+
+impl AugmentedLagrangian {
+    /// Solves the constrained problem from `x0`. `converged` in the
+    /// result means both the inner solver converged and the final point
+    /// is feasible to tolerance.
+    pub fn minimize<F: Objective>(
+        &self,
+        problem: &ConstrainedProblem<'_, F>,
+        x0: &[f64],
+    ) -> Solution {
+        let m = problem.constraints.len();
+        let mut lambda = vec![0.0; m]; // multipliers (≥ 0 for inequalities)
+        let mut mu = self.initial_penalty;
+        let mut x = x0.to_vec();
+        problem.bounds.project(&mut x);
+        let mut last_violation = f64::INFINITY;
+        let mut iterations = 0;
+
+        for _ in 0..self.outer_iterations {
+            let lambda_snapshot = lambda.clone();
+            let augmented = AugmentedObjective {
+                objective: problem.objective,
+                constraints: &problem.constraints,
+                lambda: lambda_snapshot,
+                mu,
+            };
+            let sol = self.inner.minimize(&augmented, &problem.bounds, &x);
+            x = sol.x;
+            iterations += sol.iterations;
+
+            let violation = problem
+                .constraints
+                .iter()
+                .map(|c| c.violation(&x))
+                .fold(0.0, f64::max);
+
+            if violation < self.feasibility_tolerance {
+                let value = problem.objective.value(&x);
+                return Solution::new(x, value, iterations, true);
+            }
+
+            // Multiplier updates.
+            for (i, c) in problem.constraints.iter().enumerate() {
+                let g = c.evaluate(&x);
+                lambda[i] = match c {
+                    Constraint::Equality(_) => lambda[i] + mu * g,
+                    Constraint::Inequality(_) => (lambda[i] + mu * g).max(0.0),
+                };
+            }
+            // Grow the penalty when feasibility is not improving fast.
+            if violation > 0.25 * last_violation {
+                mu *= self.penalty_growth;
+            }
+            last_violation = violation;
+        }
+        let value = problem.objective.value(&x);
+        let feasible = problem
+            .constraints
+            .iter()
+            .all(|c| c.violation(&x) < self.feasibility_tolerance * 10.0);
+        Solution::new(x, value, iterations, feasible)
+    }
+}
+
+struct AugmentedObjective<'a, F: Objective> {
+    objective: &'a F,
+    constraints: &'a [Constraint],
+    lambda: Vec<f64>,
+    mu: f64,
+}
+
+impl<F: Objective> Objective for AugmentedObjective<'_, F> {
+    fn value(&self, x: &[f64]) -> f64 {
+        let mut total = self.objective.value(x);
+        for (i, c) in self.constraints.iter().enumerate() {
+            let g = c.evaluate(x);
+            match c {
+                Constraint::Equality(_) => {
+                    total += self.lambda[i] * g + 0.5 * self.mu * g * g;
+                }
+                Constraint::Inequality(_) => {
+                    // Rockafellar form: ((max(0, λ + μ·g))² − λ²) / (2μ)
+                    let t = (self.lambda[i] + self.mu * g).max(0.0);
+                    total += (t * t - self.lambda[i] * self.lambda[i]) / (2.0 * self.mu);
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+
+    #[test]
+    fn equality_constrained_projection() {
+        // min x² + y²  s.t. x + y = 1  →  (0.5, 0.5)
+        let f = FnObjective::new(|x: &[f64]| x[0] * x[0] + x[1] * x[1]);
+        let problem = ConstrainedProblem {
+            objective: &f,
+            bounds: Bounds::unbounded(2),
+            constraints: vec![Constraint::equality(|x: &[f64]| x[0] + x[1] - 1.0)],
+        };
+        let sol = AugmentedLagrangian::default().minimize(&problem, &[0.0, 0.0]);
+        assert!(sol.converged, "{sol:?}");
+        assert!((sol.x[0] - 0.5).abs() < 1e-4, "{sol:?}");
+        assert!((sol.x[1] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn inactive_inequality_is_free() {
+        // min (x−1)²  s.t. x ≤ 5: constraint inactive.
+        let f = FnObjective::new(|x: &[f64]| (x[0] - 1.0).powi(2));
+        let problem = ConstrainedProblem {
+            objective: &f,
+            bounds: Bounds::unbounded(1),
+            constraints: vec![Constraint::inequality(|x: &[f64]| x[0] - 5.0)],
+        };
+        let sol = AugmentedLagrangian::default().minimize(&problem, &[4.0]);
+        assert!((sol.x[0] - 1.0).abs() < 1e-5, "{sol:?}");
+    }
+
+    #[test]
+    fn active_inequality_binds() {
+        // min (x−3)²  s.t. x ≤ 1  →  x = 1.
+        let f = FnObjective::new(|x: &[f64]| (x[0] - 3.0).powi(2));
+        let problem = ConstrainedProblem {
+            objective: &f,
+            bounds: Bounds::unbounded(1),
+            constraints: vec![Constraint::inequality(|x: &[f64]| x[0] - 1.0)],
+        };
+        let sol = AugmentedLagrangian::default().minimize(&problem, &[0.0]);
+        assert!((sol.x[0] - 1.0).abs() < 1e-4, "{sol:?}");
+    }
+
+    #[test]
+    fn mixed_constraints_with_box() {
+        // min (x−2)² + (y−2)²  s.t. x + y = 2, x ≥ 0.5 (box), y ≤ 1.2
+        // On x + y = 2 the unconstrained projection is (1, 1); feasible.
+        let f = FnObjective::new(|x: &[f64]| (x[0] - 2.0).powi(2) + (x[1] - 2.0).powi(2));
+        let problem = ConstrainedProblem {
+            objective: &f,
+            bounds: Bounds::new(vec![0.5, f64::NEG_INFINITY], vec![f64::INFINITY, 1.2]),
+            constraints: vec![Constraint::equality(|x: &[f64]| x[0] + x[1] - 2.0)],
+        };
+        let sol = AugmentedLagrangian::default().minimize(&problem, &[0.5, 0.5]);
+        assert!((sol.x[0] + sol.x[1] - 2.0).abs() < 1e-4, "{sol:?}");
+        assert!(sol.x[1] <= 1.2 + 1e-6);
+    }
+
+    #[test]
+    fn violation_reports() {
+        let c = Constraint::inequality(|x: &[f64]| x[0] - 1.0);
+        assert_eq!(c.violation(&[0.0]), 0.0);
+        assert_eq!(c.violation(&[3.0]), 2.0);
+        let e = Constraint::equality(|x: &[f64]| x[0]);
+        assert_eq!(e.violation(&[-2.0]), 2.0);
+    }
+}

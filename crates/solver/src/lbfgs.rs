@@ -1,0 +1,212 @@
+//! Limited-memory BFGS with Armijo backtracking for smooth unconstrained
+//! minimisation.
+
+use crate::objective::Objective;
+use crate::solution::Solution;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// L-BFGS minimiser (two-loop recursion, Armijo backtracking).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lbfgs {
+    /// Maximum iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the gradient infinity norm.
+    pub tolerance: f64,
+    /// Number of curvature pairs retained.
+    pub history: usize,
+    /// Armijo sufficient-decrease parameter.
+    pub armijo: f64,
+}
+
+impl Default for Lbfgs {
+    fn default() -> Self {
+        Self {
+            max_iterations: 500,
+            tolerance: 1e-8,
+            history: 10,
+            armijo: 1e-4,
+        }
+    }
+}
+
+impl Lbfgs {
+    /// Minimises `f` from the starting point `x0`.
+    pub fn minimize<F: Objective + ?Sized>(&self, f: &F, x0: &[f64]) -> Solution {
+        let n = x0.len();
+        let mut x = x0.to_vec();
+        let mut grad = vec![0.0; n];
+        let mut value = f.value(&x);
+        f.gradient(&x, &mut grad);
+
+        let mut pairs: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new();
+
+        for iter in 0..self.max_iterations {
+            let gnorm = grad.iter().map(|g| g.abs()).fold(0.0, f64::max);
+            if gnorm < self.tolerance {
+                return Solution::new(x, value, iter, true);
+            }
+
+            // Two-loop recursion for d = −H·g.
+            let mut d: Vec<f64> = grad.iter().map(|g| -g).collect();
+            let mut alphas = Vec::with_capacity(pairs.len());
+            for (s, y, rho) in pairs.iter().rev() {
+                let a = rho * dot(s, &d);
+                for i in 0..n {
+                    d[i] -= a * y[i];
+                }
+                alphas.push(a);
+            }
+            if let Some((s, y, _)) = pairs.back() {
+                let scale = dot(s, y) / dot(y, y).max(1e-300);
+                for di in &mut d {
+                    *di *= scale;
+                }
+            }
+            for ((s, y, rho), a) in pairs.iter().zip(alphas.into_iter().rev()) {
+                let b = rho * dot(y, &d);
+                for i in 0..n {
+                    d[i] += (a - b) * s[i];
+                }
+            }
+
+            // Descent check; fall back to steepest descent if needed.
+            let mut dir_deriv = dot(&grad, &d);
+            if dir_deriv >= 0.0 {
+                for i in 0..n {
+                    d[i] = -grad[i];
+                }
+                dir_deriv = -dot(&grad, &grad);
+            }
+
+            // Weak-Wolfe line search (Lewis–Overton bisection): the
+            // curvature condition guarantees sᵀy > 0, keeping the inverse
+            // Hessian approximation fresh even on nonconvex terrain.
+            let c2 = 0.9;
+            let mut t = 1.0;
+            let mut lo = 0.0;
+            let mut hi = f64::INFINITY;
+            let mut trial = vec![0.0; n];
+            let mut new_grad = vec![0.0; n];
+            let mut accepted = false;
+            for _ in 0..60 {
+                for i in 0..n {
+                    trial[i] = x[i] + t * d[i];
+                }
+                let f_trial = f.value(&trial);
+                if f_trial > value + self.armijo * t * dir_deriv {
+                    hi = t;
+                    t = 0.5 * (lo + hi);
+                    continue;
+                }
+                f.gradient(&trial, &mut new_grad);
+                if dot(&new_grad, &d) < c2 * dir_deriv {
+                    lo = t;
+                    t = if hi.is_finite() { 0.5 * (lo + hi) } else { 2.0 * t };
+                    continue;
+                }
+                let s: Vec<f64> = (0..n).map(|i| trial[i] - x[i]).collect();
+                let y: Vec<f64> = (0..n).map(|i| new_grad[i] - grad[i]).collect();
+                let sy = dot(&s, &y);
+                if sy > 1e-300 {
+                    if pairs.len() == self.history {
+                        pairs.pop_front();
+                    }
+                    pairs.push_back((s, y, 1.0 / sy));
+                }
+                x.copy_from_slice(&trial);
+                value = f_trial;
+                grad.copy_from_slice(&new_grad);
+                accepted = true;
+                break;
+            }
+            if !accepted {
+                // Bisection exhausted: take the last Armijo point if any
+                // progress is possible, otherwise report the best seen.
+                for i in 0..n {
+                    trial[i] = x[i] + t * d[i];
+                }
+                let f_trial = f.value(&trial);
+                if f_trial < value {
+                    f.gradient(&trial, &mut new_grad);
+                    x.copy_from_slice(&trial);
+                    value = f_trial;
+                    grad.copy_from_slice(&new_grad);
+                } else {
+                    return Solution::new(x, value, iter, gnorm < self.tolerance * 100.0);
+                }
+            }
+        }
+        Solution::new(x, value, self.max_iterations, false)
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+
+    #[test]
+    fn quadratic_bowl() {
+        let f = FnObjective::new(|x: &[f64]| {
+            (x[0] - 2.0).powi(2) + 5.0 * (x[1] + 1.0).powi(2)
+        });
+        let sol = Lbfgs::default().minimize(&f, &[10.0, -10.0]);
+        assert!(sol.converged);
+        assert!((sol.x[0] - 2.0).abs() < 1e-6);
+        assert!((sol.x[1] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rosenbrock_2d_converges_fast() {
+        let f = FnObjective::new(|x: &[f64]| {
+            100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2)
+        });
+        let sol = Lbfgs::default().minimize(&f, &[-1.2, 1.0]);
+        assert!(sol.converged, "{sol:?}");
+        assert!((sol.x[0] - 1.0).abs() < 1e-5);
+        assert!((sol.x[1] - 1.0).abs() < 1e-5);
+        assert!(sol.iterations < 200, "took {}", sol.iterations);
+    }
+
+    #[test]
+    fn rosenbrock_10d() {
+        let f = FnObjective::new(|x: &[f64]| {
+            x.windows(2)
+                .map(|w| 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2))
+                .sum()
+        });
+        let solver = Lbfgs {
+            max_iterations: 2000,
+            ..Lbfgs::default()
+        };
+        let sol = solver.minimize(&f, &[-1.2; 10]);
+        for (i, v) in sol.x.iter().enumerate() {
+            assert!((v - 1.0).abs() < 1e-4, "x[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn already_optimal_returns_immediately() {
+        let f = FnObjective::new(|x: &[f64]| x[0] * x[0]);
+        let sol = Lbfgs::default().minimize(&f, &[0.0]);
+        assert!(sol.converged);
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn ill_conditioned_quadratic() {
+        let f = FnObjective::new(|x: &[f64]| {
+            x.iter()
+                .enumerate()
+                .map(|(i, &v)| 10f64.powi(i as i32) * v * v)
+                .sum()
+        });
+        let sol = Lbfgs::default().minimize(&f, &[1.0; 6]);
+        assert!(sol.value < 1e-10, "{sol:?}");
+    }
+}

@@ -1,0 +1,51 @@
+//! A small dense nonlinear-programming toolkit for the OTEM MPC.
+//!
+//! The OTEM paper formulates its thermal/energy management as a nonlinear
+//! program solved at every control step (Eq. 18–19) — in the authors'
+//! setup by MATLAB's NLP machinery. This crate provides the equivalent
+//! from scratch:
+//!
+//! * [`Lbfgs`] — limited-memory BFGS with Armijo backtracking for smooth
+//!   unconstrained minimisation,
+//! * [`ProjectedGradient`] — Barzilai–Borwein spectral gradient descent
+//!   projected onto box constraints (the workhorse for the MPC's
+//!   single-shooting transcription),
+//! * [`NelderMead`] — derivative-free simplex fallback,
+//! * [`AugmentedLagrangian`] — converts equality/inequality constraints
+//!   into a sequence of box-constrained subproblems,
+//! * [`NumericalGradient`] — central finite differences for objectives
+//!   without analytic gradients.
+//!
+//! # Examples
+//!
+//! ```
+//! use otem_solver::{Bounds, FnObjective, ProjectedGradient};
+//!
+//! // minimise (x-3)² + (y+1)² subject to x,y ∈ [0, 2]
+//! let objective = FnObjective::new(|x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2));
+//! let bounds = Bounds::uniform(2, 0.0, 2.0);
+//! let solution = ProjectedGradient::default().minimize(&objective, &bounds, &[1.0, 1.0]);
+//! assert!((solution.x[0] - 2.0).abs() < 1e-6);
+//! assert!(solution.x[1].abs() < 1e-6);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod bounds;
+mod lagrangian;
+mod lbfgs;
+mod nelder_mead;
+mod objective;
+mod projected;
+mod scalar;
+mod solution;
+
+pub use bounds::Bounds;
+pub use lagrangian::{AugmentedLagrangian, ConstrainedProblem, Constraint};
+pub use lbfgs::Lbfgs;
+pub use nelder_mead::NelderMead;
+pub use objective::{FnObjective, FnObjectiveWithGrad, NumericalGradient, Objective};
+pub use projected::ProjectedGradient;
+pub use scalar::{brent, golden_section};
+pub use solution::Solution;

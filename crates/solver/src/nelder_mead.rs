@@ -1,0 +1,154 @@
+//! Derivative-free Nelder–Mead simplex minimiser (fallback for
+//! non-smooth objectives).
+
+use crate::objective::Objective;
+use crate::solution::Solution;
+use serde::{Deserialize, Serialize};
+
+/// Nelder–Mead downhill simplex with the standard
+/// reflection/expansion/contraction/shrink coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NelderMead {
+    /// Maximum objective evaluations.
+    pub max_evaluations: usize,
+    /// Convergence tolerance on the simplex value spread.
+    pub tolerance: f64,
+    /// Initial simplex edge length (relative to coordinate magnitude).
+    pub initial_step: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        Self {
+            max_evaluations: 20_000,
+            tolerance: 1e-10,
+            initial_step: 0.1,
+        }
+    }
+}
+
+impl NelderMead {
+    /// Minimises `f` from the starting point `x0`.
+    pub fn minimize<F: Objective + ?Sized>(&self, f: &F, x0: &[f64]) -> Solution {
+        let n = x0.len();
+        let mut evals = 0;
+        let eval = |x: &[f64], evals: &mut usize| {
+            *evals += 1;
+            f.value(x)
+        };
+
+        // Initial simplex: x0 plus a perturbation along each axis.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+        let v0 = eval(x0, &mut evals);
+        simplex.push((x0.to_vec(), v0));
+        for i in 0..n {
+            let mut p = x0.to_vec();
+            let h = self.initial_step * p[i].abs().max(1.0);
+            p[i] += h;
+            let v = eval(&p, &mut evals);
+            simplex.push((p, v));
+        }
+
+        while evals < self.max_evaluations {
+            simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let spread = simplex[n].1 - simplex[0].1;
+            if spread.abs() < self.tolerance {
+                let (x, value) = simplex.swap_remove(0);
+                return Solution::new(x, value, evals, true);
+            }
+
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; n];
+            for (p, _) in &simplex[..n] {
+                for i in 0..n {
+                    centroid[i] += p[i] / n as f64;
+                }
+            }
+            let worst = simplex[n].clone();
+
+            let point_at = |t: f64| -> Vec<f64> {
+                (0..n)
+                    .map(|i| centroid[i] + t * (centroid[i] - worst.0[i]))
+                    .collect()
+            };
+
+            let reflected = point_at(1.0);
+            let f_r = eval(&reflected, &mut evals);
+            if f_r < simplex[0].1 {
+                let expanded = point_at(2.0);
+                let f_e = eval(&expanded, &mut evals);
+                simplex[n] = if f_e < f_r {
+                    (expanded, f_e)
+                } else {
+                    (reflected, f_r)
+                };
+            } else if f_r < simplex[n - 1].1 {
+                simplex[n] = (reflected, f_r);
+            } else {
+                let contracted = point_at(-0.5);
+                let f_c = eval(&contracted, &mut evals);
+                if f_c < simplex[n].1 {
+                    simplex[n] = (contracted, f_c);
+                } else {
+                    // Shrink toward the best vertex.
+                    let best = simplex[0].0.clone();
+                    for (p, v) in simplex.iter_mut().skip(1) {
+                        for i in 0..n {
+                            p[i] = best[i] + 0.5 * (p[i] - best[i]);
+                        }
+                        *v = eval(p, &mut evals);
+                    }
+                }
+            }
+        }
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let (x, value) = simplex.swap_remove(0);
+        Solution::new(x, value, evals, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+
+    #[test]
+    fn quadratic() {
+        let f = FnObjective::new(|x: &[f64]| (x[0] - 4.0).powi(2) + (x[1] - 1.0).powi(2));
+        let sol = NelderMead::default().minimize(&f, &[0.0, 0.0]);
+        assert!(sol.converged);
+        assert!((sol.x[0] - 4.0).abs() < 1e-4, "{sol:?}");
+        assert!((sol.x[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rosenbrock_2d() {
+        let f = FnObjective::new(|x: &[f64]| {
+            100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2)
+        });
+        let sol = NelderMead::default().minimize(&f, &[-1.2, 1.0]);
+        assert!((sol.x[0] - 1.0).abs() < 1e-3, "{sol:?}");
+    }
+
+    #[test]
+    fn non_smooth_objective() {
+        // |x| + |y − 2|: no gradient at the optimum; NM still finds it.
+        let f = FnObjective::new(|x: &[f64]| x[0].abs() + (x[1] - 2.0).abs());
+        let sol = NelderMead::default().minimize(&f, &[3.0, -3.0]);
+        assert!(sol.x[0].abs() < 1e-3, "{sol:?}");
+        assert!((sol.x[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn evaluation_budget_respected() {
+        let f = FnObjective::new(|x: &[f64]| x.iter().map(|v| v * v).sum());
+        let solver = NelderMead {
+            max_evaluations: 50,
+            tolerance: 0.0,
+            ..NelderMead::default()
+        };
+        let sol = solver.minimize(&f, &[1.0; 5]);
+        assert!(!sol.converged);
+        assert!(sol.iterations <= 60); // budget plus the in-flight iteration
+    }
+}

@@ -1,0 +1,236 @@
+//! Projected Barzilai–Borwein spectral gradient descent for
+//! box-constrained smooth minimisation — the workhorse behind the OTEM
+//! MPC's per-step solve.
+
+use crate::bounds::Bounds;
+use crate::objective::Objective;
+use crate::solution::Solution;
+use serde::{Deserialize, Serialize};
+
+/// Projected spectral (Barzilai–Borwein) gradient method with a
+/// non-monotone Armijo safeguard (Birgin–Martínez–Raydan SPG).
+///
+/// Robust on the moderately ill-conditioned, smooth, box-constrained
+/// problems the MPC transcription produces, with no linear algebra
+/// beyond dot products.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProjectedGradient {
+    /// Maximum outer iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the projected-gradient infinity norm.
+    pub tolerance: f64,
+    /// Armijo sufficient-decrease parameter.
+    pub armijo: f64,
+    /// History window for the non-monotone line search.
+    pub memory: usize,
+    /// Safeguards on the BB step length.
+    pub step_min: f64,
+    /// Upper safeguard on the BB step length.
+    pub step_max: f64,
+}
+
+impl Default for ProjectedGradient {
+    fn default() -> Self {
+        Self {
+            max_iterations: 400,
+            tolerance: 1e-8,
+            armijo: 1e-4,
+            memory: 8,
+            step_min: 1e-12,
+            step_max: 1e10,
+        }
+    }
+}
+
+impl ProjectedGradient {
+    /// Minimises `f` over the box from the starting point `x0`
+    /// (projected into the box first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0.len() != bounds.len()`.
+    pub fn minimize<F: Objective + ?Sized>(
+        &self,
+        f: &F,
+        bounds: &Bounds,
+        x0: &[f64],
+    ) -> Solution {
+        assert_eq!(x0.len(), bounds.len(), "start/bounds dimension mismatch");
+        let n = x0.len();
+        let mut x = x0.to_vec();
+        bounds.project(&mut x);
+
+        let mut grad = vec![0.0; n];
+        let mut value = f.value(&x);
+        f.gradient(&x, &mut grad);
+
+        let mut history = std::collections::VecDeque::with_capacity(self.memory);
+        history.push_back(value);
+
+        let mut step = 1.0 / grad.iter().map(|g| g.abs()).fold(1e-12, f64::max);
+        let mut x_prev = x.clone();
+        let mut grad_prev = grad.clone();
+
+        for iter in 0..self.max_iterations {
+            // Projected-gradient stationarity measure.
+            let pg_norm = (0..n)
+                .map(|i| {
+                    let trial = (x[i] - grad[i]).clamp(bounds.lower()[i], bounds.upper()[i]);
+                    (trial - x[i]).abs()
+                })
+                .fold(0.0, f64::max);
+            if pg_norm < self.tolerance {
+                return Solution::new(x, value, iter, true);
+            }
+
+            // Trial point along the projected BB direction with
+            // non-monotone backtracking.
+            let f_ref = history.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut alpha = step.clamp(self.step_min, self.step_max);
+            let mut accepted = false;
+            for _ in 0..40 {
+                let mut trial = vec![0.0; n];
+                for i in 0..n {
+                    trial[i] = x[i] - alpha * grad[i];
+                }
+                bounds.project(&mut trial);
+                let decrease: f64 = (0..n)
+                    .map(|i| grad[i] * (x[i] - trial[i]))
+                    .sum();
+                let f_trial = f.value(&trial);
+                if f_trial <= f_ref - self.armijo * decrease.max(0.0) {
+                    x_prev.copy_from_slice(&x);
+                    grad_prev.copy_from_slice(&grad);
+                    x = trial;
+                    value = f_trial;
+                    accepted = true;
+                    break;
+                }
+                alpha *= 0.5;
+                if alpha < self.step_min {
+                    break;
+                }
+            }
+            if !accepted {
+                // Line search stalled: accept the best known point.
+                return Solution::new(x, value, iter, pg_norm < self.tolerance * 100.0);
+            }
+
+            f.gradient(&x, &mut grad);
+            if history.len() == self.memory {
+                history.pop_front();
+            }
+            history.push_back(value);
+
+            // BB1 step from the last displacement pair.
+            let mut sty = 0.0;
+            let mut sts = 0.0;
+            for i in 0..n {
+                let s = x[i] - x_prev[i];
+                let y = grad[i] - grad_prev[i];
+                sty += s * y;
+                sts += s * s;
+            }
+            step = if sty > 1e-300 {
+                (sts / sty).clamp(self.step_min, self.step_max)
+            } else {
+                (step * 2.0).clamp(self.step_min, self.step_max)
+            };
+        }
+        Solution::new(x, value, self.max_iterations, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+
+    #[test]
+    fn unconstrained_quadratic() {
+        let f = FnObjective::new(|x: &[f64]| {
+            (x[0] - 1.0).powi(2) + 10.0 * (x[1] + 2.0).powi(2)
+        });
+        let sol = ProjectedGradient::default().minimize(
+            &f,
+            &Bounds::unbounded(2),
+            &[5.0, 5.0],
+        );
+        assert!(sol.converged, "{sol:?}");
+        assert!((sol.x[0] - 1.0).abs() < 1e-5);
+        assert!((sol.x[1] + 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn active_box_constraint() {
+        // Minimum at x = 3 but box caps at 2.
+        let f = FnObjective::new(|x: &[f64]| (x[0] - 3.0).powi(2));
+        let sol =
+            ProjectedGradient::default().minimize(&f, &Bounds::uniform(1, -1.0, 2.0), &[0.0]);
+        assert!((sol.x[0] - 2.0).abs() < 1e-8, "{sol:?}");
+    }
+
+    #[test]
+    fn rosenbrock_2d() {
+        let f = FnObjective::new(|x: &[f64]| {
+            100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2)
+        });
+        let solver = ProjectedGradient {
+            max_iterations: 5000,
+            tolerance: 1e-10,
+            ..ProjectedGradient::default()
+        };
+        let sol = solver.minimize(&f, &Bounds::unbounded(2), &[-1.2, 1.0]);
+        assert!((sol.x[0] - 1.0).abs() < 1e-4, "{sol:?}");
+        assert!((sol.x[1] - 1.0).abs() < 1e-4, "{sol:?}");
+    }
+
+    #[test]
+    fn high_dimensional_convex() {
+        let n = 50;
+        let f = FnObjective::new(move |x: &[f64]| {
+            x.iter()
+                .enumerate()
+                .map(|(i, &v)| (i as f64 + 1.0) * (v - 0.5).powi(2))
+                .sum()
+        });
+        let sol = ProjectedGradient::default().minimize(
+            &f,
+            &Bounds::uniform(n, 0.0, 1.0),
+            &vec![0.0; n],
+        );
+        for (i, v) in sol.x.iter().enumerate() {
+            assert!((v - 0.5).abs() < 1e-4, "coordinate {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn starts_outside_box_are_projected() {
+        let f = FnObjective::new(|x: &[f64]| x[0] * x[0]);
+        let sol =
+            ProjectedGradient::default().minimize(&f, &Bounds::uniform(1, -1.0, 1.0), &[50.0]);
+        assert!(sol.x[0].abs() < 1e-8);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_converged() {
+        let f = FnObjective::new(|x: &[f64]| {
+            100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2)
+        });
+        let solver = ProjectedGradient {
+            max_iterations: 3,
+            tolerance: 1e-14,
+            ..ProjectedGradient::default()
+        };
+        let sol = solver.minimize(&f, &Bounds::unbounded(2), &[-1.2, 1.0]);
+        assert!(!sol.converged);
+        assert_eq!(sol.iterations, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let f = FnObjective::new(|x: &[f64]| x[0]);
+        ProjectedGradient::default().minimize(&f, &Bounds::uniform(2, 0.0, 1.0), &[0.0]);
+    }
+}

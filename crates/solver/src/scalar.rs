@@ -1,0 +1,197 @@
+//! One-dimensional minimisation: golden-section search and Brent's
+//! method, for line searches and scalar design studies (e.g. sizing one
+//! parameter against a simulation metric).
+
+use crate::solution::Solution;
+
+/// Golden-section search over `[a, b]` for a unimodal function.
+///
+/// Robust and derivative-free; linear convergence. Prefer
+/// [`brent`] when the function is smooth.
+///
+/// # Panics
+///
+/// Panics if `a >= b` or either bound is non-finite.
+pub fn golden_section<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Solution {
+    assert!(a < b && a.is_finite() && b.is_finite(), "invalid bracket");
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut a, mut b) = (a, b);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    let mut iterations = 0;
+    while (b - a) > tolerance && iterations < max_iterations {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+        iterations += 1;
+    }
+    let x = 0.5 * (a + b);
+    Solution::new(vec![x], f(x), iterations, (b - a) <= tolerance)
+}
+
+/// Brent's method over `[a, b]`: golden-section reliability with
+/// parabolic-interpolation acceleration on smooth functions.
+///
+/// # Panics
+///
+/// Panics if `a >= b` or either bound is non-finite.
+pub fn brent<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Solution {
+    assert!(a < b && a.is_finite() && b.is_finite(), "invalid bracket");
+    const CGOLD: f64 = 0.381_966_011_250_105;
+    let (mut a, mut b) = (a, b);
+    let mut x = a + CGOLD * (b - a);
+    let mut w = x;
+    let mut v = x;
+    let mut fx = f(x);
+    let mut fw = fx;
+    let mut fv = fx;
+    let mut d: f64 = 0.0;
+    let mut e: f64 = 0.0;
+
+    for iterations in 0..max_iterations {
+        let m = 0.5 * (a + b);
+        let tol1 = tolerance * x.abs() + 1e-12;
+        let tol2 = 2.0 * tol1;
+        if (x - m).abs() <= tol2 - 0.5 * (b - a) {
+            return Solution::new(vec![x], fx, iterations, true);
+        }
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Parabolic fit through (v, fv), (w, fw), (x, fx).
+            let r = (x - w) * (fx - fv);
+            let q_ = (x - v) * (fx - fw);
+            let p_num = (x - v) * q_ - (x - w) * r;
+            let mut q = 2.0 * (q_ - r);
+            let p = if q > 0.0 { -p_num } else { p_num };
+            q = q.abs();
+            let e_prev = e;
+            e = d;
+            if p.abs() < (0.5 * q * e_prev).abs() && p > q * (a - x) && p < q * (b - x) {
+                d = p / q;
+                let u = x + d;
+                if (u - a) < tol2 || (b - u) < tol2 {
+                    d = if m > x { tol1 } else { -tol1 };
+                }
+                use_golden = false;
+            }
+        }
+        if use_golden {
+            e = if x < m { b - x } else { a - x };
+            d = CGOLD * e;
+        }
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else if d > 0.0 {
+            x + tol1
+        } else {
+            x - tol1
+        };
+        let fu = f(u);
+        if fu <= fx {
+            if u < x {
+                b = x;
+            } else {
+                a = x;
+            }
+            v = w;
+            fv = fw;
+            w = x;
+            fw = fx;
+            x = u;
+            fx = fu;
+        } else {
+            if u < x {
+                a = u;
+            } else {
+                b = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+    Solution::new(vec![x], fx, max_iterations, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_finds_quadratic_minimum() {
+        let sol = golden_section(|x| (x - 2.5).powi(2), 0.0, 10.0, 1e-8, 200);
+        assert!(sol.converged);
+        assert!((sol.x[0] - 2.5).abs() < 1e-6, "{sol:?}");
+    }
+
+    #[test]
+    fn brent_matches_golden_but_faster() {
+        let f = |x: f64| (x - 1.7).powi(2) + 0.3 * (x - 1.7).powi(4);
+        let g = golden_section(f, -5.0, 5.0, 1e-10, 500);
+        let b = brent(f, -5.0, 5.0, 1e-10, 500);
+        assert!((g.x[0] - 1.7).abs() < 1e-6);
+        assert!((b.x[0] - 1.7).abs() < 1e-6);
+        assert!(
+            b.iterations < g.iterations,
+            "brent {} vs golden {}",
+            b.iterations,
+            g.iterations
+        );
+    }
+
+    #[test]
+    fn brent_handles_asymmetric_functions() {
+        // exp(x) − 2x: minimum at ln(2).
+        let sol = brent(|x| x.exp() - 2.0 * x, -2.0, 3.0, 1e-10, 200);
+        assert!((sol.x[0] - std::f64::consts::LN_2).abs() < 1e-7, "{sol:?}");
+    }
+
+    #[test]
+    fn boundary_minimum_is_found() {
+        // Monotone increasing on the bracket: minimum at the left edge.
+        let sol = brent(|x| x, 1.0, 4.0, 1e-9, 200);
+        assert!(sol.x[0] < 1.001, "{sol:?}");
+    }
+
+    #[test]
+    fn non_smooth_function_still_converges() {
+        let sol = brent(|x: f64| (x - 0.3).abs(), -1.0, 1.0, 1e-9, 300);
+        assert!((sol.x[0] - 0.3).abs() < 1e-6, "{sol:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bracket")]
+    fn inverted_bracket_panics() {
+        let _ = brent(|x| x * x, 1.0, -1.0, 1e-8, 100);
+    }
+}

@@ -1,0 +1,42 @@
+//! Solver result type.
+
+use serde::{Deserialize, Serialize};
+
+/// The result of a minimisation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// The best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Iterations consumed.
+    pub iterations: usize,
+    /// Whether the convergence tolerance was met (otherwise the
+    /// iteration budget ran out — the point is still the best seen).
+    pub converged: bool,
+}
+
+impl Solution {
+    /// Builds a solution record.
+    pub fn new(x: Vec<f64>, value: f64, iterations: usize, converged: bool) -> Self {
+        Self {
+            x,
+            value,
+            iterations,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carries_fields() {
+        let s = Solution::new(vec![1.0], 0.5, 10, true);
+        assert_eq!(s.x, vec![1.0]);
+        assert_eq!(s.value, 0.5);
+        assert!(s.converged);
+    }
+}

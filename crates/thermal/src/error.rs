@@ -1,0 +1,57 @@
+//! Error type for the thermal models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the thermal plant models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// A parameter was outside its physically meaningful range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(
+                f,
+                "invalid thermal parameter {name} = {value}: must satisfy {constraint}"
+            ),
+        }
+    }
+}
+
+impl Error for ThermalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ThermalError>();
+    }
+
+    #[test]
+    fn display_names_parameter() {
+        let e = ThermalError::InvalidParameter {
+            name: "battery_heat_capacity",
+            value: -1.0,
+            constraint: "> 0",
+        };
+        assert!(e.to_string().contains("battery_heat_capacity"));
+    }
+}

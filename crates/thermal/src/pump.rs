@@ -1,0 +1,180 @@
+//! Extension: a variable-flow coolant pump.
+//!
+//! The paper fixes the coolant flow rate, making the pump power a
+//! constant (Section II-D). Real plants modulate the flow: hydraulic
+//! power grows with the cube of the flow rate, while the loop's
+//! heat-capacity rate `Ċ_c = ṁ·c_p` grows linearly — so running the
+//! pump slow whenever the thermal load allows saves meaningful energy.
+//! This module models that trade-off for design studies; the OTEM
+//! controller itself keeps the paper's fixed-flow assumption.
+
+use crate::error::ThermalError;
+use otem_units::{Ratio, ThermalConductance, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A centrifugal coolant pump with controllable speed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariableFlowPump {
+    /// Flow heat-capacity rate at full speed (W/K).
+    pub rated_flow_capacity: ThermalConductance,
+    /// Electric power at full speed (W).
+    pub rated_power: Watts,
+    /// Minimum sustainable duty (below this the pump stalls/cavitates).
+    pub min_duty: Ratio,
+}
+
+impl VariableFlowPump {
+    /// A pump matched to the EV plant's 1,050 W/K loop at 250 W.
+    pub fn ev_pump() -> Self {
+        Self {
+            rated_flow_capacity: ThermalConductance::new(1_050.0),
+            rated_power: Watts::new(250.0),
+            min_duty: Ratio::new(0.2),
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for non-positive
+    /// ratings or a zero minimum duty.
+    pub fn validate(&self) -> Result<(), ThermalError> {
+        if self.rated_flow_capacity.value() <= 0.0 {
+            return Err(ThermalError::InvalidParameter {
+                name: "rated_flow_capacity",
+                value: self.rated_flow_capacity.value(),
+                constraint: "> 0 W/K",
+            });
+        }
+        if self.rated_power.value() <= 0.0 {
+            return Err(ThermalError::InvalidParameter {
+                name: "rated_power",
+                value: self.rated_power.value(),
+                constraint: "> 0 W",
+            });
+        }
+        if self.min_duty.value() <= 0.0 {
+            return Err(ThermalError::InvalidParameter {
+                name: "min_duty",
+                value: self.min_duty.value(),
+                constraint: "> 0",
+            });
+        }
+        Ok(())
+    }
+
+    /// Flow heat-capacity rate at the given duty (linear in speed).
+    /// Duty zero means the pump is off; otherwise it is clamped to
+    /// `[min_duty, 1]`.
+    pub fn flow_capacity(&self, duty: Ratio) -> ThermalConductance {
+        let d = self.effective_duty(duty);
+        self.rated_flow_capacity * d
+    }
+
+    /// Electric power at the given duty: affinity-law cubic,
+    /// `P = P_rated·d³`, zero when off.
+    pub fn power(&self, duty: Ratio) -> Watts {
+        let d = self.effective_duty(duty);
+        self.rated_power * (d * d * d)
+    }
+
+    /// Smallest duty whose flow capacity reaches `needed` (or `None`
+    /// when even full speed falls short). Running at exactly this duty is
+    /// the energy-optimal choice for a required heat-capacity rate.
+    pub fn duty_for_flow(&self, needed: ThermalConductance) -> Option<Ratio> {
+        if needed.value() <= 0.0 {
+            return Some(Ratio::ZERO);
+        }
+        let d = needed.value() / self.rated_flow_capacity.value();
+        if d > 1.0 {
+            None
+        } else {
+            Some(Ratio::new(d.max(self.min_duty.value())))
+        }
+    }
+
+    fn effective_duty(&self, duty: Ratio) -> f64 {
+        if duty.value() == 0.0 {
+            0.0
+        } else {
+            duty.value().max(self.min_duty.value())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pump() -> VariableFlowPump {
+        VariableFlowPump::ev_pump()
+    }
+
+    #[test]
+    fn full_speed_matches_ratings() {
+        let p = pump();
+        assert_eq!(p.flow_capacity(Ratio::ONE).value(), 1_050.0);
+        assert_eq!(p.power(Ratio::ONE).value(), 250.0);
+    }
+
+    #[test]
+    fn off_is_free() {
+        let p = pump();
+        assert_eq!(p.flow_capacity(Ratio::ZERO).value(), 0.0);
+        assert_eq!(p.power(Ratio::ZERO).value(), 0.0);
+    }
+
+    #[test]
+    fn cubic_affinity_law() {
+        let p = pump();
+        let half = p.power(Ratio::HALF).value();
+        assert!((half - 250.0 * 0.125).abs() < 1e-9, "P(0.5) = {half}");
+        // Half flow costs an eighth of the power: the variable-flow win.
+        assert_eq!(p.flow_capacity(Ratio::HALF).value(), 525.0);
+    }
+
+    #[test]
+    fn low_duties_clamp_to_minimum() {
+        let p = pump();
+        assert_eq!(
+            p.flow_capacity(Ratio::new(0.05)).value(),
+            1_050.0 * 0.2,
+            "below min_duty clamps up"
+        );
+    }
+
+    #[test]
+    fn duty_for_flow_inverts_the_linear_law() {
+        let p = pump();
+        let d = p.duty_for_flow(ThermalConductance::new(700.0)).unwrap();
+        assert!((p.flow_capacity(d).value() - 700.0).abs() < 1e-9);
+        assert!(p.duty_for_flow(ThermalConductance::new(2_000.0)).is_none());
+        assert_eq!(p.duty_for_flow(ThermalConductance::ZERO), Some(Ratio::ZERO));
+        // Tiny demands clamp to the stall limit.
+        let tiny = p.duty_for_flow(ThermalConductance::new(10.0)).unwrap();
+        assert_eq!(tiny, Ratio::new(0.2));
+    }
+
+    #[test]
+    fn energy_saving_versus_fixed_flow() {
+        // Meeting a 400 W/K requirement: fixed-flow pays 250 W, the
+        // variable pump pays the cube of ~0.38.
+        let p = pump();
+        let duty = p.duty_for_flow(ThermalConductance::new(400.0)).unwrap();
+        let variable = p.power(duty).value();
+        assert!(variable < 30.0, "variable pump at {variable} W");
+        assert!(250.0 / variable > 8.0, "saving factor");
+    }
+
+    #[test]
+    fn invalid_pump_rejected() {
+        let mut p = VariableFlowPump::ev_pump();
+        p.rated_power = Watts::ZERO;
+        assert!(p.validate().is_err());
+        let mut p = VariableFlowPump::ev_pump();
+        p.min_duty = Ratio::ZERO;
+        assert!(p.validate().is_err());
+        assert!(VariableFlowPump::ev_pump().validate().is_ok());
+    }
+}

@@ -1,0 +1,347 @@
+//! The bank state machine: state of energy, voltage swing, power draws.
+
+use crate::error::UltracapError;
+use crate::params::UltracapParams;
+use otem_units::{Amps, Joules, Ratio, Seconds, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A resolved ultracapacitor operating point for one power request.
+///
+/// Produced by [`UltracapBank::draw_power`]; apply with
+/// [`UltracapBank::integrate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapDraw {
+    /// Power at the bank terminals (positive = discharge).
+    pub terminal_power: Watts,
+    /// Energy-store power `V_cap·I_cap` — what the SoE integral sees
+    /// (Eq. 9). Equals terminal power plus resistive loss.
+    pub internal_power: Watts,
+    /// Bank current `I_cap` (Eq. 7), positive = discharge.
+    pub current: Amps,
+    /// Open-circuit bank voltage `V_cap = V_r·√SoE` (Eq. 8).
+    pub voltage: Volts,
+}
+
+impl CapDraw {
+    /// A zero/no-op draw.
+    pub const IDLE: Self = Self {
+        terminal_power: Watts::ZERO,
+        internal_power: Watts::ZERO,
+        current: Amps::ZERO,
+        voltage: Volts::ZERO,
+    };
+
+    /// Resistive loss inside the bank.
+    pub fn loss(&self) -> Watts {
+        self.internal_power - self.terminal_power
+    }
+}
+
+/// An ultracapacitor bank with its state of energy.
+///
+/// Sign convention: positive power/current **discharges** the bank.
+///
+/// # Examples
+///
+/// ```
+/// use otem_ultracap::{UltracapBank, UltracapParams};
+/// use otem_units::{Ratio, Seconds, Watts};
+///
+/// # fn main() -> Result<(), otem_ultracap::UltracapError> {
+/// let mut bank = UltracapBank::new(UltracapParams::default())?;
+/// bank.set_soe(Ratio::from_percent(40.0));
+/// let draw = bank.draw_power(Watts::new(-5_000.0))?; // pre-charge the bank
+/// bank.integrate(draw, Seconds::new(2.0));
+/// assert!(bank.soe() > Ratio::from_percent(40.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UltracapBank {
+    params: UltracapParams,
+    soe: Ratio,
+}
+
+impl UltracapBank {
+    /// Builds a fully charged bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UltracapError::InvalidParameter`] if the parameters fail
+    /// validation.
+    pub fn new(params: UltracapParams) -> Result<Self, UltracapError> {
+        params.validate()?;
+        Ok(Self {
+            params,
+            soe: Ratio::ONE,
+        })
+    }
+
+    /// The bank's parameters.
+    pub fn params(&self) -> &UltracapParams {
+        &self.params
+    }
+
+    /// Present state of energy (Eq. 9).
+    pub fn soe(&self) -> Ratio {
+        self.soe
+    }
+
+    /// Overrides the state of energy.
+    pub fn set_soe(&mut self, soe: Ratio) {
+        self.soe = soe;
+    }
+
+    /// Stored energy right now: `SoE · E_cap`.
+    pub fn stored_energy(&self) -> Joules {
+        Joules::new(self.soe * self.params.energy_capacity().value())
+    }
+
+    /// Open-circuit bank voltage `V_cap = V_r·√(SoE)` (Eq. 8). This is
+    /// the voltage swing that the DC/DC converter efficiency model keys
+    /// off.
+    pub fn voltage(&self) -> Volts {
+        self.params.rated_voltage * self.soe.value().sqrt()
+    }
+
+    /// Maximum discharge power deliverable right now: limited by the
+    /// interface power rating and by what would drain the bank within one
+    /// second (a conservative depletion guard so a draw can always be
+    /// integrated at 1 Hz).
+    pub fn max_discharge_power(&self) -> Watts {
+        let depletion_limited = self.stored_energy().value(); // J drainable in 1 s
+        Watts::new(self.params.max_power.value().min(depletion_limited))
+    }
+
+    /// Maximum charge power acceptable right now (mirror of
+    /// [`Self::max_discharge_power`] against the remaining headroom).
+    pub fn max_charge_power(&self) -> Watts {
+        let headroom =
+            self.params.energy_capacity().value() - self.stored_energy().value();
+        Watts::new(self.params.max_power.value().min(headroom))
+    }
+
+    /// Resolves a terminal power request into an operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UltracapError::PowerInfeasible`] when a discharge exceeds
+    /// [`Self::max_discharge_power`] or a charge exceeds
+    /// [`Self::max_charge_power`].
+    pub fn draw_power(&self, power: Watts) -> Result<CapDraw, UltracapError> {
+        let p = power.value();
+        if p == 0.0 {
+            return Ok(CapDraw {
+                voltage: self.voltage(),
+                ..CapDraw::IDLE
+            });
+        }
+        if p > 0.0 && power > self.max_discharge_power() {
+            return Err(UltracapError::PowerInfeasible {
+                requested: power,
+                available: self.max_discharge_power(),
+            });
+        }
+        if p < 0.0 && power.abs() > self.max_charge_power() {
+            return Err(UltracapError::PowerInfeasible {
+                requested: power,
+                available: self.max_charge_power(),
+            });
+        }
+        let v = self.voltage().value();
+        if v <= 0.0 && p > 0.0 {
+            return Err(UltracapError::PowerInfeasible {
+                requested: power,
+                available: Watts::ZERO,
+            });
+        }
+        // With the (tiny) series resistance: P = V·I − R·I².
+        let r = self.params.series_resistance;
+        let i = if r == 0.0 {
+            // Depleted bank accepting charge: current through the
+            // converter at (near-)zero voltage is modelled at rated
+            // voltage to avoid a singularity; the SoE integral uses
+            // internal power anyway.
+            p / v.max(0.05 * self.params.rated_voltage.value())
+        } else {
+            let disc = v * v - 4.0 * r * p;
+            if disc < 0.0 {
+                return Err(UltracapError::PowerInfeasible {
+                    requested: power,
+                    available: Watts::new(v * v / (4.0 * r)),
+                });
+            }
+            (v - disc.sqrt()) / (2.0 * r)
+        };
+        Ok(CapDraw {
+            terminal_power: power,
+            internal_power: Watts::new(v * i),
+            current: Amps::new(i),
+            voltage: Volts::new(v),
+        })
+    }
+
+    /// Applies a resolved operating point for one time step: advances the
+    /// SoE integral (Eq. 9) including the self-discharge leak, clamped
+    /// to `[0, 1]`.
+    pub fn integrate(&mut self, draw: CapDraw, dt: Seconds) {
+        let e_cap = self.params.energy_capacity().value();
+        let delta = draw.internal_power.value() * dt.value() / e_cap;
+        let leak = (-dt.value() / self.params.leakage_time_constant).exp();
+        self.soe = Ratio::new((self.soe.value() - delta) * leak);
+    }
+
+    /// Lets the bank idle (no power exchange) for the given duration:
+    /// only the self-discharge leak acts.
+    pub fn idle(&mut self, dt: Seconds) {
+        self.integrate(CapDraw::IDLE, dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otem_units::Farads;
+
+    fn bank() -> UltracapBank {
+        UltracapBank::new(UltracapParams::default()).expect("valid")
+    }
+
+    #[test]
+    fn voltage_follows_square_root_of_soe(){
+        let mut b = bank();
+        assert_eq!(b.voltage(), b.params().rated_voltage);
+        b.set_soe(Ratio::new(0.25));
+        assert!((b.voltage().value() - 8.0).abs() < 1e-12); // 16 · √0.25
+        b.set_soe(Ratio::ZERO);
+        assert_eq!(b.voltage().value(), 0.0);
+    }
+
+    #[test]
+    fn discharge_lowers_soe_by_energy_fraction() {
+        let mut b = bank();
+        let e_cap = b.params().energy_capacity().value();
+        let draw = b.draw_power(Watts::new(10_000.0)).expect("feasible");
+        b.integrate(draw, Seconds::new(10.0));
+        let expected = (1.0 - 10_000.0 * 10.0 / e_cap)
+            * (-10.0 / b.params().leakage_time_constant).exp();
+        assert!((b.soe().value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charge_raises_soe_and_clamps() {
+        let mut b = bank();
+        b.set_soe(Ratio::new(0.5));
+        let draw = b.draw_power(Watts::new(-20_000.0)).expect("feasible");
+        b.integrate(draw, Seconds::new(5.0));
+        assert!(b.soe().value() > 0.5);
+        // Overcharging clamps at 100 %.
+        for _ in 0..10_000 {
+            if let Ok(d) = b.draw_power(Watts::new(-20_000.0)) {
+                b.integrate(d, Seconds::new(10.0));
+            } else {
+                break;
+            }
+        }
+        assert!(b.soe() <= Ratio::ONE);
+    }
+
+    #[test]
+    fn depleted_bank_rejects_discharge() {
+        let mut b = bank();
+        b.set_soe(Ratio::ZERO);
+        let err = b.draw_power(Watts::new(1_000.0)).unwrap_err();
+        assert!(matches!(err, UltracapError::PowerInfeasible { .. }));
+    }
+
+    #[test]
+    fn full_bank_rejects_charge() {
+        let b = bank();
+        assert!(b.draw_power(Watts::new(-1_000.0)).is_err());
+    }
+
+    #[test]
+    fn power_limit_enforced_both_directions() {
+        let mut b = bank();
+        b.set_soe(Ratio::HALF);
+        let limit = b.params().max_power.value();
+        assert!(b.draw_power(Watts::new(limit * 1.01)).is_err());
+        assert!(b.draw_power(Watts::new(-limit * 1.01)).is_err());
+        assert!(b.draw_power(Watts::new(limit * 0.5)).is_ok());
+    }
+
+    #[test]
+    fn small_bank_depletes_fast_large_bank_rides_through() {
+        // The Fig. 1 premise: at a sustained 15 kW overflow, the 5,000 F
+        // bank dies within a US06 aggressive phase (~60 s), the 25,000 F
+        // bank does not.
+        let sustain = Watts::new(15_000.0);
+        let seconds_alive = |farads: f64| -> u32 {
+            let mut b =
+                UltracapBank::new(UltracapParams::paper_bank(Farads::new(farads))).unwrap();
+            let mut t = 0;
+            while t < 600 {
+                match b.draw_power(sustain) {
+                    Ok(d) => b.integrate(d, Seconds::new(1.0)),
+                    Err(_) => break,
+                }
+                t += 1;
+            }
+            t
+        };
+        let small = seconds_alive(5_000.0);
+        let large = seconds_alive(25_000.0);
+        assert!(small < 60, "5 kF bank lasted {small} s");
+        assert!(large > 180, "25 kF bank lasted only {large} s");
+    }
+
+    #[test]
+    fn zero_power_is_identity() {
+        let b = bank();
+        let d = b.draw_power(Watts::ZERO).expect("always feasible");
+        assert_eq!(d.current, Amps::ZERO);
+        assert_eq!(d.voltage, b.voltage());
+    }
+
+    #[test]
+    fn series_resistance_creates_loss() {
+        let params = UltracapParams {
+            series_resistance: 2.0e-4,
+            ..UltracapParams::default()
+        };
+        let mut b = UltracapBank::new(params).unwrap();
+        b.set_soe(Ratio::new(0.8));
+        let d = b.draw_power(Watts::new(10_000.0)).expect("feasible");
+        assert!(d.loss().value() > 0.0);
+        // Loss is I²R.
+        let expected = d.current.value().powi(2) * 2.0e-4;
+        assert!((d.loss().value() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_bank_leaks_slowly() {
+        let mut b = bank();
+        b.set_soe(Ratio::new(0.8));
+        // One hour of idling: a 40 h time constant loses ≈ 2.5 %.
+        b.idle(Seconds::new(3600.0));
+        let expected = 0.8 * (-1.0f64 / 40.0).exp();
+        assert!((b.soe().value() - expected).abs() < 1e-9);
+        assert!(b.soe().value() > 0.77);
+    }
+
+    #[test]
+    fn leak_is_negligible_at_control_timescales() {
+        let mut b = bank();
+        b.set_soe(Ratio::new(0.8));
+        b.idle(Seconds::new(1.0));
+        assert!((b.soe().value() - 0.8).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stored_energy_tracks_soe() {
+        let mut b = bank();
+        b.set_soe(Ratio::new(0.3));
+        let expected = 0.3 * b.params().energy_capacity().value();
+        assert!((b.stored_energy().value() - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the ultracapacitor model.
+
+use otem_units::Watts;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the ultracapacitor bank model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum UltracapError {
+    /// A parameter was outside its physically meaningful range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The requested power cannot be sustained at the present state of
+    /// energy (the bank is depleted, or the request exceeds its power
+    /// limit).
+    PowerInfeasible {
+        /// The power that was requested.
+        requested: Watts,
+        /// The maximum deliverable power right now.
+        available: Watts,
+    },
+}
+
+impl fmt::Display for UltracapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(
+                f,
+                "invalid ultracapacitor parameter {name} = {value}: must satisfy {constraint}"
+            ),
+            Self::PowerInfeasible {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested ultracapacitor power {requested:.1} exceeds deliverable {available:.1}"
+            ),
+        }
+    }
+}
+
+impl Error for UltracapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_parameter() {
+        let e = UltracapError::InvalidParameter {
+            name: "capacitance",
+            value: 0.0,
+            constraint: "> 0 F",
+        };
+        assert!(e.to_string().contains("capacitance"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UltracapError>();
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the ultracapacitor bank.
+
+use otem_ultracap::{UltracapBank, UltracapParams};
+use otem_units::{Farads, Ratio, Seconds, Watts};
+use proptest::prelude::*;
+
+fn bank_at(farads: f64, soe: f64) -> UltracapBank {
+    let mut b = UltracapBank::new(UltracapParams::paper_bank(Farads::new(farads))).unwrap();
+    b.set_soe(Ratio::new(soe));
+    b
+}
+
+proptest! {
+    #[test]
+    fn soe_stays_in_unit_interval(
+        farads in 1_000.0..30_000.0f64,
+        soe in 0.0..=1.0f64,
+        p_kw in -50.0..50.0f64,
+        dt in 0.1..10.0f64,
+    ) {
+        let mut b = bank_at(farads, soe);
+        if let Ok(draw) = b.draw_power(Watts::new(p_kw * 1000.0)) {
+            b.integrate(draw, Seconds::new(dt));
+            prop_assert!((0.0..=1.0).contains(&b.soe().value()));
+        }
+    }
+
+    #[test]
+    fn voltage_monotonic_in_soe(s1 in 0.0..=1.0f64, s2 in 0.0..=1.0f64) {
+        let b1 = bank_at(25_000.0, s1);
+        let b2 = bank_at(25_000.0, s2);
+        if s1 < s2 {
+            prop_assert!(b1.voltage() <= b2.voltage());
+        }
+        prop_assert!(b1.voltage().value() <= b1.params().rated_voltage.value() + 1e-12);
+    }
+
+    #[test]
+    fn energy_bookkeeping_is_exact_without_resistance(
+        soe in 0.3..0.9f64,
+        p_kw in 1.0..40.0f64,
+        dt in 0.5..5.0f64,
+    ) {
+        let mut b = bank_at(25_000.0, soe);
+        let before = b.stored_energy().value();
+        if let Ok(draw) = b.draw_power(Watts::new(p_kw * 1000.0)) {
+            b.integrate(draw, Seconds::new(dt));
+            let after = b.stored_energy().value();
+            let drained = before - after;
+            // Discharge plus the (tiny) self-discharge leak over dt.
+            let tau = b.params().leakage_time_constant;
+            let expected = before - (before - p_kw * 1000.0 * dt) * (-dt / tau).exp();
+            prop_assert!(
+                (drained - expected).abs() < 1e-6 * expected.max(1.0),
+                "drained {drained} expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn discharge_feasibility_matches_reported_limit(
+        soe in 0.01..1.0f64,
+        frac in 0.1..2.0f64,
+    ) {
+        let b = bank_at(25_000.0, soe);
+        let limit = b.max_discharge_power();
+        let req = Watts::new(limit.value() * frac);
+        let result = b.draw_power(req);
+        if frac <= 1.0 {
+            prop_assert!(result.is_ok(), "{frac} of limit rejected");
+        } else {
+            prop_assert!(result.is_err(), "{frac} of limit accepted");
+        }
+    }
+}

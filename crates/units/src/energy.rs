@@ -1,0 +1,85 @@
+//! Power and energy quantities.
+
+use crate::mechanics::Seconds;
+
+quantity! {
+    /// Power in watts. Positive values are consumption/discharge demand;
+    /// negative values are regeneration/charging throughout the workspace.
+    Watts, "W"
+}
+
+quantity! {
+    /// Power in kilowatts; convenience wrapper for reporting. Internal
+    /// models always compute in [`Watts`].
+    Kilowatts, "kW"
+}
+
+quantity! {
+    /// Energy in joules (watt-seconds).
+    Joules, "J"
+}
+
+dimension_mul!(commute Watts * Seconds = Joules);
+
+impl Watts {
+    /// Converts to kilowatts.
+    #[inline]
+    pub fn to_kilowatts(self) -> Kilowatts {
+        Kilowatts::new(self.value() / 1000.0)
+    }
+}
+
+impl Kilowatts {
+    /// Converts to watts.
+    #[inline]
+    pub fn to_watts(self) -> Watts {
+        Watts::new(self.value() * 1000.0)
+    }
+}
+
+impl From<Kilowatts> for Watts {
+    #[inline]
+    fn from(kw: Kilowatts) -> Self {
+        kw.to_watts()
+    }
+}
+
+impl Joules {
+    /// Converts to watt-hours (1 Wh = 3600 J).
+    #[inline]
+    pub fn to_watt_hours(self) -> f64 {
+        self.value() / 3600.0
+    }
+
+    /// Builds from watt-hours.
+    #[inline]
+    pub fn from_watt_hours(wh: f64) -> Self {
+        Self::new(wh * 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let e: Joules = Watts::new(500.0) * Seconds::new(4.0);
+        assert_eq!(e, Joules::new(2000.0));
+        assert_eq!(e / Seconds::new(4.0), Watts::new(500.0));
+        assert_eq!(e / Watts::new(500.0), Seconds::new(4.0));
+    }
+
+    #[test]
+    fn kilowatt_round_trip() {
+        let p = Watts::new(75_000.0);
+        assert_eq!(p.to_kilowatts(), Kilowatts::new(75.0));
+        assert_eq!(Watts::from(p.to_kilowatts()), p);
+    }
+
+    #[test]
+    fn watt_hours() {
+        assert_eq!(Joules::new(7200.0).to_watt_hours(), 2.0);
+        assert_eq!(Joules::from_watt_hours(1.0), Joules::new(3600.0));
+    }
+}

@@ -1,0 +1,224 @@
+//! The `quantity!` macro: generates an `f64` newtype with the arithmetic
+//! and trait impls every physical quantity in this crate shares.
+
+/// Defines an `f64`-backed physical-quantity newtype.
+///
+/// Generated API per type:
+/// * `new(f64) -> Self`, `value(self) -> f64`
+/// * same-dimension arithmetic: `Add`, `Sub`, `Neg`, `AddAssign`,
+///   `SubAssign`, `Sum`
+/// * scalar scaling: `Mul<f64>`, `f64 * Self`, `Div<f64>`,
+///   and `Div<Self> -> f64` (dimensionless ratio)
+/// * helpers: `abs`, `max`, `min`, `clamp`, `is_finite`, `signum`
+/// * traits: `Clone`, `Copy`, `PartialEq`, `PartialOrd`, `Debug`,
+///   `Default`, `Display` (with unit suffix), serde
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $unit:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wraps a raw `f64` value expressed in the type's base unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw `f64` value in the type's base unit.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Element-wise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Element-wise minimum.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi` or either bound is NaN (delegates to
+            /// [`f64::clamp`]).
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` when the underlying value is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Sign of the quantity (`-1.0`, `0.0`/`-0.0` treated per
+            /// [`f64::signum`], `1.0`).
+            #[inline]
+            pub fn signum(self) -> f64 {
+                self.0.signum()
+            }
+        }
+
+        impl core::fmt::Debug for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, concat!("{:?} ", $unit), self.0)
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, concat!("{:.*} ", $unit), prec, self.0)
+                } else {
+                    write!(f, concat!("{} ", $unit), self.0)
+                }
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+/// Defines `Lhs * Rhs = Out` (and, unless the operands are the same type,
+/// the commuted `Rhs * Lhs = Out`) plus the inverse divisions
+/// `Out / Rhs = Lhs` and `Out / Lhs = Rhs`.
+macro_rules! dimension_mul {
+    ($lhs:ident * $rhs:ident = $out:ident) => {
+        impl core::ops::Mul<$rhs> for $lhs {
+            type Output = $out;
+            #[inline]
+            fn mul(self, rhs: $rhs) -> $out {
+                $out::new(self.value() * rhs.value())
+            }
+        }
+
+        impl core::ops::Div<$rhs> for $out {
+            type Output = $lhs;
+            #[inline]
+            fn div(self, rhs: $rhs) -> $lhs {
+                $lhs::new(self.value() / rhs.value())
+            }
+        }
+
+        impl core::ops::Div<$lhs> for $out {
+            type Output = $rhs;
+            #[inline]
+            fn div(self, rhs: $lhs) -> $rhs {
+                $rhs::new(self.value() / rhs.value())
+            }
+        }
+    };
+    (commute $lhs:ident * $rhs:ident = $out:ident) => {
+        dimension_mul!($lhs * $rhs = $out);
+
+        impl core::ops::Mul<$lhs> for $rhs {
+            type Output = $out;
+            #[inline]
+            fn mul(self, rhs: $lhs) -> $out {
+                $out::new(self.value() * rhs.value())
+            }
+        }
+    };
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the quantity newtypes: the generated
+//! arithmetic must agree with raw `f64` arithmetic, and `Ratio` must stay
+//! inside its invariant interval under every operation.
+
+use otem_units::{Amps, Joules, Kelvin, Ohms, Ratio, Seconds, Volts, Watts};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e9..1e9f64
+}
+
+proptest! {
+    #[test]
+    fn add_matches_f64(a in finite(), b in finite()) {
+        prop_assert_eq!((Watts::new(a) + Watts::new(b)).value(), a + b);
+        prop_assert_eq!((Kelvin::new(a) - Kelvin::new(b)).value(), a - b);
+    }
+
+    #[test]
+    fn scalar_scaling_matches_f64(a in finite(), k in -1e6..1e6f64) {
+        prop_assert_eq!((Joules::new(a) * k).value(), a * k);
+        prop_assert_eq!((k * Joules::new(a)).value(), k * a);
+    }
+
+    #[test]
+    fn dimensional_product_and_inverse(p in 1e-3..1e6f64, t in 1e-3..1e6f64) {
+        let e = Watts::new(p) * Seconds::new(t);
+        prop_assert_eq!(e.value(), p * t);
+        // Division recovers each factor to floating-point accuracy.
+        let p2 = e / Seconds::new(t);
+        let t2 = e / Watts::new(p);
+        prop_assert!((p2.value() - p).abs() <= 1e-9 * p.abs());
+        prop_assert!((t2.value() - t).abs() <= 1e-9 * t.abs());
+    }
+
+    #[test]
+    fn ohms_law_consistency(v in 1e-3..1e4f64, r in 1e-3..1e3f64) {
+        let i: Amps = Volts::new(v) / Ohms::new(r);
+        let v_back: Volts = i * Ohms::new(r);
+        prop_assert!((v_back.value() - v).abs() <= 1e-9 * v);
+    }
+
+    #[test]
+    fn ratio_always_in_unit_interval(x in -10.0..10.0f64, d in -10.0..10.0f64) {
+        let r = Ratio::new(x);
+        prop_assert!((0.0..=1.0).contains(&r.value()));
+        let r2 = r.saturating_add(d);
+        prop_assert!((0.0..=1.0).contains(&r2.value()));
+        let r3 = r * r2;
+        prop_assert!((0.0..=1.0).contains(&r3.value()));
+    }
+
+    #[test]
+    fn ratio_percent_round_trip(p in 0.0..100.0f64) {
+        let r = Ratio::from_percent(p);
+        prop_assert!((r.to_percent() - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kelvin_celsius_round_trip(c in -200.0..1000.0f64) {
+        let k = Kelvin::from_celsius(c);
+        prop_assert!((k.to_celsius().value() - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_matches_iterative_add(values in prop::collection::vec(finite(), 0..50)) {
+        let total: Watts = values.iter().map(|&v| Watts::new(v)).sum();
+        let expected: f64 = values.iter().sum();
+        prop_assert_eq!(total.value(), expected);
+    }
+}

@@ -1,0 +1,54 @@
+//! How much is missing future knowledge worth? Compare receding-horizon
+//! OTEM (short forecast window) against the clairvoyant DP charge
+//! allocator (whole route known, energy-only objective) on a pulsed
+//! commute.
+//!
+//! ```sh
+//! cargo run --release --example clairvoyant_gap
+//! ```
+
+use otem_repro::control::mpc::MpcConfig;
+use otem_repro::control::planner::{plan_split, PlannerConfig};
+use otem_repro::control::policy::Otem;
+use otem_repro::control::{Simulator, SystemConfig};
+use otem_repro::drivecycle::{standard, Powertrain, StandardCycle, VehicleParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SystemConfig::default();
+    let cycle = standard(StandardCycle::Us06)?;
+    let trace = Powertrain::new(VehicleParams::midsize_ev())?.power_trace(&cycle);
+
+    // The clairvoyant bound: whole route, energy-only DP.
+    let plan = plan_split(&config, &trace, &PlannerConfig::default())?;
+
+    // Battery-only reference.
+    let mpc_off = MpcConfig {
+        w2: 0.0,
+        horizon: 1,
+        ..MpcConfig::default()
+    };
+    let mut solo = Otem::with_mpc(&config, mpc_off)?;
+    let solo_energy = Simulator::new(&config).run(&mut solo, &trace).energy();
+
+    println!("US06, {:.1} km, energy to complete the route:", cycle.distance().value() / 1000.0);
+    println!("  battery-dominated (no lookahead) : {:.3} MJ", solo_energy.value() / 1e6);
+    for horizon in [4usize, 12, 24] {
+        let mpc = MpcConfig {
+            w2: 0.0, // energy-only, apples-to-apples with the DP
+            horizon,
+            ..MpcConfig::default()
+        };
+        let mut otem = Otem::with_mpc(&config, mpc)?;
+        let r = Simulator::new(&config).run(&mut otem, &trace);
+        let gap = (r.energy().value() / plan.energy.value() - 1.0) * 100.0;
+        println!(
+            "  OTEM, {horizon:>2} s window              : {:.3} MJ  ({gap:+.1}% vs clairvoyant)",
+            r.energy().value() / 1e6
+        );
+    }
+    println!("  clairvoyant DP (whole route)     : {:.3} MJ", plan.energy.value() / 1e6);
+    println!("\nEven a 4 s causal window lands within a few percent of the non-causal");
+    println!("optimum on pure energy — longer windows buy *lifetime* (thermal");
+    println!("preparation), not energy, which is why OTEM's joint objective matters.");
+    Ok(())
+}
