@@ -36,6 +36,21 @@ pub struct Cell {
     degradation: f64,
 }
 
+/// Point-in-time copy of a [`Cell`]'s mutable state (state of charge and
+/// cumulative degradation).
+///
+/// A cell's parameters are immutable after construction, so this tiny
+/// `Copy` struct is all that [`Cell::restore`] needs to rewind the cell
+/// exactly — the basis for allocation-free what-if rollouts higher up the
+/// stack. Note that [`Cell::apply_degradation`] is deliberately monotone;
+/// `restore` is the only way to move degradation backwards, and it exists
+/// precisely for speculative evaluation, not for healing a real cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellSnapshot {
+    soc: Ratio,
+    degradation: f64,
+}
+
 impl Cell {
     /// Creates a cell at the given initial state of charge.
     ///
@@ -135,6 +150,20 @@ impl Cell {
         let i_peak = voc / (2.0 * r);
         let i = i_peak.min(self.params.max_discharge_current);
         Watts::new(voc * i - r * i * i)
+    }
+
+    /// Captures the cell's mutable state for a later [`Cell::restore`].
+    pub fn snapshot(&self) -> CellSnapshot {
+        CellSnapshot {
+            soc: self.soc,
+            degradation: self.degradation,
+        }
+    }
+
+    /// Rewinds the cell to a previously captured [`CellSnapshot`].
+    pub fn restore(&mut self, snapshot: CellSnapshot) {
+        self.soc = snapshot.soc;
+        self.degradation = snapshot.degradation;
     }
 
     /// Advances the coulomb counter by one time step (Eq. 1):
@@ -250,6 +279,22 @@ mod tests {
         fresh.integrate_current(Amps::new(3.1), Seconds::new(1800.0));
         c.integrate_current(Amps::new(3.1), Seconds::new(1800.0));
         assert!(c.soc() < fresh.soc());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_exactly() {
+        let mut c = cell();
+        c.set_soc(Ratio::new(0.73));
+        c.apply_degradation(0.04);
+        let saved = c.snapshot();
+        let reference = c.clone();
+        c.integrate_current(Amps::new(3.1), Seconds::new(600.0));
+        c.apply_degradation(0.02);
+        assert_ne!(c, reference);
+        c.restore(saved);
+        // Bit-exact: restore must undo speculative mutation completely,
+        // including degradation (which apply_degradation alone cannot).
+        assert_eq!(c, reference);
     }
 
     #[test]

@@ -43,9 +43,9 @@ mod params;
 mod transient;
 
 pub use aging::{AgingModel, AgingParams};
-pub use cell::Cell;
+pub use cell::{Cell, CellSnapshot};
 pub use error::BatteryError;
 pub use estimator::{EkfConfig, SocEstimator};
-pub use pack::{BatteryPack, PackConfig, PowerDraw};
+pub use pack::{BatteryPack, PackConfig, PackSnapshot, PowerDraw};
 pub use params::{CellParams, OcvCurve, ResistanceCurve};
 pub use transient::{RcPair, TransientCell};

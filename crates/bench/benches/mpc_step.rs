@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use otem::mpc::{Mpc, MpcConfig, MpcPlant};
 use otem::SystemConfig;
 use otem_hees::HybridHees;
+use otem_solver::GradientMode;
 use otem_thermal::{CoolingPlant, ThermalModel, ThermalState};
 use otem_units::{Kelvin, Ratio, Seconds, Watts};
 
@@ -45,5 +46,37 @@ fn bench_mpc(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mpc);
+/// Serial vs parallel finite-difference gradients at a fixed horizon.
+/// The two modes produce bit-identical decisions (see the parity tests
+/// in `otem::mpc`), so the only difference is wall time.
+fn bench_gradient_modes(c: &mut Criterion) {
+    let config = SystemConfig::default();
+    let p = plant(&config);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("mpc_gradient_mode");
+    group.sample_size(10);
+    for horizon in [12usize, 24] {
+        let loads: Vec<Watts> = (0..horizon)
+            .map(|k| Watts::new(20_000.0 + 40_000.0 * ((k % 5) as f64 / 4.0)))
+            .collect();
+        for (label, mode) in [
+            ("serial", GradientMode::Serial),
+            ("parallel", GradientMode::Parallel { threads }),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, horizon), &horizon, |b, _| {
+                let mut mpc = Mpc::new(MpcConfig {
+                    horizon,
+                    gradient_mode: mode,
+                    ..MpcConfig::default()
+                });
+                b.iter(|| mpc.solve(&p, &loads, Seconds::new(1.0)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpc, bench_gradient_modes);
 criterion_main!(benches);

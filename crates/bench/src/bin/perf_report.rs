@@ -1,0 +1,155 @@
+//! Performance trajectory for the MPC hot path: serial vs parallel
+//! finite-difference gradients across horizon lengths.
+//!
+//! Runs warm-started `Mpc::solve` repetitions at horizons {12, 24, 48}
+//! in [`GradientMode::Serial`] and [`GradientMode::Parallel`] and writes
+//! `BENCH_mpc.json` (per-solve latency, rollouts/second, speedup) so
+//! later changes have a baseline to compare against.
+//!
+//! Usage: `cargo run --release -p otem-bench --bin perf_report -- [threads]`
+//! (thread count defaults to the machine's available parallelism). The
+//! two modes produce bit-identical decisions — asserted here on every
+//! repetition — so the comparison is purely about wall time.
+
+use otem::mpc::{Mpc, MpcConfig, MpcPlant};
+use otem::SystemConfig;
+use otem_hees::HybridHees;
+use otem_solver::GradientMode;
+use otem_thermal::{CoolingPlant, ThermalModel, ThermalState};
+use otem_units::{Kelvin, Ratio, Seconds, Watts};
+use std::time::Instant;
+
+const HORIZONS: [usize; 3] = [12, 24, 48];
+const REPS: usize = 8;
+
+fn plant(config: &SystemConfig) -> MpcPlant {
+    let mut hees = HybridHees::ev_default(config.capacitance).unwrap();
+    hees.set_state(Ratio::new(0.8), Ratio::new(0.6));
+    MpcPlant {
+        hees,
+        thermal: ThermalModel::new(config.thermal_active).unwrap(),
+        plant: CoolingPlant::new(config.plant).unwrap(),
+        state: ThermalState::uniform(Kelvin::from_celsius(33.0)),
+        aging: config.aging,
+        soc_min: config.soc_min,
+        soe_min: config.soe_min,
+        battery_power_max: config.battery_power_max,
+        cap_power_max: config.cap_power_max,
+    }
+}
+
+struct ModeStats {
+    mean_ms: f64,
+    min_ms: f64,
+    rollouts_per_sec: f64,
+    /// First decision, for the cross-mode parity check.
+    cap_bus: f64,
+    cool_duty: f64,
+}
+
+fn run_mode(p: &MpcPlant, loads: &[Watts], horizon: usize, mode: GradientMode) -> ModeStats {
+    let mut mpc = Mpc::new(MpcConfig {
+        horizon,
+        gradient_mode: mode,
+        ..MpcConfig::default()
+    });
+    let dt = Seconds::new(1.0);
+    // Warm-up solve: populates the workspace pool and the warm start, so
+    // the timed repetitions measure the steady state.
+    let first = mpc.solve(p, loads, dt);
+    let rollouts_before = mpc.rollouts();
+    let mut latencies_ms = Vec::with_capacity(REPS);
+    let started = Instant::now();
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let d = mpc.solve(p, loads, dt);
+        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert!(d.cap_bus.is_finite(), "solve produced a non-finite command");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let rollouts = mpc.rollouts() - rollouts_before;
+    ModeStats {
+        mean_ms: latencies_ms.iter().sum::<f64>() / REPS as f64,
+        min_ms: latencies_ms.iter().copied().fold(f64::INFINITY, f64::min),
+        rollouts_per_sec: rollouts as f64 / elapsed,
+        cap_bus: first.cap_bus.value(),
+        cool_duty: first.cool_duty,
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(cores);
+    let config = SystemConfig::default();
+    let p = plant(&config);
+
+    println!(
+        "{:<8} {:>12} {:>12} {:>14} {:>14} {:>9}",
+        "horizon", "serial_ms", "par_ms", "serial_ro/s", "par_ro/s", "speedup"
+    );
+    let mut rows = Vec::new();
+    for horizon in HORIZONS {
+        let loads: Vec<Watts> = (0..horizon)
+            .map(|k| Watts::new(20_000.0 + 40_000.0 * ((k % 5) as f64 / 4.0)))
+            .collect();
+        let serial = run_mode(&p, &loads, horizon, GradientMode::Serial);
+        let parallel = run_mode(&p, &loads, horizon, GradientMode::Parallel { threads });
+        assert_eq!(
+            serial.cap_bus.to_bits(),
+            parallel.cap_bus.to_bits(),
+            "horizon {horizon}: parallel decision diverged from serial"
+        );
+        assert_eq!(serial.cool_duty.to_bits(), parallel.cool_duty.to_bits());
+        let speedup = serial.mean_ms / parallel.mean_ms;
+        println!(
+            "{:<8} {:>12.3} {:>12.3} {:>14.0} {:>14.0} {:>9.2}",
+            horizon,
+            serial.mean_ms,
+            parallel.mean_ms,
+            serial.rollouts_per_sec,
+            parallel.rollouts_per_sec,
+            speedup
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"horizon\": {},\n",
+                "      \"serial\": {{ \"mean_ms\": {:.4}, \"min_ms\": {:.4}, \"rollouts_per_sec\": {:.0} }},\n",
+                "      \"parallel\": {{ \"mean_ms\": {:.4}, \"min_ms\": {:.4}, \"rollouts_per_sec\": {:.0} }},\n",
+                "      \"speedup\": {:.3}\n",
+                "    }}"
+            ),
+            horizon,
+            serial.mean_ms,
+            serial.min_ms,
+            serial.rollouts_per_sec,
+            parallel.mean_ms,
+            parallel.min_ms,
+            parallel.rollouts_per_sec,
+            speedup
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"mpc_solve_serial_vs_parallel\",\n",
+            "  \"solves_per_mode\": {},\n",
+            "  \"cpu_cores\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        REPS,
+        cores,
+        threads,
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_mpc.json", &json).expect("write BENCH_mpc.json");
+    println!("\nwrote BENCH_mpc.json ({threads} threads on {cores} cores)");
+}

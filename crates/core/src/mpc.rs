@@ -23,11 +23,13 @@
 //! receding-horizon practice).
 
 use otem_battery::AgingParams;
-use otem_hees::{HybridCommand, HybridHees};
-use otem_solver::{Bounds, Objective, ProjectedGradient, Solution};
+use otem_hees::{HeesSnapshot, HybridCommand, HybridHees};
+use otem_solver::{Bounds, GradientMode, NumericalGradient, Objective, ProjectedGradient, Solution};
 use otem_thermal::{CoolingPlant, ThermalModel, ThermalState};
 use otem_units::{Kelvin, Ratio, Seconds, Watts};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Tuning of the OTEM optimisation (Eq. 19 weights, horizon, penalties).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -67,6 +69,13 @@ pub struct MpcConfig {
     /// block's move is applied for one control period and the problem is
     /// re-solved (standard receding-horizon practice).
     pub block_size: usize,
+    /// How the finite-difference gradient of the rollout objective is
+    /// evaluated. [`GradientMode::Parallel`] fans the `2·horizon`
+    /// coordinates out across scoped threads with bit-identical results,
+    /// cutting solve latency roughly by the thread count on multi-core
+    /// hardware (the gradient dominates the solve: each one costs
+    /// `4·horizon` rollouts).
+    pub gradient_mode: GradientMode,
 }
 
 impl Default for MpcConfig {
@@ -85,6 +94,7 @@ impl Default for MpcConfig {
             warm_start: true,
             terminal_tail: 600.0,
             block_size: 1,
+            gradient_mode: GradientMode::Serial,
         }
     }
 }
@@ -134,6 +144,12 @@ pub struct Mpc {
     config: MpcConfig,
     previous: Option<Vec<f64>>,
     solver: ProjectedGradient,
+    // Cached per-solve buffers: the problem dimension is fixed by the
+    // config, so bounds and the warm-start vector are built once and
+    // reused across every control period.
+    bounds: Bounds,
+    x0: Vec<f64>,
+    pool: WorkspacePool,
 }
 
 impl Mpc {
@@ -142,12 +158,21 @@ impl Mpc {
         let solver = ProjectedGradient {
             max_iterations: config.solver_iterations,
             tolerance: 1e-5,
+            gradient_mode: config.gradient_mode,
             ..ProjectedGradient::default()
         };
+        let n = config.horizon;
+        let mut lower = vec![-1.0; n];
+        lower.extend(std::iter::repeat_n(0.0, n));
+        let mut upper = vec![1.0; n];
+        upper.extend(std::iter::repeat_n(1.0, n));
         Self {
             config,
             previous: None,
             solver,
+            bounds: Bounds::new(lower, upper),
+            x0: vec![0.0; 2 * n],
+            pool: WorkspacePool::new(),
         }
     }
 
@@ -161,46 +186,45 @@ impl Mpc {
         self.previous = None;
     }
 
+    /// Total plant rollouts performed by [`Mpc::solve`] so far — the
+    /// MPC's unit of work (each objective evaluation simulates the whole
+    /// horizon once). Benchmarks divide this by wall time to report
+    /// rollouts/second.
+    pub fn rollouts(&self) -> u64 {
+        self.pool.rollouts.load(Ordering::Relaxed)
+    }
+
     /// Solves the control window given the plant snapshot and the load
     /// forecast (`loads[0]` is the period being decided). Returns the
     /// first move, retaining the full solution as the next warm start.
     pub fn solve(&mut self, plant: &MpcPlant, loads: &[Watts], dt: Seconds) -> MpcDecision {
         let n = self.config.horizon;
-        let dim = 2 * n;
 
         // Decision vector layout: [cap_share_0..n-1, cool_duty_0..n-1],
         // cap shares normalised by the C7 limit into [-1, 1].
-        let mut x0 = vec![0.0; dim];
+        self.x0.clear();
+        self.x0.resize(2 * n, 0.0);
         if self.config.warm_start {
             if let Some(prev) = &self.previous {
-                // Shift by one period, repeating the tail.
-                for k in 0..n - 1 {
-                    x0[k] = prev[k + 1];
-                    x0[n + k] = prev[n + k + 1];
-                }
-                x0[n - 1] = prev[n - 1];
-                x0[2 * n - 1] = prev[2 * n - 1];
+                warm_start_shift(&mut self.x0, prev, n, self.config.block_size);
             }
         }
 
-        let mut lower = vec![-1.0; n];
-        lower.extend(std::iter::repeat_n(0.0, n));
-        let mut upper = vec![1.0; n];
-        upper.extend(std::iter::repeat_n(1.0, n));
-        let bounds = Bounds::new(lower, upper);
-
+        self.pool.rebind(&plant.hees);
         let objective = RolloutObjective {
             plant,
             loads,
             dt,
             config: &self.config,
+            pool: &self.pool,
+            start: plant.hees.snapshot(),
         };
         let Solution {
             x,
             value,
             iterations,
             converged,
-        } = self.solver.minimize(&objective, &bounds, &x0);
+        } = self.solver.minimize_sync(&objective, &self.bounds, &self.x0);
 
         let decision = MpcDecision {
             cap_bus: Watts::new(x[0] * plant.cap_power_max.value()),
@@ -214,21 +238,186 @@ impl Mpc {
     }
 }
 
+/// Warm-starts `x0` from the previous period's plan `prev` (both laid out
+/// as `[cap_share_0..n-1, cool_duty_0..n-1]`).
+///
+/// One *control period* has elapsed since `prev` was planned, but each
+/// decision block spans `block` periods — so the plan must advance by the
+/// fraction `1/block` of a block, not a whole block. A whole-index shift
+/// (the `block == 1` case) would discard `block − 1` periods of
+/// still-valid plan; instead each block is blended with its successor in
+/// proportion to how far the elapsed period has slid the window:
+/// `x0[k] = (1 − 1/block)·prev[k] + (1/block)·prev[k+1]`, with the tail
+/// block repeated.
+fn warm_start_shift(x0: &mut [f64], prev: &[f64], n: usize, block: usize) {
+    debug_assert_eq!(x0.len(), 2 * n);
+    debug_assert_eq!(prev.len(), 2 * n);
+    let block = block.max(1);
+    if block == 1 {
+        for k in 0..n - 1 {
+            x0[k] = prev[k + 1];
+            x0[n + k] = prev[n + k + 1];
+        }
+    } else {
+        let frac = 1.0 / block as f64;
+        for k in 0..n - 1 {
+            x0[k] = (1.0 - frac) * prev[k] + frac * prev[k + 1];
+            x0[n + k] = (1.0 - frac) * prev[n + k] + frac * prev[n + k + 1];
+        }
+    }
+    x0[n - 1] = prev[n - 1];
+    x0[2 * n - 1] = prev[2 * n - 1];
+}
+
+/// Per-evaluation scratch owned by one worker: a long-lived plant model
+/// that is rewound with [`HybridHees::restore`] before every rollout
+/// (instead of deep-cloning the plant per evaluation) plus a perturbation
+/// buffer for finite differences. Once warm, evaluating the objective or
+/// one gradient coordinate touches no allocator.
+struct RolloutWorkspace {
+    hees: HybridHees,
+    xp: Vec<f64>,
+}
+
+/// Shared pool of [`RolloutWorkspace`]s, sized on demand (one per
+/// concurrently evaluating thread) and retained across solves.
+struct WorkspacePool {
+    slots: Mutex<Vec<RolloutWorkspace>>,
+    rollouts: AtomicU64,
+}
+
+impl WorkspacePool {
+    fn new() -> Self {
+        Self {
+            slots: Mutex::new(Vec::new()),
+            rollouts: AtomicU64::new(0),
+        }
+    }
+
+    /// Drops pooled workspaces whose plant no longer matches `source`
+    /// beyond its mutable state — after syncing state, any surviving
+    /// difference means the caller switched to a differently-parameterised
+    /// plant, and reusing the workspace would silently roll out the wrong
+    /// model. Runs once per solve over at most a handful of slots.
+    fn rebind(&self, source: &HybridHees) {
+        let snapshot = source.snapshot();
+        let mut slots = self.slots.lock().expect("workspace pool poisoned");
+        slots.retain_mut(|ws| {
+            ws.hees.restore(snapshot);
+            ws.hees == *source
+        });
+    }
+
+    /// Pops a pooled workspace, or builds one from `source` on first use
+    /// (the only time a plant clone happens).
+    fn take(&self, source: &HybridHees) -> RolloutWorkspace {
+        let pooled = self.slots.lock().expect("workspace pool poisoned").pop();
+        pooled.unwrap_or_else(|| RolloutWorkspace {
+            hees: source.clone(),
+            xp: Vec::new(),
+        })
+    }
+
+    fn put(&self, workspace: RolloutWorkspace) {
+        self.slots
+            .lock()
+            .expect("workspace pool poisoned")
+            .push(workspace);
+    }
+}
+
+impl Clone for WorkspacePool {
+    // Workspaces are lazily rebuilt caches; a clone starts empty but
+    // carries the rollout count so the work statistic stays monotone.
+    fn clone(&self) -> Self {
+        Self {
+            slots: Mutex::new(Vec::new()),
+            rollouts: AtomicU64::new(self.rollouts.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkspacePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkspacePool")
+            .field("slots", &self.slots.lock().map(|s| s.len()).unwrap_or(0))
+            .field("rollouts", &self.rollouts.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
 struct RolloutObjective<'a> {
     plant: &'a MpcPlant,
     loads: &'a [Watts],
     dt: Seconds,
     config: &'a MpcConfig,
+    pool: &'a WorkspacePool,
+    /// The plant's state when the solve began; every rollout starts by
+    /// rewinding its workspace here, exactly like a fresh clone would.
+    start: HeesSnapshot,
+}
+
+impl RolloutObjective<'_> {
+    /// One rollout through a workspace plant: rewind, simulate, score.
+    fn eval_with(&self, hees: &mut HybridHees, z: &[f64]) -> f64 {
+        hees.restore(self.start);
+        self.pool.rollouts.fetch_add(1, Ordering::Relaxed);
+        rollout_cost_with(self.plant, hees, self.loads, self.dt, self.config, z)
+    }
+
+    /// Central differences over the coordinate window starting at `start`,
+    /// through one pooled workspace.
+    fn gradient_window(&self, x: &[f64], grad_chunk: &mut [f64], start: usize) {
+        let mut ws = self.pool.take(&self.plant.hees);
+        ws.xp.clear();
+        ws.xp.extend_from_slice(x);
+        let RolloutWorkspace { hees, xp } = &mut ws;
+        NumericalGradient::central_range(xp, grad_chunk, start, |z| self.eval_with(hees, z));
+        self.pool.put(ws);
+    }
 }
 
 impl Objective for RolloutObjective<'_> {
     fn value(&self, z: &[f64]) -> f64 {
-        rollout_cost(self.plant, self.loads, self.dt, self.config, z)
+        let mut ws = self.pool.take(&self.plant.hees);
+        let cost = self.eval_with(&mut ws.hees, z);
+        self.pool.put(ws);
+        cost
+    }
+
+    fn gradient(&self, x: &[f64], grad: &mut [f64]) {
+        self.gradient_with(x, grad, self.config.gradient_mode);
+    }
+
+    // Explicit impl so both modes run through pooled workspaces: the
+    // default parallel path would clone the perturbation point per call
+    // and the default serial path would deep-clone the plant per rollout.
+    fn gradient_with(&self, x: &[f64], grad: &mut [f64], mode: GradientMode) {
+        assert_eq!(grad.len(), x.len(), "gradient buffer length mismatch");
+        let n = x.len();
+        let threads = match mode {
+            GradientMode::Serial => 1,
+            GradientMode::Parallel { threads } => threads.clamp(1, n.max(1)),
+        };
+        if threads <= 1 {
+            self.gradient_window(x, grad, 0);
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (idx, grad_chunk) in grad.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || self.gradient_window(x, grad_chunk, idx * chunk));
+            }
+        });
     }
 }
 
 /// Simulates the horizon under the candidate controls and returns the
 /// Eq. 19 cost plus constraint penalties.
+///
+/// Clones the plant's HEES once per call; the MPC's inner loop avoids
+/// even that by routing through a pooled workspace instead
+/// (see [`Mpc::solve`]).
 pub fn rollout_cost(
     plant: &MpcPlant,
     loads: &[Watts],
@@ -236,13 +425,26 @@ pub fn rollout_cost(
     config: &MpcConfig,
     z: &[f64],
 ) -> f64 {
+    let mut hees = plant.hees.clone();
+    rollout_cost_with(plant, &mut hees, loads, dt, config, z)
+}
+
+/// [`rollout_cost`] against a caller-provided HEES instance, which must
+/// already be in the plant's start state (`hees == plant.hees`); it is
+/// left in the end-of-horizon state. Allocation-free.
+fn rollout_cost_with(
+    plant: &MpcPlant,
+    hees: &mut HybridHees,
+    loads: &[Watts],
+    dt: Seconds,
+    config: &MpcConfig,
+    z: &[f64],
+) -> f64 {
     let n = config.horizon;
     debug_assert_eq!(z.len(), 2 * n);
-    let mut hees = plant.hees.clone();
     let mut state = plant.state;
     let dtv = dt.value();
     let mut cost = 0.0;
-    let mut c_rate_sum = 0.0;
 
     for k in 0..n {
         let load = loads.get(k).copied().unwrap_or(Watts::ZERO);
@@ -300,8 +502,6 @@ pub fn rollout_cost(
 
         let over_p = (battery_bus.value().abs() - plant.battery_power_max.value()).max(0.0);
         cost += config.power_penalty * over_p * over_p;
-
-        c_rate_sum += step.battery_c_rate;
     }
 
     // Terminal cost: the horizon is far shorter than the pack's thermal
@@ -311,7 +511,6 @@ pub fn rollout_cost(
     // excluding the cooling-induced battery current, which would
     // otherwise make the tail punish the very cooling that lowers the
     // terminal temperature.
-    let _ = c_rate_sum;
     if config.terminal_tail > 0.0 {
         let mean_load: f64 = loads
             .iter()
@@ -452,9 +651,7 @@ mod tests {
         let loads = vec![Watts::new(15_000.0); n];
         let dt = Seconds::new(1.0);
         let mut z_cool = vec![0.0; 2 * n];
-        for k in n..2 * n {
-            z_cool[k] = 1.0;
-        }
+        z_cool[n..].fill(1.0);
         let z_off = vec![0.0; 2 * n];
 
         let with_tail = MpcConfig {
@@ -497,6 +694,182 @@ mod tests {
         assert!(d.cap_bus.is_finite());
         assert!((0.0..=1.0).contains(&d.cool_duty));
         assert!(d.cap_bus.abs() <= p.cap_power_max + Watts::new(1e-6));
+    }
+
+    #[test]
+    fn pooled_rollouts_match_clone_based_rollouts_bitwise() {
+        // The pooled snapshot/restore path must be indistinguishable from
+        // a fresh plant clone per evaluation — including on reuse, when
+        // the workspace still carries the previous rollout's end state.
+        let config = SystemConfig::default();
+        let mut p = plant(&config);
+        p.hees.set_state(Ratio::new(0.9), Ratio::new(0.45));
+        let cfg = MpcConfig {
+            horizon: 6,
+            ..MpcConfig::default()
+        };
+        let loads: Vec<Watts> = (0..6).map(|k| Watts::new(8_000.0 * k as f64)).collect();
+        let dt = Seconds::new(1.0);
+        let pool = WorkspacePool::new();
+        let objective = RolloutObjective {
+            plant: &p,
+            loads: &loads,
+            dt,
+            config: &cfg,
+            pool: &pool,
+            start: p.hees.snapshot(),
+        };
+        let mut z = vec![0.0; 12];
+        for (i, zi) in z.iter_mut().enumerate() {
+            *zi = if i < 6 { 0.1 * i as f64 - 0.2 } else { 0.15 * (i - 6) as f64 };
+        }
+        for _ in 0..3 {
+            let pooled = objective.value(&z);
+            let cloned = rollout_cost(&p, &loads, dt, &cfg, &z);
+            assert_eq!(pooled.to_bits(), cloned.to_bits());
+        }
+        assert_eq!(objective.pool.rollouts.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn parallel_gradient_is_bit_identical_for_the_rollout_objective() {
+        let config = SystemConfig::default();
+        let mut p = plant(&config);
+        p.hees.set_state(Ratio::new(0.8), Ratio::new(0.5));
+        p.state = ThermalState::uniform(Kelvin::from_celsius(33.0));
+        let cfg = MpcConfig {
+            horizon: 8,
+            ..MpcConfig::default()
+        };
+        let loads: Vec<Watts> = (0..8)
+            .map(|k| Watts::new(5_000.0 + 9_000.0 * (k % 3) as f64))
+            .collect();
+        let dt = Seconds::new(1.0);
+        let pool = WorkspacePool::new();
+        let objective = RolloutObjective {
+            plant: &p,
+            loads: &loads,
+            dt,
+            config: &cfg,
+            pool: &pool,
+            start: p.hees.snapshot(),
+        };
+        let dim = 16;
+        let z: Vec<f64> = (0..dim)
+            .map(|i| if i < 8 { 0.05 * i as f64 - 0.15 } else { 0.1 * (i - 8) as f64 })
+            .collect();
+
+        // Reference: plain finite differences over the public clone-based
+        // rollout_cost — the pooled paths must reproduce it bit-for-bit.
+        let reference_f =
+            otem_solver::FnObjective::new(|zz: &[f64]| rollout_cost(&p, &loads, dt, &cfg, zz));
+        let mut reference = vec![0.0; dim];
+        NumericalGradient::central(&reference_f, &z, &mut reference);
+
+        let mut serial = vec![0.0; dim];
+        objective.gradient_with(&z, &mut serial, GradientMode::Serial);
+        assert_eq!(
+            serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "pooled serial gradient deviates from clone-based reference"
+        );
+
+        for threads in [2, 3, 4, 16] {
+            let mut parallel = vec![0.0; dim];
+            objective.gradient_with(&z, &mut parallel, GradientMode::Parallel { threads });
+            assert_eq!(
+                parallel.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_solve_decisions_are_bit_identical_to_serial() {
+        let config = SystemConfig::default();
+        let mut p = plant(&config);
+        p.state = ThermalState::uniform(Kelvin::from_celsius(36.0));
+        let loads: Vec<Watts> = (0..8)
+            .map(|k| Watts::new(if k >= 4 { 70_000.0 } else { 3_000.0 }))
+            .collect();
+        let mut serial_mpc = Mpc::new(MpcConfig {
+            horizon: 8,
+            ..MpcConfig::default()
+        });
+        let mut parallel_mpc = Mpc::new(MpcConfig {
+            horizon: 8,
+            gradient_mode: GradientMode::Parallel { threads: 4 },
+            ..MpcConfig::default()
+        });
+        // Several warm-started periods: divergence anywhere would compound.
+        for _ in 0..3 {
+            let a = serial_mpc.solve(&p, &loads, Seconds::new(1.0));
+            let b = parallel_mpc.solve(&p, &loads, Seconds::new(1.0));
+            assert_eq!(a.cap_bus.value().to_bits(), b.cap_bus.value().to_bits());
+            assert_eq!(a.cool_duty.to_bits(), b.cool_duty.to_bits());
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(a.converged, b.converged);
+        }
+        assert!(serial_mpc.rollouts() > 0);
+        assert_eq!(serial_mpc.rollouts(), parallel_mpc.rollouts());
+    }
+
+    #[test]
+    fn warm_start_shift_blends_fractionally_under_blocking() {
+        let n = 4;
+        let prev: Vec<f64> = vec![
+            0.8, 0.4, -0.6, 0.2, // cap shares
+            0.1, 0.9, 0.3, 0.7, // duties
+        ];
+        // block_size 1: whole-index shift, tail repeated.
+        let mut shifted = vec![0.0; 2 * n];
+        warm_start_shift(&mut shifted, &prev, n, 1);
+        assert_eq!(shifted, vec![0.4, -0.6, 0.2, 0.2, 0.9, 0.3, 0.7, 0.7]);
+        // block_size 4: one elapsed period is a quarter block, so the
+        // plan advances by a quarter of the gap to the next block instead
+        // of throwing three still-valid periods away.
+        let mut blended = vec![0.0; 2 * n];
+        warm_start_shift(&mut blended, &prev, n, 4);
+        let expect = |a: f64, b: f64| 0.75 * a + 0.25 * b;
+        for (k, &want) in [
+            expect(0.8, 0.4),
+            expect(0.4, -0.6),
+            expect(-0.6, 0.2),
+            0.2,
+            expect(0.1, 0.9),
+            expect(0.9, 0.3),
+            expect(0.3, 0.7),
+            0.7,
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert!((blended[k] - want).abs() < 1e-15, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn workspace_pool_rebinds_on_plant_change() {
+        // A pooled workspace built against one plant must not survive a
+        // switch to a differently-parameterised plant.
+        let config = SystemConfig::default();
+        let p = plant(&config);
+        let pool = WorkspacePool::new();
+        let ws = pool.take(&p.hees);
+        pool.put(ws);
+        pool.rebind(&p.hees);
+        assert_eq!(pool.slots.lock().unwrap().len(), 1, "same plant retained");
+
+        let mut other = HybridHees::ev_default(Farads::new(5_000.0)).unwrap();
+        other.set_state(Ratio::new(0.7), Ratio::new(0.7));
+        pool.rebind(&other);
+        assert_eq!(
+            pool.slots.lock().unwrap().len(),
+            0,
+            "different capacitance must evict the stale workspace"
+        );
     }
 
     #[test]

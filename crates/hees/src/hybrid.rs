@@ -3,7 +3,7 @@
 
 use crate::error::HeesError;
 use crate::step::HeesStep;
-use otem_battery::{BatteryPack, CellParams, PackConfig};
+use otem_battery::{BatteryPack, CellParams, PackConfig, PackSnapshot};
 use otem_converter::DcDcConverter;
 use otem_ultracap::{UltracapBank, UltracapParams};
 use otem_units::{Farads, Kelvin, Ratio, Seconds, Watts};
@@ -64,6 +64,22 @@ pub struct HybridHees {
     cap: UltracapBank,
     battery_converter: DcDcConverter,
     cap_converter: DcDcConverter,
+}
+
+/// Point-in-time copy of a [`HybridHees`]'s mutable state.
+///
+/// [`HybridHees::step`] mutates only the battery's coulomb counter and
+/// the ultracapacitor's state of energy; converters and all parameters
+/// are immutable. This `Copy` struct therefore captures the whole plant
+/// state, letting speculative rollouts run
+/// [`HybridHees::snapshot`] → mutate → [`HybridHees::restore`] on one
+/// long-lived plant instead of deep-cloning the plant per evaluation —
+/// the MPC's gradient loop does exactly this thousands of times per
+/// solve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeesSnapshot {
+    battery: PackSnapshot,
+    soe: Ratio,
 }
 
 impl HybridHees {
@@ -141,6 +157,22 @@ impl HybridHees {
     pub fn set_state(&mut self, soc: Ratio, soe: Ratio) {
         self.battery.set_soc(soc);
         self.cap.set_soe(soe);
+    }
+
+    /// Captures the plant's mutable state for a later
+    /// [`HybridHees::restore`]. Never allocates.
+    pub fn snapshot(&self) -> HeesSnapshot {
+        HeesSnapshot {
+            battery: self.battery.snapshot(),
+            soe: self.cap.soe(),
+        }
+    }
+
+    /// Rewinds the plant to a previously captured [`HeesSnapshot`].
+    /// Never allocates.
+    pub fn restore(&mut self, snapshot: HeesSnapshot) {
+        self.battery.restore(snapshot.battery);
+        self.cap.set_soe(snapshot.soe);
     }
 
     /// Largest bus-side power the battery path can deliver right now.
@@ -393,6 +425,27 @@ mod tests {
         );
         assert_eq!(step.battery_heat, Watts::ZERO);
         assert_eq!(step.battery_c_rate, 0.0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_exactly() {
+        let mut h = hees();
+        h.set_state(Ratio::new(0.85), Ratio::new(0.6));
+        let saved = h.snapshot();
+        let reference = h.clone();
+        h.step(
+            HybridCommand {
+                battery_bus: Watts::new(30_000.0),
+                cap_bus: Watts::new(-5_000.0),
+            },
+            room(),
+            Seconds::new(30.0),
+        );
+        assert_ne!(h, reference);
+        h.restore(saved);
+        // Bit-exact rewind: a restored plant is indistinguishable from one
+        // that never stepped, so speculative rollouts can reuse it freely.
+        assert_eq!(h, reference);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Limited-memory BFGS with Armijo backtracking for smooth unconstrained
 //! minimisation.
 
-use crate::objective::Objective;
+use crate::objective::{GradientMode, Objective};
 use crate::solution::Solution;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -17,6 +17,9 @@ pub struct Lbfgs {
     pub history: usize,
     /// Armijo sufficient-decrease parameter.
     pub armijo: f64,
+    /// Gradient evaluation strategy used by [`Lbfgs::minimize_sync`]
+    /// (ignored by [`Lbfgs::minimize`], which cannot assume `Sync`).
+    pub gradient_mode: GradientMode,
 }
 
 impl Default for Lbfgs {
@@ -26,6 +29,7 @@ impl Default for Lbfgs {
             tolerance: 1e-8,
             history: 10,
             armijo: 1e-4,
+            gradient_mode: GradientMode::Serial,
         }
     }
 }
@@ -33,11 +37,28 @@ impl Default for Lbfgs {
 impl Lbfgs {
     /// Minimises `f` from the starting point `x0`.
     pub fn minimize<F: Objective + ?Sized>(&self, f: &F, x0: &[f64]) -> Solution {
+        self.minimize_with_grad(f, x0, |x, g| f.gradient(x, g))
+    }
+
+    /// Like [`Lbfgs::minimize`] but for `Sync` objectives, honouring
+    /// [`Lbfgs::gradient_mode`] — with [`GradientMode::Parallel`] each
+    /// gradient evaluation fans its coordinates out across scoped
+    /// threads, bit-identical to the serial path.
+    pub fn minimize_sync<F: Objective + Sync>(&self, f: &F, x0: &[f64]) -> Solution {
+        self.minimize_with_grad(f, x0, |x, g| f.gradient_with(x, g, self.gradient_mode))
+    }
+
+    fn minimize_with_grad<F: Objective + ?Sized>(
+        &self,
+        f: &F,
+        x0: &[f64],
+        mut gradient: impl FnMut(&[f64], &mut [f64]),
+    ) -> Solution {
         let n = x0.len();
         let mut x = x0.to_vec();
         let mut grad = vec![0.0; n];
         let mut value = f.value(&x);
-        f.gradient(&x, &mut grad);
+        gradient(&x, &mut grad);
 
         let mut pairs: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new();
 
@@ -99,7 +120,7 @@ impl Lbfgs {
                     t = 0.5 * (lo + hi);
                     continue;
                 }
-                f.gradient(&trial, &mut new_grad);
+                gradient(&trial, &mut new_grad);
                 if dot(&new_grad, &d) < c2 * dir_deriv {
                     lo = t;
                     t = if hi.is_finite() { 0.5 * (lo + hi) } else { 2.0 * t };
@@ -128,7 +149,7 @@ impl Lbfgs {
                 }
                 let f_trial = f.value(&trial);
                 if f_trial < value {
-                    f.gradient(&trial, &mut new_grad);
+                    gradient(&trial, &mut new_grad);
                     x.copy_from_slice(&trial);
                     value = f_trial;
                     grad.copy_from_slice(&new_grad);
@@ -196,6 +217,30 @@ mod tests {
         let sol = Lbfgs::default().minimize(&f, &[0.0]);
         assert!(sol.converged);
         assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn parallel_mode_yields_bit_identical_solutions() {
+        let f = FnObjective::new(|x: &[f64]| {
+            x.windows(2)
+                .map(|w| 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2))
+                .sum::<f64>()
+        });
+        let x0 = [-1.2, 1.0, -0.7, 0.4];
+        let serial = Lbfgs::default().minimize_sync(&f, &x0);
+        for threads in [2, 4] {
+            let solver = Lbfgs {
+                gradient_mode: crate::GradientMode::Parallel { threads },
+                ..Lbfgs::default()
+            };
+            let parallel = solver.minimize_sync(&f, &x0);
+            assert_eq!(parallel.iterations, serial.iterations, "threads = {threads}");
+            assert_eq!(
+                parallel.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                serial.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use bounds::Bounds;
 pub use lagrangian::{AugmentedLagrangian, ConstrainedProblem, Constraint};
 pub use lbfgs::Lbfgs;
 pub use nelder_mead::NelderMead;
-pub use objective::{FnObjective, FnObjectiveWithGrad, NumericalGradient, Objective};
+pub use objective::{FnObjective, FnObjectiveWithGrad, GradientMode, NumericalGradient, Objective};
 pub use projected::ProjectedGradient;
 pub use scalar::{brent, golden_section};
 pub use solution::Solution;

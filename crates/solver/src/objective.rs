@@ -1,5 +1,31 @@
 //! The objective-function abstraction and finite-difference gradients.
 
+use serde::{Deserialize, Serialize};
+
+/// How a solver evaluates gradients.
+///
+/// Central finite differences evaluate each coordinate independently, so
+/// the work parallelises with **bit-identical** results: every coordinate
+/// performs the same two evaluations at the same perturbed points whether
+/// it runs on one thread or many. [`GradientMode::Parallel`] fans the
+/// coordinates out across scoped threads ([`std::thread::scope`] — no
+/// runtime dependency) and is worthwhile when a single objective
+/// evaluation is expensive, as with the MPC rollout objective.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GradientMode {
+    /// Evaluate coordinates one at a time on the calling thread.
+    #[default]
+    Serial,
+    /// Fan coordinates out across `threads` scoped worker threads.
+    ///
+    /// `threads` is clamped to `[1, dim]`; `threads <= 1` degenerates to
+    /// the serial path.
+    Parallel {
+        /// Worker-thread count for the coordinate fan-out.
+        threads: usize,
+    },
+}
+
 /// A differentiable objective function `f: Rⁿ → R`.
 ///
 /// Implementations may provide an analytic [`Objective::gradient`];
@@ -15,6 +41,28 @@ pub trait Objective {
     /// (2·n extra evaluations).
     fn gradient(&self, x: &[f64], grad: &mut [f64]) {
         NumericalGradient::central(self, x, grad);
+    }
+
+    /// Writes `∇f(x)` into `grad` using the requested [`GradientMode`].
+    ///
+    /// The default dispatches [`GradientMode::Serial`] to
+    /// [`Objective::gradient`] (which may be analytic) and
+    /// [`GradientMode::Parallel`] to
+    /// [`NumericalGradient::central_parallel`]. Types with analytic
+    /// gradients should override this to keep the analytic path in both
+    /// modes (see [`FnObjectiveWithGrad`]); types that own evaluation
+    /// scratch state can override it to route each worker thread through
+    /// its own workspace.
+    fn gradient_with(&self, x: &[f64], grad: &mut [f64], mode: GradientMode)
+    where
+        Self: Sized + Sync,
+    {
+        match mode {
+            GradientMode::Serial => self.gradient(x, grad),
+            GradientMode::Parallel { threads } => {
+                NumericalGradient::central_parallel(self, x, grad, threads);
+            }
+        }
     }
 }
 
@@ -96,6 +144,15 @@ impl<F: Fn(&[f64]) -> f64, G: Fn(&[f64], &mut [f64])> Objective for FnObjectiveW
     fn gradient(&self, x: &[f64], grad: &mut [f64]) {
         (self.g)(x, grad);
     }
+
+    // The analytic gradient is cheaper than any finite-difference fan-out;
+    // use it regardless of the requested mode.
+    fn gradient_with(&self, x: &[f64], grad: &mut [f64], _mode: GradientMode)
+    where
+        Self: Sized + Sync,
+    {
+        (self.g)(x, grad);
+    }
 }
 
 /// Central finite-difference gradient helper.
@@ -114,16 +171,85 @@ impl NumericalGradient {
     pub fn central<F: Objective + ?Sized>(f: &F, x: &[f64], grad: &mut [f64]) {
         assert_eq!(grad.len(), x.len(), "gradient buffer length mismatch");
         let mut xp = x.to_vec();
-        for i in 0..x.len() {
-            let h = Self::REL_STEP * x[i].abs().max(1.0);
+        Self::central_range(&mut xp, grad, 0, |z| f.value(z));
+    }
+
+    /// Central-difference kernel over the coordinate window
+    /// `[start, start + grad.len())`.
+    ///
+    /// `xp` is a scratch copy of the full evaluation point; it is
+    /// perturbed one coordinate at a time and restored exactly, so after
+    /// the call it again equals the input point bit-for-bit. Both the
+    /// serial and the parallel gradient paths funnel through this one
+    /// kernel, which is what makes them bit-identical: a coordinate's
+    /// two evaluations and the `(fp - fm) / (2h)` quotient do not depend
+    /// on which thread runs them.
+    ///
+    /// `eval` is `FnMut` so callers can route evaluations through
+    /// per-thread mutable scratch state (e.g. a reusable plant model)
+    /// without interior mutability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window `[start, start + grad.len())` exceeds `xp`.
+    pub fn central_range(
+        xp: &mut [f64],
+        grad: &mut [f64],
+        start: usize,
+        mut eval: impl FnMut(&[f64]) -> f64,
+    ) {
+        assert!(
+            start + grad.len() <= xp.len(),
+            "gradient window exceeds point dimension"
+        );
+        for (k, g) in grad.iter_mut().enumerate() {
+            let i = start + k;
             let orig = xp[i];
+            let h = Self::REL_STEP * orig.abs().max(1.0);
             xp[i] = orig + h;
-            let fp = f.value(&xp);
+            let fp = eval(xp);
             xp[i] = orig - h;
-            let fm = f.value(&xp);
+            let fm = eval(xp);
             xp[i] = orig;
-            grad[i] = (fp - fm) / (2.0 * h);
+            *g = (fp - fm) / (2.0 * h);
         }
+    }
+
+    /// Central-difference gradient with the coordinates fanned out
+    /// across `threads` scoped threads.
+    ///
+    /// Coordinates are split into contiguous chunks, one chunk per
+    /// worker; each worker clones the evaluation point once and runs
+    /// [`NumericalGradient::central_range`] over its window. The result
+    /// is **bit-identical** to [`NumericalGradient::central`] for any
+    /// thread count. `threads` is clamped to `[1, x.len()]`, and
+    /// `threads <= 1` short-circuits to the serial path (no spawn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != x.len()`.
+    pub fn central_parallel<F: Objective + Sync + ?Sized>(
+        f: &F,
+        x: &[f64],
+        grad: &mut [f64],
+        threads: usize,
+    ) {
+        assert_eq!(grad.len(), x.len(), "gradient buffer length mismatch");
+        let n = x.len();
+        let threads = threads.clamp(1, n.max(1));
+        if threads <= 1 {
+            Self::central(f, x, grad);
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (idx, grad_chunk) in grad.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
+                    let mut xp = x.to_vec();
+                    Self::central_range(&mut xp, grad_chunk, idx * chunk, |z| f.value(z));
+                });
+            }
+        });
     }
 }
 
@@ -175,5 +301,63 @@ mod tests {
         let f = FnObjective::new(|x: &[f64]| x[0]);
         let mut grad = [0.0; 2];
         NumericalGradient::central(&f, &[1.0], &mut grad);
+    }
+
+    #[test]
+    fn parallel_gradient_is_bit_identical_to_serial() {
+        // A mildly nasty function: cross terms and transcendentals, so any
+        // deviation in evaluation points or reduction order would show up.
+        let f = FnObjective::new(|x: &[f64]| {
+            x.iter()
+                .enumerate()
+                .map(|(i, &xi)| (xi * (i as f64 + 0.3)).sin() + xi * xi)
+                .sum::<f64>()
+                + x.windows(2).map(|w| w[0] * w[1]).sum::<f64>()
+        });
+        let x: Vec<f64> = (0..17).map(|i| (i as f64 - 8.0) * 0.37).collect();
+        let mut serial = vec![0.0; x.len()];
+        NumericalGradient::central(&f, &x, &mut serial);
+        for threads in [1, 2, 3, 4, 16, 64] {
+            let mut parallel = vec![0.0; x.len()];
+            NumericalGradient::central_parallel(&f, &x, &mut parallel, threads);
+            assert_eq!(
+                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                parallel.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_with_dispatches_modes() {
+        let f = FnObjective::new(|x: &[f64]| x.iter().map(|v| v * v * v).sum());
+        let x = [0.5, -1.25, 2.0];
+        let (mut serial, mut parallel) = ([0.0; 3], [0.0; 3]);
+        f.gradient_with(&x, &mut serial, GradientMode::Serial);
+        f.gradient_with(&x, &mut parallel, GradientMode::Parallel { threads: 2 });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn analytic_gradient_survives_parallel_mode() {
+        let f = FnObjectiveWithGrad::new(
+            |x: &[f64]| x[0] * x[0],
+            |x: &[f64], g: &mut [f64]| g[0] = 2.0 * x[0],
+        );
+        let mut grad = [0.0];
+        f.gradient_with(&[3.0], &mut grad, GradientMode::Parallel { threads: 4 });
+        // Exactly 6.0: the analytic path must not fall back to finite
+        // differences just because a parallel mode was requested.
+        assert_eq!(grad[0], 6.0);
+    }
+
+    #[test]
+    fn central_range_restores_scratch_point() {
+        let x = [1.0, -2.0, 3.5];
+        let mut xp = x.to_vec();
+        let mut grad = [0.0; 2];
+        NumericalGradient::central_range(&mut xp, &mut grad, 1, |z| z.iter().sum());
+        assert_eq!(xp, x);
+        assert!((grad[0] - 1.0).abs() < 1e-9 && (grad[1] - 1.0).abs() < 1e-9);
     }
 }

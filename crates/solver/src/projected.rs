@@ -3,7 +3,7 @@
 //! MPC's per-step solve.
 
 use crate::bounds::Bounds;
-use crate::objective::Objective;
+use crate::objective::{GradientMode, Objective};
 use crate::solution::Solution;
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +27,10 @@ pub struct ProjectedGradient {
     pub step_min: f64,
     /// Upper safeguard on the BB step length.
     pub step_max: f64,
+    /// Gradient evaluation strategy used by
+    /// [`ProjectedGradient::minimize_sync`] (ignored by
+    /// [`ProjectedGradient::minimize`], which cannot assume `Sync`).
+    pub gradient_mode: GradientMode,
 }
 
 impl Default for ProjectedGradient {
@@ -38,6 +42,7 @@ impl Default for ProjectedGradient {
             memory: 8,
             step_min: 1e-12,
             step_max: 1e10,
+            gradient_mode: GradientMode::Serial,
         }
     }
 }
@@ -55,6 +60,36 @@ impl ProjectedGradient {
         bounds: &Bounds,
         x0: &[f64],
     ) -> Solution {
+        self.minimize_with_grad(f, bounds, x0, |x, g| f.gradient(x, g))
+    }
+
+    /// Like [`ProjectedGradient::minimize`] but for `Sync` objectives,
+    /// honouring [`ProjectedGradient::gradient_mode`] — with
+    /// [`GradientMode::Parallel`] each gradient evaluation fans its
+    /// coordinates out across scoped threads. The iterates are
+    /// bit-identical to the serial path for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0.len() != bounds.len()`.
+    pub fn minimize_sync<F: Objective + Sync>(
+        &self,
+        f: &F,
+        bounds: &Bounds,
+        x0: &[f64],
+    ) -> Solution {
+        self.minimize_with_grad(f, bounds, x0, |x, g| {
+            f.gradient_with(x, g, self.gradient_mode)
+        })
+    }
+
+    fn minimize_with_grad<F: Objective + ?Sized>(
+        &self,
+        f: &F,
+        bounds: &Bounds,
+        x0: &[f64],
+        mut gradient: impl FnMut(&[f64], &mut [f64]),
+    ) -> Solution {
         assert_eq!(x0.len(), bounds.len(), "start/bounds dimension mismatch");
         let n = x0.len();
         let mut x = x0.to_vec();
@@ -62,7 +97,7 @@ impl ProjectedGradient {
 
         let mut grad = vec![0.0; n];
         let mut value = f.value(&x);
-        f.gradient(&x, &mut grad);
+        gradient(&x, &mut grad);
 
         let mut history = std::collections::VecDeque::with_capacity(self.memory);
         history.push_back(value);
@@ -116,7 +151,7 @@ impl ProjectedGradient {
                 return Solution::new(x, value, iter, pg_norm < self.tolerance * 100.0);
             }
 
-            f.gradient(&x, &mut grad);
+            gradient(&x, &mut grad);
             if history.len() == self.memory {
                 history.pop_front();
             }
@@ -232,5 +267,45 @@ mod tests {
     fn dimension_mismatch_panics() {
         let f = FnObjective::new(|x: &[f64]| x[0]);
         ProjectedGradient::default().minimize(&f, &Bounds::uniform(2, 0.0, 1.0), &[0.0]);
+    }
+
+    #[test]
+    fn parallel_mode_yields_bit_identical_solutions() {
+        let f = FnObjective::new(|x: &[f64]| {
+            x.windows(2)
+                .map(|w| 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2))
+                .sum::<f64>()
+        });
+        let bounds = Bounds::uniform(6, -2.0, 2.0);
+        let x0 = [-1.2, 1.0, -0.5, 0.3, 1.5, -1.0];
+        let serial = ProjectedGradient::default().minimize_sync(&f, &bounds, &x0);
+        for threads in [2, 3, 4, 8] {
+            let solver = ProjectedGradient {
+                gradient_mode: crate::GradientMode::Parallel { threads },
+                ..ProjectedGradient::default()
+            };
+            let parallel = solver.minimize_sync(&f, &bounds, &x0);
+            assert_eq!(parallel.iterations, serial.iterations, "threads = {threads}");
+            assert_eq!(
+                parallel.value.to_bits(),
+                serial.value.to_bits(),
+                "threads = {threads}"
+            );
+            assert_eq!(
+                parallel.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                serial.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_sync_matches_minimize_in_serial_mode() {
+        let f = FnObjective::new(|x: &[f64]| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2));
+        let bounds = Bounds::unbounded(2);
+        let a = ProjectedGradient::default().minimize(&f, &bounds, &[5.0, 5.0]);
+        let b = ProjectedGradient::default().minimize_sync(&f, &bounds, &[5.0, 5.0]);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
     }
 }

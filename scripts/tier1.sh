@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything must pass before a change lands.
+#   ./scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "tier-1: all green"

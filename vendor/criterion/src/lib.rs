@@ -1,0 +1,260 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! The build container cannot reach crates.io, so this crate implements
+//! the subset of the criterion API the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Methodology is deliberately simple: a short warm-up, then repeated
+//! timed batches until a wall-clock budget or sample count is reached,
+//! reporting mean and min per-iteration latency to stdout. There is no
+//! statistical analysis, HTML report, or saved baseline — this harness
+//! exists so `cargo bench` compiles and produces honest order-of-magnitude
+//! numbers offline. Passing `--test` (as `cargo test --benches` does)
+//! runs each benchmark body exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Times one benchmark body via [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    target_samples: usize,
+    budget: Duration,
+    smoke_test: bool,
+}
+
+impl Bencher {
+    fn new(target_samples: usize, smoke_test: bool) -> Self {
+        Self {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            target_samples,
+            budget: Duration::from_secs(3),
+            smoke_test,
+        }
+    }
+
+    /// Runs `routine` repeatedly, recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke_test {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: one untimed call, then size batches so each sample
+        // takes ≳1ms (keeps Instant overhead out of fast routines).
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        self.iters_per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos())
+            .clamp(1, 10_000) as u64;
+
+        let started = Instant::now();
+        while self.samples.len() < self.target_samples && started.elapsed() < self.budget {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.smoke_test {
+            println!("{label}: ok (smoke test)");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{label}: no samples collected");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{label}: mean {mean:?}, min {min:?} ({} samples x {} iters)",
+            self.samples.len(),
+            self.iters_per_sample
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    smoke_test: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        let mut bencher = Bencher::new(self.sample_size, self.smoke_test);
+        routine(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        let mut bencher = Bencher::new(self.sample_size, self.smoke_test);
+        routine(&mut bencher, input);
+        bencher.report(&label);
+        self
+    }
+
+    /// Finishes the group (upstream writes reports here; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Anything accepted where criterion takes a benchmark id.
+pub trait IntoBenchmarkId {
+    /// Converts into a concrete [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` runs harness-free bench binaries with
+        // `--test`; run each body once so tests stay fast.
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Self { smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            smoke_test: self.smoke_test,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, routine);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_routines() {
+        let mut c = Criterion { smoke_test: true };
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("g", 3), &3u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+}

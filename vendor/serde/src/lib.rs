@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace tags its model types `#[derive(Serialize, Deserialize)]`
+//! for downstream consumers but never serialises anything internally, and
+//! the build container cannot reach crates.io. This stub provides the
+//! trait names (so `use serde::{Serialize, Deserialize}` resolves) and
+//! re-exports the no-op derive macros from the sibling `serde_derive`
+//! stub. No code in the workspace requires the trait bounds, so empty
+//! marker traits are sufficient.
+
+/// Marker stand-in for `serde::Serialize` (no methods; nothing in this
+/// workspace serialises through serde).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; nothing in this
+/// workspace deserialises through serde).
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

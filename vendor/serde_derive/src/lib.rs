@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on its model types
+//! for downstream consumers, but never serialises anything itself (no
+//! `serde_json`, no wire format). The container this repo builds in has
+//! no network access to crates.io, so the real derive machinery (syn,
+//! quote, proc-macro2) is unavailable. This stub accepts the same derive
+//! syntax — including `#[serde(...)]` attributes — and expands to
+//! nothing, which is sufficient because no code in the workspace requires
+//! the `Serialize`/`Deserialize` trait bounds.
+//!
+//! Swapping the real serde back in is a one-line change in the workspace
+//! `Cargo.toml` once a registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
