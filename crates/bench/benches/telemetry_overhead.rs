@@ -1,0 +1,59 @@
+//! Cost of the telemetry layer on the simulation hot loop.
+//!
+//! Three variants of the same short closed-loop run:
+//!
+//! * `uninstrumented` — the plain [`otem_bench::run`] path,
+//! * `null_sink` — [`otem_bench::run_with`] and a [`NullSink`] (the
+//!   zero-cost contract: this must be indistinguishable from the first),
+//! * `memory_sink` — [`otem_bench::run_with`] and a [`MemorySink`] (the
+//!   price of actually capturing every event).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use otem::{Simulator, SystemConfig};
+use otem_bench::Methodology;
+use otem_drivecycle::PowerTrace;
+use otem_telemetry::{MemorySink, NullSink};
+use otem_units::{Seconds, Watts};
+
+/// A synthetic urban-ish load pattern, long enough that the per-step
+/// dispatch cost dominates over controller construction.
+fn trace() -> PowerTrace {
+    let samples: Vec<Watts> = (0..600)
+        .map(|k| Watts::new(8_000.0 + 30_000.0 * ((k % 7) as f64 / 6.0)))
+        .collect();
+    PowerTrace::new(Seconds::new(1.0), samples)
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let config = SystemConfig::default();
+    let trace = trace();
+    // Parallel is the cheapest controller, so the sink dispatch is the
+    // largest *fraction* of its step — the worst case for overhead.
+    let m = Methodology::Parallel;
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| {
+            let mut controller = m.controller(&config).expect("controller");
+            Simulator::new(&config).run(controller.as_mut(), &trace)
+        });
+    });
+    group.bench_function("null_sink", |b| {
+        b.iter(|| {
+            let mut controller = m.controller(&config).expect("controller");
+            Simulator::new(&config).run_with(controller.as_mut(), &trace, &NullSink)
+        });
+    });
+    group.bench_function("memory_sink", |b| {
+        b.iter(|| {
+            let sink = MemorySink::new();
+            let mut controller = m.controller(&config).expect("controller");
+            Simulator::new(&config).run_with(controller.as_mut(), &trace, &sink)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

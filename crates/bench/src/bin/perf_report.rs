@@ -15,6 +15,7 @@ use otem::mpc::{Mpc, MpcConfig, MpcPlant};
 use otem::SystemConfig;
 use otem_hees::HybridHees;
 use otem_solver::GradientMode;
+use otem_telemetry::{JsonlSink, Sink};
 use otem_thermal::{CoolingPlant, ThermalModel, ThermalState};
 use otem_units::{Kelvin, Ratio, Seconds, Watts};
 use std::time::Instant;
@@ -47,7 +48,13 @@ struct ModeStats {
     cool_duty: f64,
 }
 
-fn run_mode(p: &MpcPlant, loads: &[Watts], horizon: usize, mode: GradientMode) -> ModeStats {
+fn run_mode(
+    p: &MpcPlant,
+    loads: &[Watts],
+    horizon: usize,
+    mode: GradientMode,
+    sink: &dyn Sink,
+) -> ModeStats {
     let mut mpc = Mpc::new(MpcConfig {
         horizon,
         gradient_mode: mode,
@@ -55,8 +62,10 @@ fn run_mode(p: &MpcPlant, loads: &[Watts], horizon: usize, mode: GradientMode) -
     });
     let dt = Seconds::new(1.0);
     // Warm-up solve: populates the workspace pool and the warm start, so
-    // the timed repetitions measure the steady state.
-    let first = mpc.solve(p, loads, dt);
+    // the timed repetitions measure the steady state. Only this solve is
+    // traced — the timed loop below runs unobserved so the telemetry
+    // writer cannot pollute the latency numbers.
+    let first = mpc.solve_with(p, loads, dt, sink);
     let rollouts_before = mpc.rollouts();
     let mut latencies_ms = Vec::with_capacity(REPS);
     let started = Instant::now();
@@ -87,6 +96,9 @@ fn main() {
         .unwrap_or(cores);
     let config = SystemConfig::default();
     let p = plant(&config);
+    std::fs::create_dir_all("results").expect("results dir");
+    let sink =
+        JsonlSink::create("results/perf_report_telemetry.jsonl").expect("telemetry file");
 
     println!(
         "{:<8} {:>12} {:>12} {:>14} {:>14} {:>9}",
@@ -97,8 +109,8 @@ fn main() {
         let loads: Vec<Watts> = (0..horizon)
             .map(|k| Watts::new(20_000.0 + 40_000.0 * ((k % 5) as f64 / 4.0)))
             .collect();
-        let serial = run_mode(&p, &loads, horizon, GradientMode::Serial);
-        let parallel = run_mode(&p, &loads, horizon, GradientMode::Parallel { threads });
+        let serial = run_mode(&p, &loads, horizon, GradientMode::Serial, &sink);
+        let parallel = run_mode(&p, &loads, horizon, GradientMode::Parallel { threads }, &sink);
         assert_eq!(
             serial.cap_bus.to_bits(),
             parallel.cap_bus.to_bits(),
@@ -151,5 +163,7 @@ fn main() {
         rows.join(",\n")
     );
     std::fs::write("BENCH_mpc.json", &json).expect("write BENCH_mpc.json");
+    sink.flush();
     println!("\nwrote BENCH_mpc.json ({threads} threads on {cores} cores)");
+    println!("wrote results/perf_report_telemetry.jsonl (warm-up solve traces)");
 }

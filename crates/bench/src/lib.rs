@@ -14,6 +14,7 @@ pub mod plot;
 use otem::policy::{ActiveCooling, Dual, Otem, Parallel};
 use otem::{Controller, OtemError, SimulationResult, Simulator, SystemConfig};
 use otem_drivecycle::{standard, PowerTrace, Powertrain, StandardCycle, VehicleParams};
+use otem_telemetry::Sink;
 use otem_units::{Farads, Kelvin};
 
 /// The configuration the cycle-sweep experiments (Figs. 8–9) run under:
@@ -132,6 +133,25 @@ pub fn run(
 ) -> Result<SimulationResult, OtemError> {
     let mut controller = methodology.controller(config)?;
     Ok(Simulator::new(config).run(controller.as_mut(), trace))
+}
+
+/// [`run`] with structured telemetry streamed into `sink` (see
+/// `otem_telemetry`): per-step [`otem_telemetry::Event::StepCompleted`]
+/// plus whatever the methodology's controller emits (solver iterations,
+/// pool traffic, cooling toggles, ultracapacitor saturation). The result
+/// is `PartialEq`-identical to [`run`]'s for any sink.
+///
+/// # Errors
+///
+/// Propagates controller construction errors.
+pub fn run_with(
+    methodology: Methodology,
+    config: &SystemConfig,
+    trace: &PowerTrace,
+    sink: &dyn Sink,
+) -> Result<SimulationResult, OtemError> {
+    let mut controller = methodology.controller(config)?;
+    Ok(Simulator::new(config).run_with(controller.as_mut(), trace, sink))
 }
 
 /// Formats a ratio as a percentage with sign.

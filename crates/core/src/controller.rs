@@ -2,6 +2,7 @@
 //! per-step record the simulator collects.
 
 use otem_hees::HeesStep;
+use otem_telemetry::Sink;
 use otem_units::{Kelvin, Ratio, Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -53,6 +54,25 @@ pub trait Controller {
     /// Executes one control period: serve `load`, given the forecast of
     /// upcoming requests (`forecast[0]` is the *next* period's load).
     fn step(&mut self, load: Watts, forecast: &[Watts], dt: Seconds) -> StepRecord;
+
+    /// [`Controller::step`] with telemetry: controllers that emit
+    /// structured events (cooling toggles, ultracapacitor saturation,
+    /// solver traces) override this and route `step` through it with a
+    /// [`otem_telemetry::NullSink`].
+    ///
+    /// The sink is strictly observational — for any sink this must
+    /// return exactly what [`Controller::step`] returns. The default
+    /// ignores the sink.
+    fn step_with(
+        &mut self,
+        load: Watts,
+        forecast: &[Watts],
+        dt: Seconds,
+        sink: &dyn Sink,
+    ) -> StepRecord {
+        let _ = sink;
+        self.step(load, forecast, dt)
+    }
 
     /// Current state vector.
     fn state(&self) -> SystemState;

@@ -25,6 +25,7 @@
 use otem_battery::AgingParams;
 use otem_hees::{HeesSnapshot, HybridCommand, HybridHees};
 use otem_solver::{Bounds, GradientMode, NumericalGradient, Objective, ProjectedGradient, Solution};
+use otem_telemetry::{Event, NullSink, Sink};
 use otem_thermal::{CoolingPlant, ThermalModel, ThermalState};
 use otem_units::{Kelvin, Ratio, Seconds, Watts};
 use serde::{Deserialize, Serialize};
@@ -198,6 +199,26 @@ impl Mpc {
     /// forecast (`loads[0]` is the period being decided). Returns the
     /// first move, retaining the full solution as the next warm start.
     pub fn solve(&mut self, plant: &MpcPlant, loads: &[Watts], dt: Seconds) -> MpcDecision {
+        self.solve_with(plant, loads, dt, &NullSink)
+    }
+
+    /// [`Mpc::solve`] with telemetry: the solve streams
+    /// [`Event::SolverIteration`] / [`Event::GradientEval`] from the
+    /// inner solver, [`Event::PoolHit`] / [`Event::PoolMiss`] from the
+    /// rollout workspace pool, and [`Event::BoundClamp`] when the
+    /// applied first move sits pinned on a box bound (saturated
+    /// ultracapacitor share at ±1, cooler duty at its ceiling — the
+    /// always-active idle duty floor is deliberately not reported).
+    ///
+    /// Observation only: for any sink the returned [`MpcDecision`] is
+    /// bit-identical to [`Mpc::solve`]'s.
+    pub fn solve_with(
+        &mut self,
+        plant: &MpcPlant,
+        loads: &[Watts],
+        dt: Seconds,
+        sink: &dyn Sink,
+    ) -> MpcDecision {
         let n = self.config.horizon;
 
         // Decision vector layout: [cap_share_0..n-1, cool_duty_0..n-1],
@@ -218,13 +239,31 @@ impl Mpc {
             config: &self.config,
             pool: &self.pool,
             start: plant.hees.snapshot(),
+            sink,
         };
         let Solution {
             x,
             value,
             iterations,
             converged,
-        } = self.solver.minimize_sync(&objective, &self.bounds, &self.x0);
+        } = self
+            .solver
+            .minimize_sync_observed(&objective, &self.bounds, &self.x0, sink);
+
+        if x[0] == -1.0 || x[0] == 1.0 {
+            sink.record(Event::BoundClamp {
+                index: 0,
+                raw: x[0] * plant.cap_power_max.value(),
+                bound: x[0],
+            });
+        }
+        if x[n] == 1.0 {
+            sink.record(Event::BoundClamp {
+                index: n as u64,
+                raw: x[n],
+                bound: 1.0,
+            });
+        }
 
         let decision = MpcDecision {
             cap_bus: Watts::new(x[0] * plant.cap_power_max.value()),
@@ -309,13 +348,23 @@ impl WorkspacePool {
     }
 
     /// Pops a pooled workspace, or builds one from `source` on first use
-    /// (the only time a plant clone happens).
-    fn take(&self, source: &HybridHees) -> RolloutWorkspace {
+    /// (the only time a plant clone happens). `sink` learns which way it
+    /// went — a warm pool records only [`Event::PoolHit`]s.
+    fn take(&self, source: &HybridHees, sink: &dyn Sink) -> RolloutWorkspace {
         let pooled = self.slots.lock().expect("workspace pool poisoned").pop();
-        pooled.unwrap_or_else(|| RolloutWorkspace {
-            hees: source.clone(),
-            xp: Vec::new(),
-        })
+        match pooled {
+            Some(ws) => {
+                sink.record(Event::PoolHit);
+                ws
+            }
+            None => {
+                sink.record(Event::PoolMiss);
+                RolloutWorkspace {
+                    hees: source.clone(),
+                    xp: Vec::new(),
+                }
+            }
+        }
     }
 
     fn put(&self, workspace: RolloutWorkspace) {
@@ -355,6 +404,10 @@ struct RolloutObjective<'a> {
     /// The plant's state when the solve began; every rollout starts by
     /// rewinding its workspace here, exactly like a fresh clone would.
     start: HeesSnapshot,
+    /// Telemetry sink for pool traffic ([`Event::PoolHit`] /
+    /// [`Event::PoolMiss`]); shared with every gradient worker, so it
+    /// must be [`Sync`] (which the [`Sink`] trait requires).
+    sink: &'a dyn Sink,
 }
 
 impl RolloutObjective<'_> {
@@ -368,7 +421,7 @@ impl RolloutObjective<'_> {
     /// Central differences over the coordinate window starting at `start`,
     /// through one pooled workspace.
     fn gradient_window(&self, x: &[f64], grad_chunk: &mut [f64], start: usize) {
-        let mut ws = self.pool.take(&self.plant.hees);
+        let mut ws = self.pool.take(&self.plant.hees, self.sink);
         ws.xp.clear();
         ws.xp.extend_from_slice(x);
         let RolloutWorkspace { hees, xp } = &mut ws;
@@ -379,7 +432,7 @@ impl RolloutObjective<'_> {
 
 impl Objective for RolloutObjective<'_> {
     fn value(&self, z: &[f64]) -> f64 {
-        let mut ws = self.pool.take(&self.plant.hees);
+        let mut ws = self.pool.take(&self.plant.hees, self.sink);
         let cost = self.eval_with(&mut ws.hees, z);
         self.pool.put(ws);
         cost
@@ -718,6 +771,7 @@ mod tests {
             config: &cfg,
             pool: &pool,
             start: p.hees.snapshot(),
+            sink: &NullSink,
         };
         let mut z = vec![0.0; 12];
         for (i, zi) in z.iter_mut().enumerate() {
@@ -753,6 +807,7 @@ mod tests {
             config: &cfg,
             pool: &pool,
             start: p.hees.snapshot(),
+            sink: &NullSink,
         };
         let dim = 16;
         let z: Vec<f64> = (0..dim)
@@ -857,7 +912,7 @@ mod tests {
         let config = SystemConfig::default();
         let p = plant(&config);
         let pool = WorkspacePool::new();
-        let ws = pool.take(&p.hees);
+        let ws = pool.take(&p.hees, &NullSink);
         pool.put(ws);
         pool.rebind(&p.hees);
         assert_eq!(pool.slots.lock().unwrap().len(), 1, "same plant retained");
@@ -870,6 +925,42 @@ mod tests {
             0,
             "different capacitance must evict the stale workspace"
         );
+    }
+
+    #[test]
+    fn observed_solve_is_bit_identical_and_traces_pool_traffic() {
+        use otem_telemetry::MemorySink;
+        let config = SystemConfig::default();
+        let mut p = plant(&config);
+        p.state = ThermalState::uniform(Kelvin::from_celsius(36.0));
+        let loads = vec![Watts::new(30_000.0); 6];
+        let cfg = MpcConfig {
+            horizon: 6,
+            ..MpcConfig::default()
+        };
+        let mut plain_mpc = Mpc::new(cfg);
+        let mut observed_mpc = Mpc::new(cfg);
+        let sink = MemorySink::new();
+        for period in 0..2 {
+            let plain = plain_mpc.solve(&p, &loads, Seconds::new(1.0));
+            let observed = observed_mpc.solve_with(&p, &loads, Seconds::new(1.0), &sink);
+            assert_eq!(
+                plain.cap_bus.value().to_bits(),
+                observed.cap_bus.value().to_bits(),
+                "period {period}"
+            );
+            assert_eq!(plain.cool_duty.to_bits(), observed.cool_duty.to_bits());
+            assert_eq!(plain.cost.to_bits(), observed.cost.to_bits());
+            assert_eq!(plain.iterations, observed.iterations);
+        }
+        // Every solver iteration and every workspace-pool access left a
+        // trace; after the first gradient fan-out the pool stays warm.
+        assert!(sink.count_kind("solver_iteration") > 0);
+        assert!(sink.count_kind("gradient_eval") > 0);
+        let hits = sink.count_kind("pool_hit");
+        let misses = sink.count_kind("pool_miss");
+        assert_eq!(misses, 1, "serial mode needs exactly one workspace");
+        assert!(hits > misses, "pool should run warm: {hits} hits");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::controller::{Controller, StepRecord, SystemState};
 use crate::error::OtemError;
 use otem_battery::BatteryPack;
 use otem_hees::HeesStep;
+use otem_telemetry::{Event, NullSink, Sink};
 use otem_thermal::{CoolerAction, CoolingPlant, ThermalModel, ThermalState};
 use otem_units::{Kelvin, Ratio, Seconds, Watts};
 
@@ -54,12 +55,29 @@ impl Controller for ActiveCooling {
         "ActiveCooling"
     }
 
-    fn step(&mut self, load: Watts, _forecast: &[Watts], dt: Seconds) -> StepRecord {
+    fn step(&mut self, load: Watts, forecast: &[Watts], dt: Seconds) -> StepRecord {
+        self.step_with(load, forecast, dt, &NullSink)
+    }
+
+    fn step_with(
+        &mut self,
+        load: Watts,
+        _forecast: &[Watts],
+        dt: Seconds,
+        sink: &dyn Sink,
+    ) -> StepRecord {
         // Thermostat with hysteresis.
+        let was_on = self.cooling_on;
         if self.state.battery >= self.on_threshold {
             self.cooling_on = true;
         } else if self.state.battery <= self.off_threshold {
             self.cooling_on = false;
+        }
+        if self.cooling_on != was_on {
+            sink.record(Event::CoolingToggle {
+                on: self.cooling_on,
+                battery_temp_k: self.state.battery.value(),
+            });
         }
 
         let action = if self.cooling_on {

@@ -6,6 +6,7 @@ use crate::controller::{Controller, StepRecord, SystemState};
 use crate::error::OtemError;
 use otem_battery::BatteryPack;
 use otem_hees::{pack_domain_bank, DualHees, DualMode};
+use otem_telemetry::{Event, NullSink, Sink};
 use otem_thermal::{ThermalModel, ThermalState};
 use otem_units::{Kelvin, Ratio, Seconds, Watts};
 
@@ -60,12 +61,37 @@ impl Controller for Dual {
         "Dual"
     }
 
-    fn step(&mut self, load: Watts, _forecast: &[Watts], dt: Seconds) -> StepRecord {
+    fn step(&mut self, load: Watts, forecast: &[Watts], dt: Seconds) -> StepRecord {
+        self.step_with(load, forecast, dt, &NullSink)
+    }
+
+    fn step_with(
+        &mut self,
+        load: Watts,
+        _forecast: &[Watts],
+        dt: Seconds,
+        sink: &dyn Sink,
+    ) -> StepRecord {
         // Threshold rule with hysteresis (the [16] policy).
         if self.state.battery >= self.hot_threshold {
             self.using_cap = true;
         } else if self.state.battery <= self.cool_threshold {
             self.using_cap = false;
+        }
+
+        // The Fig. 1 failure mode, as an event: the policy wants the
+        // bank but the bank cannot carry the load, so the hot battery
+        // takes it back.
+        if self.using_cap && !self.hees.cap_can_serve(load) {
+            let limit = if load.value() >= 0.0 {
+                self.hees.cap().max_discharge_power()
+            } else {
+                self.hees.cap().max_charge_power()
+            };
+            sink.record(Event::UcapSaturated {
+                commanded_w: load.value(),
+                limit_w: limit.value(),
+            });
         }
 
         let mode = if self.using_cap && self.hees.cap_can_serve(load) {

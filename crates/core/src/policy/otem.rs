@@ -9,6 +9,7 @@ use crate::mpc::{Mpc, MpcConfig, MpcPlant};
 use otem_battery::BatteryPack;
 use otem_converter::DcDcConverter;
 use otem_hees::{HybridCommand, HybridHees};
+use otem_telemetry::{Event, NullSink, Sink};
 use otem_thermal::{CoolerAction, CoolingPlant, ThermalModel, ThermalState};
 use otem_ultracap::UltracapParams;
 use otem_units::{Kelvin, Seconds, Watts};
@@ -25,6 +26,10 @@ pub struct Otem {
     state: ThermalState,
     mpc: Mpc,
     config: SystemConfig,
+    /// Whether the cooling loop ran last period — tracked solely so the
+    /// telemetry path can report [`Event::CoolingToggle`] on the
+    /// idle↔active transitions.
+    cooling_on: bool,
 }
 
 impl Otem {
@@ -60,6 +65,7 @@ impl Otem {
             state: ThermalState::uniform(config.ambient),
             mpc: Mpc::new(mpc_config),
             config: config.clone(),
+            cooling_on: false,
         })
     }
 
@@ -89,6 +95,16 @@ impl Controller for Otem {
     }
 
     fn step(&mut self, load: Watts, forecast: &[Watts], dt: Seconds) -> StepRecord {
+        self.step_with(load, forecast, dt, &NullSink)
+    }
+
+    fn step_with(
+        &mut self,
+        load: Watts,
+        forecast: &[Watts],
+        dt: Seconds,
+        sink: &dyn Sink,
+    ) -> StepRecord {
         // Algorithm 1 lines 11–13: fill the control window with the
         // current request followed by the forecast. With move blocking,
         // each decision block spans `block_size` control periods and sees
@@ -105,9 +121,16 @@ impl Controller for Otem {
             .collect();
 
         // Line 14: optimise (over block-sized model steps).
-        let decision = self
-            .mpc
-            .solve(&self.plant_snapshot(), &loads, dt * block as f64);
+        let decision =
+            self.mpc
+                .solve_with(&self.plant_snapshot(), &loads, dt * block as f64, sink);
+
+        if decision.cap_bus.value().abs() >= 0.995 * self.config.cap_power_max.value() {
+            sink.record(Event::UcapSaturated {
+                commanded_w: decision.cap_bus.value(),
+                limit_w: self.config.cap_power_max.value(),
+            });
+        }
 
         // Lines 15–16: apply the first move to the real plant.
         let outlet = self.state.coolant;
@@ -115,7 +138,15 @@ impl Controller for Otem {
         let inlet = Kelvin::new(
             outlet.value() - decision.cool_duty.clamp(0.0, 1.0) * (outlet.value() - coldest.value()),
         );
-        let action = if decision.cool_duty > 1e-3 {
+        let cooling_active = decision.cool_duty > 1e-3;
+        if cooling_active != self.cooling_on {
+            self.cooling_on = cooling_active;
+            sink.record(Event::CoolingToggle {
+                on: cooling_active,
+                battery_temp_k: self.state.battery.value(),
+            });
+        }
+        let action = if cooling_active {
             self.plant.actuate(outlet, inlet)
         } else {
             CoolerAction::idle(outlet)

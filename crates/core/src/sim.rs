@@ -6,6 +6,7 @@ use crate::controller::Controller;
 use crate::metrics::SimulationResult;
 use otem_battery::AgingModel;
 use otem_drivecycle::PowerTrace;
+use otem_telemetry::{Event, NullSink, Sink};
 use serde::{Deserialize, Serialize};
 
 /// Drives a [`Controller`] over a [`PowerTrace`], accumulating the
@@ -37,6 +38,24 @@ impl Simulator {
     /// capacity-loss model (Eq. 5) against the realised battery
     /// temperature and C-rate.
     pub fn run(&self, controller: &mut dyn Controller, trace: &PowerTrace) -> SimulationResult {
+        self.run_with(controller, trace, &NullSink)
+    }
+
+    /// [`Simulator::run`] with telemetry: every step emits one
+    /// [`Event::StepCompleted`] into `sink`, and the sink is handed to
+    /// the controller (via [`Controller::step_with`]) so instrumented
+    /// controllers can trace their solver and plant internals.
+    ///
+    /// The sink is strictly observational: for any sink the returned
+    /// [`SimulationResult`] is `PartialEq`-identical to
+    /// [`Simulator::run`] — the contract the `telemetry_parity`
+    /// integration test pins.
+    pub fn run_with(
+        &self,
+        controller: &mut dyn Controller,
+        trace: &PowerTrace,
+        sink: &dyn Sink,
+    ) -> SimulationResult {
         let dt = self.config.dt;
         let mut aging = AgingModel::new(self.config.aging);
         let mut records = Vec::with_capacity(trace.len());
@@ -44,14 +63,25 @@ impl Simulator {
         for t in 0..trace.len() {
             let load = trace.get(t);
             let forecast = trace.window(t + 1, self.forecast_len);
-            let record = controller.step(load, &forecast, dt);
+            let record = controller.step_with(load, &forecast, dt, sink);
             aging.accumulate(
                 record.state.battery_temp,
                 record.hees.battery_c_rate,
                 dt,
             );
+            sink.record(Event::StepCompleted {
+                step: t as u64,
+                load_w: record.load.value(),
+                delivered_w: record.hees.delivered.value(),
+                shortfall_w: record.hees.shortfall.value(),
+                cooling_w: record.cooling_power.value(),
+                battery_temp_k: record.state.battery_temp.value(),
+                soc: record.state.soc.value(),
+                soe: record.state.soe.value(),
+            });
             records.push(record);
         }
+        sink.flush();
 
         SimulationResult {
             methodology: controller.name(),
@@ -91,5 +121,133 @@ mod tests {
         let result = Simulator::new(&config).run(&mut controller, &trace);
         assert!(result.records.is_empty());
         assert_eq!(result.capacity_loss(), 0.0);
+    }
+
+    /// Records every forecast window the simulator hands to the
+    /// controller, so the `trace.window(t + 1, forecast_len)` semantics
+    /// can be pinned explicitly.
+    struct ForecastProbe {
+        forecasts: Vec<Vec<Watts>>,
+        state: crate::controller::SystemState,
+    }
+
+    impl ForecastProbe {
+        fn new() -> Self {
+            Self {
+                forecasts: Vec::new(),
+                state: crate::controller::SystemState {
+                    battery_temp: otem_units::Kelvin::from_celsius(25.0),
+                    coolant_temp: otem_units::Kelvin::from_celsius(25.0),
+                    soe: otem_units::Ratio::HALF,
+                    soc: otem_units::Ratio::ONE,
+                },
+            }
+        }
+    }
+
+    impl crate::controller::Controller for ForecastProbe {
+        fn name(&self) -> &'static str {
+            "ForecastProbe"
+        }
+
+        fn step(
+            &mut self,
+            load: Watts,
+            forecast: &[Watts],
+            _dt: Seconds,
+        ) -> crate::controller::StepRecord {
+            self.forecasts.push(forecast.to_vec());
+            crate::controller::StepRecord {
+                load,
+                hees: otem_hees::HeesStep::default(),
+                cooling_power: Watts::ZERO,
+                state: self.state,
+            }
+        }
+
+        fn state(&self) -> crate::controller::SystemState {
+            self.state
+        }
+    }
+
+    /// Pins the forecast-window contract at the end of the route: the
+    /// controller at step `t` sees `trace.window(t + 1, forecast_len)`,
+    /// which is always exactly `forecast_len` long and **zero-padded**
+    /// (not shrunk) past the last sample — so the final step's window
+    /// contains no real samples at all.
+    #[test]
+    fn forecast_window_is_zero_padded_at_the_end_of_the_trace() {
+        let config = SystemConfig::default();
+        let samples: Vec<Watts> = (1..=6).map(|k| Watts::new(1_000.0 * k as f64)).collect();
+        let trace = PowerTrace::new(Seconds::new(1.0), samples.clone());
+        let mut sim = Simulator::new(&config);
+        sim.forecast_len = 4;
+        let mut probe = ForecastProbe::new();
+        sim.run(&mut probe, &trace);
+
+        assert_eq!(probe.forecasts.len(), 6);
+        // Every window has exactly forecast_len entries, shrinking never.
+        for (t, forecast) in probe.forecasts.iter().enumerate() {
+            assert_eq!(forecast.len(), 4, "window length at step {t}");
+        }
+        // Step 0 sees samples 1..=4 (forecast[0] is the *next* load).
+        assert_eq!(probe.forecasts[0], samples[1..5].to_vec());
+        // Step 3 straddles the end: two real samples, then zeros.
+        assert_eq!(
+            probe.forecasts[3],
+            vec![samples[4], samples[5], Watts::ZERO, Watts::ZERO]
+        );
+        // Step 4 sees the last sample then zeros; step 5 (the final
+        // step) sees a window of pure padding.
+        assert_eq!(
+            probe.forecasts[4],
+            vec![samples[5], Watts::ZERO, Watts::ZERO, Watts::ZERO]
+        );
+        assert_eq!(probe.forecasts[5], vec![Watts::ZERO; 4]);
+    }
+
+    /// A forecast window longer than the whole route is all padding
+    /// beyond the real samples from step 1 on.
+    #[test]
+    fn forecast_window_longer_than_route_is_mostly_padding() {
+        let config = SystemConfig::default();
+        let trace = PowerTrace::new(
+            Seconds::new(1.0),
+            vec![Watts::new(500.0), Watts::new(700.0)],
+        );
+        let mut sim = Simulator::new(&config);
+        sim.forecast_len = 5;
+        let mut probe = ForecastProbe::new();
+        sim.run(&mut probe, &trace);
+        assert_eq!(
+            probe.forecasts[0],
+            vec![
+                Watts::new(700.0),
+                Watts::ZERO,
+                Watts::ZERO,
+                Watts::ZERO,
+                Watts::ZERO
+            ]
+        );
+        assert_eq!(probe.forecasts[1], vec![Watts::ZERO; 5]);
+    }
+
+    #[test]
+    fn run_with_emits_one_step_completed_per_sample() {
+        use otem_telemetry::MemorySink;
+        let config = SystemConfig::default();
+        let mut controller = Parallel::new(&config).expect("valid");
+        let trace = PowerTrace::new(Seconds::new(1.0), vec![Watts::new(10_000.0); 7]);
+        let sink = MemorySink::new();
+        let result = Simulator::new(&config).run_with(&mut controller, &trace, &sink);
+        assert_eq!(result.records.len(), 7);
+        assert_eq!(sink.count_kind("step_completed"), 7);
+        // The event mirrors the record it was derived from.
+        if let Event::StepCompleted { step, load_w, .. } = sink.events()[0] {
+            assert_eq!(step, 0);
+            assert_eq!(load_w, 10_000.0);
+        } else {
+            panic!("first event is not step_completed");
+        }
     }
 }

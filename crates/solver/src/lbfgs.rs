@@ -3,6 +3,7 @@
 
 use crate::objective::{GradientMode, Objective};
 use crate::solution::Solution;
+use otem_telemetry::{Event, NullSink, Sink};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -37,7 +38,7 @@ impl Default for Lbfgs {
 impl Lbfgs {
     /// Minimises `f` from the starting point `x0`.
     pub fn minimize<F: Objective + ?Sized>(&self, f: &F, x0: &[f64]) -> Solution {
-        self.minimize_with_grad(f, x0, |x, g| f.gradient(x, g))
+        self.minimize_with_grad(f, x0, &NullSink, |x, g| f.gradient(x, g))
     }
 
     /// Like [`Lbfgs::minimize`] but for `Sync` objectives, honouring
@@ -45,13 +46,35 @@ impl Lbfgs {
     /// gradient evaluation fans its coordinates out across scoped
     /// threads, bit-identical to the serial path.
     pub fn minimize_sync<F: Objective + Sync>(&self, f: &F, x0: &[f64]) -> Solution {
-        self.minimize_with_grad(f, x0, |x, g| f.gradient_with(x, g, self.gradient_mode))
+        self.minimize_sync_observed(f, x0, &NullSink)
+    }
+
+    /// [`Lbfgs::minimize_sync`] with telemetry: emits one
+    /// [`Event::SolverIteration`] per outer iteration and one
+    /// [`Event::GradientEval`] per gradient evaluation into `sink`.
+    /// Observation only — iterates are bit-identical to the unobserved
+    /// path for any sink.
+    pub fn minimize_sync_observed<F: Objective + Sync>(
+        &self,
+        f: &F,
+        x0: &[f64],
+        sink: &dyn Sink,
+    ) -> Solution {
+        let threads = self.gradient_mode.worker_threads() as u64;
+        self.minimize_with_grad(f, x0, sink, |x, g| {
+            f.gradient_with(x, g, self.gradient_mode);
+            sink.record(Event::GradientEval {
+                dim: g.len() as u64,
+                threads,
+            });
+        })
     }
 
     fn minimize_with_grad<F: Objective + ?Sized>(
         &self,
         f: &F,
         x0: &[f64],
+        sink: &dyn Sink,
         mut gradient: impl FnMut(&[f64], &mut [f64]),
     ) -> Solution {
         let n = x0.len();
@@ -61,9 +84,18 @@ impl Lbfgs {
         gradient(&x, &mut grad);
 
         let mut pairs: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new();
+        // Step length accepted by the previous iteration's line search
+        // (reported by the iteration telemetry; 0 before any search).
+        let mut last_step = 0.0;
 
         for iter in 0..self.max_iterations {
             let gnorm = grad.iter().map(|g| g.abs()).fold(0.0, f64::max);
+            sink.record(Event::SolverIteration {
+                iteration: iter as u64,
+                value,
+                residual: gnorm,
+                step: last_step,
+            });
             if gnorm < self.tolerance {
                 return Solution::new(x, value, iter, true);
             }
@@ -138,6 +170,7 @@ impl Lbfgs {
                 x.copy_from_slice(&trial);
                 value = f_trial;
                 grad.copy_from_slice(&new_grad);
+                last_step = t;
                 accepted = true;
                 break;
             }
@@ -153,6 +186,7 @@ impl Lbfgs {
                     x.copy_from_slice(&trial);
                     value = f_trial;
                     grad.copy_from_slice(&new_grad);
+                    last_step = t;
                 } else {
                     return Solution::new(x, value, iter, gnorm < self.tolerance * 100.0);
                 }
@@ -241,6 +275,36 @@ mod tests {
                 "threads = {threads}"
             );
         }
+    }
+
+    #[test]
+    fn observed_solve_is_bit_identical_and_traces_iterations() {
+        use otem_telemetry::{Event, MemorySink};
+        let f = FnObjective::new(|x: &[f64]| {
+            100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2)
+        });
+        let x0 = [-1.2, 1.0];
+        let plain = Lbfgs::default().minimize_sync(&f, &x0);
+        let sink = MemorySink::new();
+        let observed = Lbfgs::default().minimize_sync_observed(&f, &x0, &sink);
+        assert_eq!(observed.iterations, plain.iterations);
+        assert_eq!(
+            observed.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            plain.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(sink.count_kind("solver_iteration"), observed.iterations + 1);
+        // The residual trace must be the gradient norm, ending below
+        // tolerance on the terminal iteration.
+        let last = sink
+            .events()
+            .into_iter()
+            .rev()
+            .find_map(|e| match e {
+                Event::SolverIteration { residual, .. } => Some(residual),
+                _ => None,
+            })
+            .expect("iterations recorded");
+        assert!(last < Lbfgs::default().tolerance, "terminal residual {last}");
     }
 
     #[test]

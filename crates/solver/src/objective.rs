@@ -26,6 +26,18 @@ pub enum GradientMode {
     },
 }
 
+impl GradientMode {
+    /// Worker threads this mode fans a gradient out across (1 for the
+    /// serial path) — the figure telemetry reports per
+    /// [`GradientEval`](otem_telemetry::Event::GradientEval).
+    pub fn worker_threads(&self) -> usize {
+        match self {
+            GradientMode::Serial => 1,
+            GradientMode::Parallel { threads } => (*threads).max(1),
+        }
+    }
+}
+
 /// A differentiable objective function `f: Rⁿ → R`.
 ///
 /// Implementations may provide an analytic [`Objective::gradient`];

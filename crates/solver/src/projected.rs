@@ -5,6 +5,7 @@
 use crate::bounds::Bounds;
 use crate::objective::{GradientMode, Objective};
 use crate::solution::Solution;
+use otem_telemetry::{Event, NullSink, Sink};
 use serde::{Deserialize, Serialize};
 
 /// Projected spectral (Barzilai–Borwein) gradient method with a
@@ -60,7 +61,7 @@ impl ProjectedGradient {
         bounds: &Bounds,
         x0: &[f64],
     ) -> Solution {
-        self.minimize_with_grad(f, bounds, x0, |x, g| f.gradient(x, g))
+        self.minimize_with_grad(f, bounds, x0, &NullSink, |x, g| f.gradient(x, g))
     }
 
     /// Like [`ProjectedGradient::minimize`] but for `Sync` objectives,
@@ -78,8 +79,32 @@ impl ProjectedGradient {
         bounds: &Bounds,
         x0: &[f64],
     ) -> Solution {
-        self.minimize_with_grad(f, bounds, x0, |x, g| {
-            f.gradient_with(x, g, self.gradient_mode)
+        self.minimize_sync_observed(f, bounds, x0, &NullSink)
+    }
+
+    /// [`ProjectedGradient::minimize_sync`] with telemetry: emits one
+    /// [`Event::SolverIteration`] per outer iteration and one
+    /// [`Event::GradientEval`] per gradient evaluation into `sink`.
+    /// Observation only — the iterates are bit-identical to
+    /// [`ProjectedGradient::minimize_sync`] for any sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0.len() != bounds.len()`.
+    pub fn minimize_sync_observed<F: Objective + Sync>(
+        &self,
+        f: &F,
+        bounds: &Bounds,
+        x0: &[f64],
+        sink: &dyn Sink,
+    ) -> Solution {
+        let threads = self.gradient_mode.worker_threads() as u64;
+        self.minimize_with_grad(f, bounds, x0, sink, |x, g| {
+            f.gradient_with(x, g, self.gradient_mode);
+            sink.record(Event::GradientEval {
+                dim: g.len() as u64,
+                threads,
+            });
         })
     }
 
@@ -88,6 +113,7 @@ impl ProjectedGradient {
         f: &F,
         bounds: &Bounds,
         x0: &[f64],
+        sink: &dyn Sink,
         mut gradient: impl FnMut(&[f64], &mut [f64]),
     ) -> Solution {
         assert_eq!(x0.len(), bounds.len(), "start/bounds dimension mismatch");
@@ -114,6 +140,12 @@ impl ProjectedGradient {
                     (trial - x[i]).abs()
                 })
                 .fold(0.0, f64::max);
+            sink.record(Event::SolverIteration {
+                iteration: iter as u64,
+                value,
+                residual: pg_norm,
+                step,
+            });
             if pg_norm < self.tolerance {
                 return Solution::new(x, value, iter, true);
             }
@@ -297,6 +329,35 @@ mod tests {
                 "threads = {threads}"
             );
         }
+    }
+
+    #[test]
+    fn observed_solve_is_bit_identical_and_traces_every_iteration() {
+        use otem_telemetry::MemorySink;
+        let f = FnObjective::new(|x: &[f64]| {
+            100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2)
+        });
+        let bounds = Bounds::uniform(2, -2.0, 2.0);
+        let x0 = [-1.2, 1.0];
+        let plain = ProjectedGradient::default().minimize_sync(&f, &bounds, &x0);
+
+        let sink = MemorySink::new();
+        let observed =
+            ProjectedGradient::default().minimize_sync_observed(&f, &bounds, &x0, &sink);
+        assert_eq!(observed.iterations, plain.iterations);
+        assert_eq!(observed.value.to_bits(), plain.value.to_bits());
+        assert_eq!(
+            observed.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            plain.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // One iteration event per outer iteration, plus the terminal
+        // iteration that observed convergence before returning.
+        assert_eq!(
+            sink.count_kind("solver_iteration"),
+            observed.iterations + 1
+        );
+        // One gradient per accepted iterate plus the initial gradient.
+        assert_eq!(sink.count_kind("gradient_eval"), observed.iterations + 1);
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! The typed event taxonomy emitted by the instrumented stack.
+
+use std::fmt::Write as _;
+
+/// One telemetry event.
+///
+/// Every variant is `Copy` and carries only plain numbers, so
+/// constructing and recording an event never touches the allocator —
+/// the precondition for instrumenting the MPC hot path.
+///
+/// Temperatures are in kelvin, powers in watts, and state-of-charge /
+/// state-of-energy as fractions in `[0, 1]`, matching the unit
+/// conventions of the component crates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// One outer iteration of a solver ([`ProjectedGradient`] /
+    /// `Lbfgs`-style): current objective value, convergence residual
+    /// (projected-gradient or gradient infinity norm) and the step
+    /// length about to be tried.
+    ///
+    /// [`ProjectedGradient`]: https://docs.rs/otem-solver
+    SolverIteration {
+        /// Zero-based outer-iteration index within one solve.
+        iteration: u64,
+        /// Objective value at the current iterate.
+        value: f64,
+        /// Convergence residual (infinity norm the solver converges on).
+        residual: f64,
+        /// Step length entering this iteration's line search.
+        step: f64,
+    },
+    /// One full gradient evaluation (the MPC's dominant cost: `4·n`
+    /// plant rollouts for an `n`-block horizon).
+    GradientEval {
+        /// Problem dimension (gradient coordinates evaluated).
+        dim: u64,
+        /// Worker threads the evaluation fanned out across (1 = serial).
+        threads: u64,
+    },
+    /// A rollout workspace was served from the pool (steady state: no
+    /// plant clone, no allocation).
+    PoolHit,
+    /// The pool was empty and a workspace was built by cloning the
+    /// plant (cold start or a new concurrent worker).
+    PoolMiss,
+    /// The cooling loop switched on or off.
+    CoolingToggle {
+        /// `true` when the loop switched on.
+        on: bool,
+        /// Battery temperature at the toggle (K).
+        battery_temp_k: f64,
+    },
+    /// The ultracapacitor path hit a limit: the commanded bus power
+    /// reached the C7 bound, or the bank could not serve the request.
+    UcapSaturated {
+        /// Commanded (or requested) ultracapacitor bus power (W).
+        commanded_w: f64,
+        /// The applicable limit (W).
+        limit_w: f64,
+    },
+    /// A decision variable ended on (or beyond) its box bound and was
+    /// pinned there when the move was extracted — active-constraint
+    /// telemetry for the MPC.
+    BoundClamp {
+        /// Index of the decision variable in the solver's layout.
+        index: u64,
+        /// Raw value before pinning.
+        raw: f64,
+        /// The bound it was pinned to.
+        bound: f64,
+    },
+    /// One closed-loop simulation step completed (the per-step signal
+    /// set behind the paper's Figs. 1, 6–9).
+    StepCompleted {
+        /// Zero-based step index along the route.
+        step: u64,
+        /// Requested load (W).
+        load_w: f64,
+        /// Power actually delivered to the bus (W).
+        delivered_w: f64,
+        /// Unserved load (W).
+        shortfall_w: f64,
+        /// Electric power drawn by the cooling system (W).
+        cooling_w: f64,
+        /// Battery temperature after the step (K).
+        battery_temp_k: f64,
+        /// Battery state of charge after the step.
+        soc: f64,
+        /// Ultracapacitor state of energy after the step.
+        soe: f64,
+    },
+}
+
+impl Event {
+    /// Stable snake_case discriminant name (the `"event"` field of the
+    /// JSONL encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::SolverIteration { .. } => "solver_iteration",
+            Event::GradientEval { .. } => "gradient_eval",
+            Event::PoolHit => "pool_hit",
+            Event::PoolMiss => "pool_miss",
+            Event::CoolingToggle { .. } => "cooling_toggle",
+            Event::UcapSaturated { .. } => "ucap_saturated",
+            Event::BoundClamp { .. } => "bound_clamp",
+            Event::StepCompleted { .. } => "step_completed",
+        }
+    }
+
+    /// Appends the event as one JSON object (no trailing newline) to
+    /// `out`. Non-finite floats encode as `null` so every line stays
+    /// valid JSON.
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(out, "{{\"event\":\"{}\"", self.kind());
+        match *self {
+            Event::SolverIteration {
+                iteration,
+                value,
+                residual,
+                step,
+            } => {
+                let _ = write!(out, ",\"iteration\":{iteration}");
+                field(out, "value", value);
+                field(out, "residual", residual);
+                field(out, "step", step);
+            }
+            Event::GradientEval { dim, threads } => {
+                let _ = write!(out, ",\"dim\":{dim},\"threads\":{threads}");
+            }
+            Event::PoolHit | Event::PoolMiss => {}
+            Event::CoolingToggle { on, battery_temp_k } => {
+                let _ = write!(out, ",\"on\":{on}");
+                field(out, "battery_temp_k", battery_temp_k);
+            }
+            Event::UcapSaturated {
+                commanded_w,
+                limit_w,
+            } => {
+                field(out, "commanded_w", commanded_w);
+                field(out, "limit_w", limit_w);
+            }
+            Event::BoundClamp { index, raw, bound } => {
+                let _ = write!(out, ",\"index\":{index}");
+                field(out, "raw", raw);
+                field(out, "bound", bound);
+            }
+            Event::StepCompleted {
+                step,
+                load_w,
+                delivered_w,
+                shortfall_w,
+                cooling_w,
+                battery_temp_k,
+                soc,
+                soe,
+            } => {
+                let _ = write!(out, ",\"step\":{step}");
+                field(out, "load_w", load_w);
+                field(out, "delivered_w", delivered_w);
+                field(out, "shortfall_w", shortfall_w);
+                field(out, "cooling_w", cooling_w);
+                field(out, "battery_temp_k", battery_temp_k);
+                field(out, "soc", soc);
+                field(out, "soe", soe);
+            }
+        }
+        out.push('}');
+    }
+
+    /// The event as one JSON line (convenience over
+    /// [`Event::write_json`]).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_json(&mut s);
+        s
+    }
+}
+
+/// Writes `,"name":value` with non-finite values encoded as `null`.
+fn field(out: &mut String, name: &str, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, ",\"{name}\":{value}");
+    } else {
+        let _ = write!(out, ",\"{name}\":null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(Event::PoolHit.kind(), "pool_hit");
+        assert_eq!(Event::PoolMiss.kind(), "pool_miss");
+        assert_eq!(
+            Event::StepCompleted {
+                step: 0,
+                load_w: 0.0,
+                delivered_w: 0.0,
+                shortfall_w: 0.0,
+                cooling_w: 0.0,
+                battery_temp_k: 0.0,
+                soc: 0.0,
+                soe: 0.0,
+            }
+            .kind(),
+            "step_completed"
+        );
+    }
+
+    #[test]
+    fn json_encoding_is_one_object_per_event() {
+        let e = Event::SolverIteration {
+            iteration: 3,
+            value: 12.5,
+            residual: 1e-3,
+            step: 0.5,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"solver_iteration\",\"iteration\":3,\"value\":12.5,\
+             \"residual\":0.001,\"step\":0.5}"
+        );
+        assert_eq!(Event::PoolHit.to_json(), "{\"event\":\"pool_hit\"}");
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_null() {
+        let e = Event::GradientEval { dim: 4, threads: 2 };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"gradient_eval\",\"dim\":4,\"threads\":2}"
+        );
+        let bad = Event::CoolingToggle {
+            on: true,
+            battery_temp_k: f64::NAN,
+        };
+        assert_eq!(
+            bad.to_json(),
+            "{\"event\":\"cooling_toggle\",\"on\":true,\"battery_temp_k\":null}"
+        );
+    }
+
+    #[test]
+    fn step_completed_encodes_every_column() {
+        let e = Event::StepCompleted {
+            step: 7,
+            load_w: 20_000.0,
+            delivered_w: 19_950.0,
+            shortfall_w: 50.0,
+            cooling_w: 120.0,
+            battery_temp_k: 305.15,
+            soc: 0.93,
+            soe: 0.41,
+        };
+        let json = e.to_json();
+        for key in [
+            "\"step\":7",
+            "\"load_w\":20000",
+            "\"delivered_w\":19950",
+            "\"shortfall_w\":50",
+            "\"cooling_w\":120",
+            "\"battery_temp_k\":305.15",
+            "\"soc\":0.93",
+            "\"soe\":0.41",
+        ] {
+            assert!(json.contains(key), "{json} missing {key}");
+        }
+    }
+}

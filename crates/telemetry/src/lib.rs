@@ -1,0 +1,66 @@
+//! Structured telemetry for the OTEM MPC/solver/plant stack.
+//!
+//! The paper's whole evaluation is a story told through per-step signals
+//! — battery temperature, C-rate, cooling duty, solver effort — and the
+//! production north star needs those signals observable without
+//! re-deriving them from record dumps. This crate is the instrumentation
+//! layer: **dependency-free**, allocation-free on the disabled path, and
+//! strictly observational (a sink can never perturb the physics it
+//! watches).
+//!
+//! # Pieces
+//!
+//! * [`Event`] — the typed event taxonomy: solver iterations, gradient
+//!   evaluations, workspace-pool hits/misses, cooling toggles,
+//!   ultracapacitor saturation, bound clamps, and completed simulation
+//!   steps. Every variant is `Copy` so emission never allocates.
+//! * [`Sink`] — where events go. Implementations:
+//!   [`NullSink`] (the default: every record is a no-op, the instrumented
+//!   code path is bit-identical to an uninstrumented run),
+//!   [`MemorySink`] (bounded ring buffer for tests and in-process
+//!   inspection) and [`JsonlSink`] (streaming JSON-lines writer for
+//!   `results/`).
+//! * Metric primitives — [`Counter`], [`Gauge`] and fixed-bucket
+//!   [`Histogram`], all interior-mutable so they can be shared across
+//!   the solver's gradient worker threads.
+//! * [`RingBuffer`] — the bounded FIFO behind [`MemorySink`], exposed
+//!   for reuse.
+//!
+//! # The zero-cost contract
+//!
+//! Instrumented hot paths take `&dyn Sink` and call
+//! [`Sink::record`] unconditionally. With [`NullSink`] that is one
+//! virtual call on a few `Copy` words — no allocation, no branch on the
+//! caller's side, and no effect on any computed value. The golden-trace
+//! and parity suites in the workspace pin this contract: a `NullSink`
+//! run must be `PartialEq`-identical to an uninstrumented run.
+//!
+//! # Example
+//!
+//! ```
+//! use otem_telemetry::{Event, MemorySink, Sink};
+//!
+//! let sink = MemorySink::with_capacity(16);
+//! sink.record(Event::PoolMiss);
+//! sink.record(Event::SolverIteration {
+//!     iteration: 0,
+//!     value: 12.5,
+//!     residual: 1e-3,
+//!     step: 0.5,
+//! });
+//! assert_eq!(sink.len(), 2);
+//! assert_eq!(sink.count_kind("solver_iteration"), 1);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod event;
+mod metrics;
+mod ring;
+mod sink;
+
+pub use event::Event;
+pub use metrics::{Counter, Gauge, Histogram};
+pub use ring::RingBuffer;
+pub use sink::{JsonlSink, MemorySink, NullSink, Sink};

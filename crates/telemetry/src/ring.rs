@@ -1,0 +1,117 @@
+//! A bounded FIFO buffer: the storage behind [`crate::MemorySink`].
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity ring buffer that evicts the oldest element on
+/// overflow and preserves insertion order among the survivors.
+///
+/// ```
+/// use otem_telemetry::RingBuffer;
+/// let mut ring = RingBuffer::new(2);
+/// assert_eq!(ring.push(1), None);
+/// assert_eq!(ring.push(2), None);
+/// assert_eq!(ring.push(3), Some(1)); // oldest evicted
+/// assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingBuffer<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> RingBuffer<T> {
+    /// A buffer holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Appends `item`, returning the evicted oldest element when full.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        let evicted = if self.buf.len() == self.capacity {
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(item);
+        evicted
+    }
+
+    /// Elements currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no elements are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Drops all elements (capacity unchanged).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+impl<T: Clone> RingBuffer<T> {
+    /// The retained elements, oldest first.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_at_most_capacity() {
+        let mut ring = RingBuffer::new(3);
+        for i in 0..10 {
+            ring.push(i);
+            assert!(ring.len() <= 3);
+        }
+        assert_eq!(ring.to_vec(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn eviction_returns_the_oldest() {
+        let mut ring = RingBuffer::new(2);
+        assert_eq!(ring.push('a'), None);
+        assert_eq!(ring.push('b'), None);
+        assert_eq!(ring.push('c'), Some('a'));
+        assert_eq!(ring.push('d'), Some('b'));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut ring = RingBuffer::new(2);
+        ring.push(1);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = RingBuffer::<u8>::new(0);
+    }
+}

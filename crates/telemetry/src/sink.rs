@@ -1,0 +1,238 @@
+//! Sinks: where emitted events go.
+
+use crate::event::Event;
+use crate::ring::RingBuffer;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// An event consumer.
+///
+/// Sinks are passed as `&dyn Sink` through the instrumented stack, so
+/// the trait is object-safe and `Sync` (the MPC's parallel gradient
+/// workers may emit concurrently). Implementations must be strictly
+/// observational: recording an event may never influence the
+/// computation that emitted it.
+pub trait Sink: Sync {
+    /// Consumes one event.
+    fn record(&self, event: Event);
+
+    /// `false` when recording is a guaranteed no-op ([`NullSink`]) —
+    /// lets call sites skip *expensive derived* computations, never
+    /// required for plain event emission.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// The default sink: discards everything.
+///
+/// `record` is an empty inlineable virtual call over `Copy` data, so
+/// the instrumented path with a `NullSink` allocates nothing and
+/// computes exactly what an uninstrumented run computes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Retains the most recent events in a bounded ring buffer — the sink
+/// for tests and in-process inspection.
+#[derive(Debug)]
+pub struct MemorySink {
+    ring: Mutex<RingBuffer<Event>>,
+}
+
+impl MemorySink {
+    /// Default retention (events).
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// A sink retaining the last [`MemorySink::DEFAULT_CAPACITY`]
+    /// events.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A sink retaining the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            ring: Mutex::new(RingBuffer::new(capacity)),
+        }
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("memory sink poisoned").len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.lock().expect("memory sink poisoned").to_vec()
+    }
+
+    /// Number of retained events of the given [`Event::kind`].
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.ring
+            .lock()
+            .expect("memory sink poisoned")
+            .iter()
+            .filter(|e| e.kind() == kind)
+            .count()
+    }
+
+    /// Drops all retained events.
+    pub fn clear(&self) {
+        self.ring.lock().expect("memory sink poisoned").clear();
+    }
+}
+
+impl Default for MemorySink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: Event) {
+        self.ring.lock().expect("memory sink poisoned").push(event);
+    }
+}
+
+/// Streams events as JSON lines to any writer — the sink behind the
+/// `results/*.jsonl` telemetry the experiment bins produce.
+///
+/// The encode buffer is reused across records, so steady-state
+/// recording performs no allocation beyond what the writer itself does.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    inner: Mutex<JsonlState<W>>,
+}
+
+#[derive(Debug)]
+struct JsonlState<W> {
+    writer: W,
+    buf: String,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) `path` and streams events into it through a
+    /// buffered writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps the writer.
+    pub fn new(writer: W) -> Self {
+        Self {
+            inner: Mutex::new(JsonlState {
+                writer,
+                buf: String::with_capacity(256),
+            }),
+        }
+    }
+
+    /// Flushes and returns the writer.
+    pub fn into_inner(self) -> W {
+        let mut state = self.inner.into_inner().expect("jsonl sink poisoned");
+        let _ = state.writer.flush();
+        state.writer
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, event: Event) {
+        let state = &mut *self.inner.lock().expect("jsonl sink poisoned");
+        state.buf.clear();
+        event.write_json(&mut state.buf);
+        state.buf.push('\n');
+        // I/O errors are swallowed: telemetry must never abort the
+        // simulation it observes. flush() surfaces nothing either; a
+        // caller that needs hard guarantees can use into_inner().
+        let _ = state.writer.write_all(state.buf.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self
+            .inner
+            .lock()
+            .expect("jsonl sink poisoned")
+            .writer
+            .flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_discards() {
+        let sink = NullSink;
+        sink.record(Event::PoolHit);
+        assert!(!sink.enabled());
+    }
+
+    #[test]
+    fn memory_sink_retains_in_order_up_to_capacity() {
+        let sink = MemorySink::with_capacity(2);
+        sink.record(Event::PoolMiss);
+        sink.record(Event::PoolHit);
+        sink.record(Event::PoolHit);
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.events(), vec![Event::PoolHit, Event::PoolHit]);
+        assert_eq!(sink.count_kind("pool_hit"), 2);
+        assert_eq!(sink.count_kind("pool_miss"), 0);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.record(Event::PoolHit);
+        sink.record(Event::GradientEval { dim: 2, threads: 1 });
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "{\"event\":\"pool_hit\"}");
+        assert!(lines[1].starts_with("{\"event\":\"gradient_eval\""));
+    }
+
+    #[test]
+    fn sinks_are_object_safe() {
+        let sinks: Vec<Box<dyn Sink>> = vec![
+            Box::new(NullSink),
+            Box::new(MemorySink::with_capacity(4)),
+            Box::new(JsonlSink::new(Vec::new())),
+        ];
+        for sink in &sinks {
+            sink.record(Event::PoolHit);
+            sink.flush();
+        }
+    }
+}

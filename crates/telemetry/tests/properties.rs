@@ -1,0 +1,121 @@
+//! Property tests for the telemetry primitives: the ring buffer's
+//! bound/order invariants and the histogram's conservation and
+//! merge-commutativity laws.
+
+use otem_telemetry::{Histogram, RingBuffer};
+use proptest::prelude::*;
+
+/// Bucket edges shared by the histogram properties: a fixed, strictly
+/// ascending grid wide enough that generated values land in several
+/// buckets (plus the implicit overflow bucket).
+const EDGES: [f64; 5] = [-10.0, -1.0, 0.0, 1.0, 10.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ring_never_exceeds_capacity(
+        capacity in 1usize..40,
+        items in prop::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let mut ring = RingBuffer::new(capacity);
+        for (i, &item) in items.iter().enumerate() {
+            let evicted = ring.push(item);
+            prop_assert!(ring.len() <= capacity);
+            prop_assert_eq!(ring.len(), (i + 1).min(capacity));
+            // Eviction happens exactly when the buffer was already full,
+            // and always surrenders the oldest element.
+            if i >= capacity {
+                prop_assert_eq!(evicted, Some(items[i - capacity]));
+            } else {
+                prop_assert_eq!(evicted, None);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_preserves_insertion_order_of_survivors(
+        capacity in 1usize..40,
+        items in prop::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let mut ring = RingBuffer::new(capacity);
+        for &item in &items {
+            ring.push(item);
+        }
+        let start = items.len().saturating_sub(capacity);
+        prop_assert_eq!(ring.to_vec(), items[start..].to_vec());
+    }
+
+    #[test]
+    fn histogram_conserves_counts(
+        values in prop::collection::vec(-50.0..50.0f64, 0..300),
+    ) {
+        let h = Histogram::with_bounds(&EDGES);
+        for &v in &values {
+            h.observe(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(
+            h.snapshot().iter().sum::<u64>(),
+            values.len() as u64
+        );
+    }
+
+    #[test]
+    fn histogram_conserves_counts_with_non_finite_inputs(
+        values in prop::collection::vec(-50.0..50.0f64, 0..100),
+        weird in 0usize..8,
+    ) {
+        let h = Histogram::with_bounds(&EDGES);
+        for &v in &values {
+            h.observe(v);
+        }
+        let specials = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e308];
+        for i in 0..weird {
+            h.observe(specials[i % specials.len()]);
+        }
+        prop_assert_eq!(h.count(), (values.len() + weird) as u64);
+    }
+
+    #[test]
+    fn histogram_merge_is_order_invariant(
+        a in prop::collection::vec(-50.0..50.0f64, 0..150),
+        b in prop::collection::vec(-50.0..50.0f64, 0..150),
+    ) {
+        let fill = |values: &[f64]| {
+            let h = Histogram::with_bounds(&EDGES);
+            for &v in values {
+                h.observe(v);
+            }
+            h
+        };
+        let (ha, hb) = (fill(&a), fill(&b));
+
+        // a ⊕ b and b ⊕ a agree bucket-for-bucket…
+        let ab = ha.clone();
+        ab.merge(&hb);
+        let ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab.snapshot(), ba.snapshot());
+
+        // …and both equal the histogram of the concatenated stream.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(ab.snapshot(), fill(&all).snapshot());
+        prop_assert_eq!(ab.count(), (a.len() + b.len()) as u64);
+    }
+
+    #[test]
+    fn bucket_for_is_consistent_with_edges(v in -100.0..100.0f64) {
+        let h = Histogram::with_bounds(&EDGES);
+        let idx = h.bucket_for(v);
+        if idx < EDGES.len() {
+            prop_assert!(v <= EDGES[idx]);
+            if idx > 0 {
+                prop_assert!(v > EDGES[idx - 1]);
+            }
+        } else {
+            prop_assert!(v > EDGES[EDGES.len() - 1]);
+        }
+    }
+}

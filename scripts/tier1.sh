@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --workspace --examples"
+cargo build --workspace --examples
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 

@@ -17,6 +17,7 @@
 //! | [`hees`] | `otem-hees` | storage architectures (Eq. 10–13) |
 //! | [`drivecycle`] | `otem-drivecycle` | cycles + power-train model |
 //! | [`solver`] | `otem-solver` | NLP toolkit for the MPC |
+//! | [`telemetry`] | `otem-telemetry` | structured events, metrics, sinks |
 //! | [`control`] | `otem` | OTEM MPC, baselines, simulator |
 //!
 //! # Examples
@@ -44,6 +45,7 @@ pub use otem_converter as converter;
 pub use otem_drivecycle as drivecycle;
 pub use otem_hees as hees;
 pub use otem_solver as solver;
+pub use otem_telemetry as telemetry;
 pub use otem_thermal as thermal;
 pub use otem_ultracap as ultracap;
 pub use otem_units as units;
