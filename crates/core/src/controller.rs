@@ -41,6 +41,27 @@ impl StepRecord {
     }
 }
 
+/// A plant-level degradation a fault harness may ask a controller to
+/// emulate. Faults that only corrupt the controller's *inputs* (noisy
+/// sensors, bad forecasts) don't need this channel — they are applied by
+/// the harness itself; this enum covers degradations that live *inside*
+/// the plant or the optimiser and so need the controller's cooperation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlantFault {
+    /// Forces the cooling pump stuck (true: stuck *off* — the active
+    /// thermal loop loses actuation; false: restore normal operation).
+    PumpStuck(bool),
+    /// Caps the optimiser's per-period iteration budget (`Some(0)`
+    /// starves it completely); `None` restores the configured budget.
+    SolverIterationCap(Option<usize>),
+    /// Additive bias (K) on the temperature the controller *reads* from
+    /// its plant — models a drifted thermistor. Zero removes the bias.
+    SensorBias {
+        /// Bias applied to the measured battery temperature.
+        temp_k: f64,
+    },
+}
+
 /// A thermal/energy management methodology driving one HEES
 /// architecture.
 ///
@@ -76,6 +97,16 @@ pub trait Controller {
 
     /// Current state vector.
     fn state(&self) -> SystemState;
+
+    /// Asks the controller to emulate a plant-level fault. Returns
+    /// `true` if the fault is supported and now active (or cleared);
+    /// controllers without the corresponding hardware simply return
+    /// `false` and the harness records the fault as inapplicable. The
+    /// default supports nothing.
+    fn inject(&mut self, fault: PlantFault) -> bool {
+        let _ = fault;
+        false
+    }
 }
 
 #[cfg(test)]

@@ -54,9 +54,11 @@ pub mod mpc;
 pub mod planner;
 pub mod policy;
 mod sim;
+pub mod supervisor;
 
 pub use config::SystemConfig;
-pub use controller::{Controller, StepRecord, SystemState};
+pub use controller::{Controller, PlantFault, StepRecord, SystemState};
 pub use error::OtemError;
+pub use supervisor::{SupervisedOtem, SupervisorConfig};
 pub use metrics::SimulationResult;
 pub use sim::Simulator;

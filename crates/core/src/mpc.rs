@@ -24,7 +24,9 @@
 
 use otem_battery::AgingParams;
 use otem_hees::{HeesSnapshot, HybridCommand, HybridHees};
-use otem_solver::{Bounds, GradientMode, NumericalGradient, Objective, ProjectedGradient, Solution};
+use otem_solver::{
+    Bounds, GradientMode, NumericalGradient, Objective, ProjectedGradient, Solution, SolverOutcome,
+};
 use otem_telemetry::{Event, NullSink, Sink};
 use otem_thermal::{CoolingPlant, ThermalModel, ThermalState};
 use otem_units::{Kelvin, Ratio, Seconds, Watts};
@@ -135,8 +137,16 @@ pub struct MpcDecision {
     pub cost: f64,
     /// Diagnostics: solver iterations consumed.
     pub iterations: usize,
-    /// Diagnostics: whether the solver met tolerance.
-    pub converged: bool,
+    /// Diagnostics: how the solver terminated.
+    pub outcome: SolverOutcome,
+}
+
+impl MpcDecision {
+    /// Whether the solver met tolerance (legacy convenience over
+    /// [`MpcDecision::outcome`]).
+    pub fn converged(&self) -> bool {
+        self.outcome == SolverOutcome::Converged
+    }
 }
 
 /// The receding-horizon optimiser (Algorithm 1 lines 13–14).
@@ -145,6 +155,11 @@ pub struct Mpc {
     config: MpcConfig,
     previous: Option<Vec<f64>>,
     solver: ProjectedGradient,
+    /// Runtime ceiling on solver iterations (below the configured
+    /// budget); `None` means the configured budget applies. Exists so a
+    /// fault-injection harness can starve the solver without rebuilding
+    /// the controller.
+    iteration_cap: Option<usize>,
     // Cached per-solve buffers: the problem dimension is fixed by the
     // config, so bounds and the warm-start vector are built once and
     // reused across every control period.
@@ -171,6 +186,7 @@ impl Mpc {
             config,
             previous: None,
             solver,
+            iteration_cap: None,
             bounds: Bounds::new(lower, upper),
             x0: vec![0.0; 2 * n],
             pool: WorkspacePool::new(),
@@ -185,6 +201,19 @@ impl Mpc {
     /// Clears the warm-start memory (e.g. when the route changes).
     pub fn reset(&mut self) {
         self.previous = None;
+    }
+
+    /// Caps the per-period solver iterations below the configured budget
+    /// (`None` restores the configured budget). A cap of zero makes every
+    /// solve return its warm start unimproved — the "starved solver"
+    /// degradation mode the supervisor must detect.
+    pub fn set_iteration_cap(&mut self, cap: Option<usize>) {
+        self.iteration_cap = cap;
+    }
+
+    /// The currently active iteration cap, if any.
+    pub fn iteration_cap(&self) -> Option<usize> {
+        self.iteration_cap
     }
 
     /// Total plant rollouts performed by [`Mpc::solve`] so far — the
@@ -241,14 +270,16 @@ impl Mpc {
             start: plant.hees.snapshot(),
             sink,
         };
+        let mut solver = self.solver;
+        if let Some(cap) = self.iteration_cap {
+            solver.max_iterations = solver.max_iterations.min(cap);
+        }
         let Solution {
             x,
             value,
             iterations,
-            converged,
-        } = self
-            .solver
-            .minimize_sync_observed(&objective, &self.bounds, &self.x0, sink);
+            outcome,
+        } = solver.minimize_sync_observed(&objective, &self.bounds, &self.x0, sink);
 
         if x[0] == -1.0 || x[0] == 1.0 {
             sink.record(Event::BoundClamp {
@@ -270,7 +301,7 @@ impl Mpc {
             cool_duty: x[n],
             cost: value,
             iterations,
-            converged,
+            outcome,
         };
         self.previous = Some(x);
         decision
@@ -340,7 +371,12 @@ impl WorkspacePool {
     /// model. Runs once per solve over at most a handful of slots.
     fn rebind(&self, source: &HybridHees) {
         let snapshot = source.snapshot();
-        let mut slots = self.slots.lock().expect("workspace pool poisoned");
+        // Poisoning is not corruption here: every critical section is a
+        // plain Vec push/pop, and a panicking evaluation thread leaves the
+        // pool contents valid (at worst a workspace is lost to the
+        // panicking thread). Recover the guard instead of cascading the
+        // panic into every later solve.
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
         slots.retain_mut(|ws| {
             ws.hees.restore(snapshot);
             ws.hees == *source
@@ -351,7 +387,11 @@ impl WorkspacePool {
     /// (the only time a plant clone happens). `sink` learns which way it
     /// went — a warm pool records only [`Event::PoolHit`]s.
     fn take(&self, source: &HybridHees, sink: &dyn Sink) -> RolloutWorkspace {
-        let pooled = self.slots.lock().expect("workspace pool poisoned").pop();
+        let pooled = self
+            .slots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop();
         match pooled {
             Some(ws) => {
                 sink.record(Event::PoolHit);
@@ -370,7 +410,7 @@ impl WorkspacePool {
     fn put(&self, workspace: RolloutWorkspace) {
         self.slots
             .lock()
-            .expect("workspace pool poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .push(workspace);
     }
 }
@@ -865,7 +905,7 @@ mod tests {
             assert_eq!(a.cool_duty.to_bits(), b.cool_duty.to_bits());
             assert_eq!(a.cost.to_bits(), b.cost.to_bits());
             assert_eq!(a.iterations, b.iterations);
-            assert_eq!(a.converged, b.converged);
+            assert_eq!(a.outcome, b.outcome);
         }
         assert!(serial_mpc.rollouts() > 0);
         assert_eq!(serial_mpc.rollouts(), parallel_mpc.rollouts());
@@ -961,6 +1001,67 @@ mod tests {
         let misses = sink.count_kind("pool_miss");
         assert_eq!(misses, 1, "serial mode needs exactly one workspace");
         assert!(hits > misses, "pool should run warm: {hits} hits");
+    }
+
+    #[test]
+    fn poisoned_pool_recovers_instead_of_cascading() {
+        // A panicking evaluation thread poisons the slots mutex; the pool
+        // must keep working (its invariants are plain Vec contents), not
+        // turn every subsequent solve into a panic.
+        let config = SystemConfig::default();
+        let p = plant(&config);
+        let pool = WorkspacePool::new();
+        let ws = pool.take(&p.hees, &NullSink);
+        pool.put(ws);
+
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = pool.slots.lock().unwrap();
+            panic!("poison the pool");
+        }));
+        assert!(poison.is_err());
+        assert!(pool.slots.lock().is_err(), "mutex should be poisoned");
+
+        // All three entry points still function on the poisoned mutex.
+        pool.rebind(&p.hees);
+        let ws = pool.take(&p.hees, &NullSink);
+        pool.put(ws);
+
+        // And a full solve through the poisoned pool still succeeds.
+        let mut mpc = Mpc::new(MpcConfig {
+            horizon: 4,
+            ..MpcConfig::default()
+        });
+        let _guard_poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = mpc.pool.slots.lock().unwrap();
+            panic!("poison the solver's pool");
+        }));
+        let loads = vec![Watts::new(10_000.0); 4];
+        let d = mpc.solve(&p, &loads, Seconds::new(1.0));
+        assert!(d.cap_bus.is_finite());
+        assert!(d.cost.is_finite());
+    }
+
+    #[test]
+    fn iteration_cap_starves_the_solver_structurally() {
+        let config = SystemConfig::default();
+        let mut p = plant(&config);
+        p.state = ThermalState::uniform(Kelvin::from_celsius(36.0));
+        let loads = vec![Watts::new(40_000.0); 6];
+        let mut mpc = Mpc::new(MpcConfig {
+            horizon: 6,
+            ..MpcConfig::default()
+        });
+        mpc.set_iteration_cap(Some(0));
+        assert_eq!(mpc.iteration_cap(), Some(0));
+        let starved = mpc.solve(&p, &loads, Seconds::new(1.0));
+        assert_eq!(starved.iterations, 0);
+        assert_eq!(starved.outcome, SolverOutcome::BudgetExhausted);
+        assert!(!starved.converged());
+
+        // Lifting the cap restores the configured budget.
+        mpc.set_iteration_cap(None);
+        let restored = mpc.solve(&p, &loads, Seconds::new(1.0));
+        assert!(restored.iterations > 0);
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! (Section III, Algorithm 1).
 
 use crate::config::SystemConfig;
-use crate::controller::{Controller, StepRecord, SystemState};
+use crate::controller::{Controller, PlantFault, StepRecord, SystemState};
 use crate::error::OtemError;
-use crate::mpc::{Mpc, MpcConfig, MpcPlant};
+use crate::mpc::{Mpc, MpcConfig, MpcDecision, MpcPlant};
 use otem_battery::BatteryPack;
 use otem_converter::DcDcConverter;
 use otem_hees::{HybridCommand, HybridHees};
@@ -30,6 +30,12 @@ pub struct Otem {
     /// telemetry path can report [`Event::CoolingToggle`] on the
     /// idle↔active transitions.
     cooling_on: bool,
+    /// Injected fault: the cooling pump is stuck off (the MPC keeps
+    /// commanding it, the plant ignores the command).
+    pump_stuck: bool,
+    /// Injected fault: additive bias (K) on the battery temperature the
+    /// controller reads. The true plant state evolves unbiased.
+    sensor_bias_k: f64,
 }
 
 impl Otem {
@@ -66,6 +72,8 @@ impl Otem {
             mpc: Mpc::new(mpc_config),
             config: config.clone(),
             cooling_on: false,
+            pump_stuck: false,
+            sensor_bias_k: 0.0,
         })
     }
 
@@ -74,12 +82,36 @@ impl Otem {
         self.mpc.config()
     }
 
+    /// The system configuration this controller was built from (the
+    /// supervisor reads bounds and limits from here).
+    pub fn system_config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Clears the MPC's warm-start memory. The supervisor calls this
+    /// when re-arming after a fallback episode so the first re-armed
+    /// solve does not extrapolate a plan computed under fault.
+    pub fn reset_mpc(&mut self) {
+        self.mpc.reset();
+    }
+
+    /// The thermal state as the controller's sensors report it —
+    /// identical to the true state unless a [`PlantFault::SensorBias`]
+    /// is active.
+    fn measured_thermal(&self) -> ThermalState {
+        let mut state = self.state;
+        if self.sensor_bias_k != 0.0 {
+            state.battery = Kelvin::new(state.battery.value() + self.sensor_bias_k);
+        }
+        state
+    }
+
     fn plant_snapshot(&self) -> MpcPlant {
         MpcPlant {
             hees: self.hees.clone(),
             thermal: self.thermal,
             plant: self.plant,
-            state: self.state,
+            state: self.measured_thermal(),
             aging: self.config.aging,
             soc_min: self.config.soc_min,
             soe_min: self.config.soe_min,
@@ -105,10 +137,49 @@ impl Controller for Otem {
         dt: Seconds,
         sink: &dyn Sink,
     ) -> StepRecord {
-        // Algorithm 1 lines 11–13: fill the control window with the
-        // current request followed by the forecast. With move blocking,
-        // each decision block spans `block_size` control periods and sees
-        // the mean load of its span.
+        let decision = self.plan_with(load, forecast, dt, sink);
+        self.apply_with(load, decision.cap_bus, decision.cool_duty, dt, sink)
+    }
+
+    fn state(&self) -> SystemState {
+        self.snapshot()
+    }
+
+    fn inject(&mut self, fault: PlantFault) -> bool {
+        match fault {
+            PlantFault::PumpStuck(stuck) => {
+                self.pump_stuck = stuck;
+                true
+            }
+            PlantFault::SolverIterationCap(cap) => {
+                self.mpc.set_iteration_cap(cap);
+                true
+            }
+            PlantFault::SensorBias { temp_k } => {
+                self.sensor_bias_k = temp_k;
+                true
+            }
+        }
+    }
+}
+
+impl Otem {
+    /// Algorithm 1 lines 11–14: build the control window and run the
+    /// receding-horizon optimisation, returning the planned first move
+    /// *without* actuating the plant. [`Otem::step_with`] is exactly
+    /// [`Otem::plan_with`] followed by [`Otem::apply_with`]; the split
+    /// exists so a supervisor can validate the decision in between and
+    /// substitute a fallback command on the same plant.
+    pub fn plan_with(
+        &mut self,
+        load: Watts,
+        forecast: &[Watts],
+        dt: Seconds,
+        sink: &dyn Sink,
+    ) -> MpcDecision {
+        // Fill the control window with the current request followed by
+        // the forecast. With move blocking, each decision block spans
+        // `block_size` control periods and sees the mean load of its span.
         let n = self.mpc.config().horizon;
         let block = self.mpc.config().block_size.max(1);
         let mut raw = Vec::with_capacity(n * block);
@@ -131,14 +202,29 @@ impl Controller for Otem {
                 limit_w: self.config.cap_power_max.value(),
             });
         }
+        decision
+    }
 
-        // Lines 15–16: apply the first move to the real plant.
+    /// Algorithm 1 lines 15–16: apply one period's command (`cap_bus`,
+    /// `cool_duty`) to the real plant and record what happened. The
+    /// command need not come from the MPC — the supervisor routes its
+    /// rule-based fallback through the same path, so fallback steps are
+    /// physically identical to MPC steps in every respect but the source
+    /// of the numbers.
+    pub fn apply_with(
+        &mut self,
+        load: Watts,
+        cap_bus: Watts,
+        cool_duty: f64,
+        dt: Seconds,
+        sink: &dyn Sink,
+    ) -> StepRecord {
         let outlet = self.state.coolant;
         let coldest = self.plant.coldest_inlet(outlet);
         let inlet = Kelvin::new(
-            outlet.value() - decision.cool_duty.clamp(0.0, 1.0) * (outlet.value() - coldest.value()),
+            outlet.value() - cool_duty.clamp(0.0, 1.0) * (outlet.value() - coldest.value()),
         );
-        let cooling_active = decision.cool_duty > 1e-3;
+        let cooling_active = cool_duty > 1e-3 && !self.pump_stuck;
         if cooling_active != self.cooling_on {
             self.cooling_on = cooling_active;
             sink.record(Event::CoolingToggle {
@@ -152,11 +238,11 @@ impl Controller for Otem {
             CoolerAction::idle(outlet)
         };
 
-        let battery_bus = load + action.total_power() - decision.cap_bus;
+        let battery_bus = load + action.total_power() - cap_bus;
         let hees_step = self.hees.step(
             HybridCommand {
                 battery_bus,
-                cap_bus: decision.cap_bus,
+                cap_bus,
             },
             self.state.battery,
             dt,
@@ -173,12 +259,6 @@ impl Controller for Otem {
         }
     }
 
-    fn state(&self) -> SystemState {
-        self.snapshot()
-    }
-}
-
-impl Otem {
     fn snapshot(&self) -> SystemState {
         SystemState {
             battery_temp: self.state.battery,

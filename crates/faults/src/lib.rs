@@ -1,0 +1,586 @@
+//! Deterministic fault injection for OTEM controllers.
+//!
+//! Robustness claims need a repeatable adversary. This crate provides
+//! one: a seeded, schedule-driven [`FaultPlan`] and a
+//! [`FaultedController`] decorator that wraps **any**
+//! [`otem::Controller`] and corrupts what flows across its boundary —
+//! sensor readings, load, forecast — plus, for controllers that opt in
+//! via [`otem::Controller::inject`], plant-internal degradations (stuck
+//! cooling pump, starved solver, biased thermistor).
+//!
+//! Design rules:
+//!
+//! * **The nominal path is untouched.** Faults live entirely in this
+//!   decorator; a controller that is never wrapped runs byte-identical
+//!   code to before this crate existed.
+//! * **Determinism.** All randomness comes from one seeded generator;
+//!   the same plan over the same trace reproduces the same corruption
+//!   bit-for-bit. Campaign results are therefore regression-testable.
+//! * **Observability.** Every active fault on every step emits
+//!   [`Event::FaultInjected`], so a telemetry stream fully reconstructs
+//!   the adversary's timeline.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use otem::{Controller, PlantFault, StepRecord, SystemState};
+use otem_telemetry::{Event, NullSink, Sink};
+use otem_units::{Kelvin, Ratio, Seconds, Watts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One kind of injected degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Gaussian noise on the *reported* measurements: battery/coolant
+    /// temperature (K) and SoC/SoE (absolute ratio units).
+    SensorNoise {
+        /// Standard deviation of the temperature noise (K).
+        temp_sigma_k: f64,
+        /// Standard deviation of the SoC/SoE noise (ratio units).
+        ratio_sigma: f64,
+    },
+    /// Constant offset on the temperature the controller reads
+    /// (delivered via [`PlantFault::SensorBias`] when the controller
+    /// supports it, otherwise applied to the reported record).
+    SensorBias {
+        /// Bias on the measured battery temperature (K).
+        temp_k: f64,
+    },
+    /// The forecast channel goes dark: the controller sees an empty
+    /// window.
+    ForecastDropout,
+    /// The forecast freezes: the controller keeps seeing the window
+    /// from the step before the fault began.
+    ForecastStale,
+    /// The forecast is systematically mis-scaled (e.g. `gain: 0.2`
+    /// models a planner that wildly underestimates demand).
+    ForecastScale {
+        /// Multiplier applied to every forecast sample.
+        gain: f64,
+    },
+    /// The forecast turns to garbage: every sample becomes NaN. The
+    /// nastiest case — an unsupervised MPC happily optimises a NaN
+    /// objective.
+    ForecastCorrupt,
+    /// An additive load transient on top of the drive-cycle demand.
+    LoadSpike {
+        /// Extra bus power demanded (W; may be negative).
+        power_w: f64,
+    },
+    /// A degraded DC-DC stage: extra conversion loss modelled as an
+    /// inflated load, `load += |load| · (1/efficiency − 1)`.
+    ConverterDerate {
+        /// Residual efficiency in `(0, 1]`.
+        efficiency: f64,
+    },
+    /// The cooling pump sticks off ([`PlantFault::PumpStuck`]).
+    PumpStuck,
+    /// The solver's per-period iteration budget collapses
+    /// ([`PlantFault::SolverIterationCap`]).
+    SolverStarvation {
+        /// Remaining iteration budget (0 = fully starved).
+        max_iterations: usize,
+    },
+}
+
+impl FaultKind {
+    /// Stable snake_case name, used by [`Event::FaultInjected`] and the
+    /// campaign reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::SensorNoise { .. } => "sensor_noise",
+            Self::SensorBias { .. } => "sensor_bias",
+            Self::ForecastDropout => "forecast_dropout",
+            Self::ForecastStale => "forecast_stale",
+            Self::ForecastScale { .. } => "forecast_scale",
+            Self::ForecastCorrupt => "forecast_corrupt",
+            Self::LoadSpike { .. } => "load_spike",
+            Self::ConverterDerate { .. } => "converter_derate",
+            Self::PumpStuck => "pump_stuck",
+            Self::SolverStarvation { .. } => "solver_starvation",
+        }
+    }
+}
+
+/// A fault active over the half-open step interval `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// First step (inclusive) on which the fault is active.
+    pub from: u64,
+    /// First step on which it is no longer active.
+    pub until: u64,
+    /// What happens while it is.
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// Whether the window covers `step`.
+    pub fn covers(&self, step: u64) -> bool {
+        (self.from..self.until).contains(&step)
+    }
+}
+
+/// A seeded, schedule-driven fault campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for all stochastic corruption.
+    pub seed: u64,
+    /// The scheduled windows.
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (wrapping with it is a no-op campaign).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Schedules `kind` over `[from, until)` (builder style).
+    #[must_use]
+    pub fn inject(mut self, kind: FaultKind, from: u64, until: u64) -> Self {
+        self.windows.push(FaultWindow { from, until, kind });
+        self
+    }
+
+    /// The faults active at `step`, in schedule order.
+    pub fn active(&self, step: u64) -> impl Iterator<Item = FaultKind> + '_ {
+        self.windows
+            .iter()
+            .filter(move |w| w.covers(step))
+            .map(|w| w.kind)
+    }
+}
+
+/// Tracks which plant-level faults the decorator has pushed into the
+/// wrapped controller, so injections are idempotent per window and are
+/// cleared the step after their window closes.
+#[derive(Debug, Clone, Copy, Default)]
+struct AppliedPlantFaults {
+    pump_stuck: bool,
+    iteration_cap: Option<usize>,
+    sensor_bias_k: f64,
+    /// Whether the wrapped controller accepted the bias injection (if
+    /// not, the decorator biases the reported record instead).
+    bias_supported: bool,
+}
+
+/// Wraps any controller and subjects it to a [`FaultPlan`].
+///
+/// The decorator owns the step counter: each [`Controller::step`] /
+/// [`Controller::step_with`] call advances it by one, and windows are
+/// expressed in these steps.
+#[derive(Debug, Clone)]
+pub struct FaultedController<C: Controller> {
+    inner: C,
+    plan: FaultPlan,
+    rng: StdRng,
+    step: u64,
+    /// Latest un-faulted forecast, kept for [`FaultKind::ForecastStale`].
+    last_forecast: Vec<Watts>,
+    /// Scratch for the corrupted forecast handed to the controller.
+    scratch: Vec<Watts>,
+    applied: AppliedPlantFaults,
+    injections: u64,
+}
+
+impl<C: Controller> FaultedController<C> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: C, plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        Self {
+            inner,
+            plan,
+            rng,
+            step: 0,
+            last_forecast: Vec::new(),
+            scratch: Vec::new(),
+            applied: AppliedPlantFaults::default(),
+            injections: 0,
+        }
+    }
+
+    /// The wrapped controller.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Consumes the decorator, returning the wrapped controller.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    /// Total fault-step activations so far (one per active fault per
+    /// step — the number of [`Event::FaultInjected`] events emitted).
+    pub fn injections(&self) -> u64 {
+        self.injections
+    }
+
+    /// One standard-normal draw (Box–Muller over the seeded generator).
+    fn gauss(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Reconciles the plant-level faults the schedule wants at this step
+    /// with what is currently pushed into the controller.
+    fn reconcile_plant_faults(&mut self, step: u64) {
+        let mut want_pump = false;
+        let mut want_cap: Option<usize> = None;
+        let mut want_bias = 0.0;
+        for kind in self.plan.active(step) {
+            match kind {
+                FaultKind::PumpStuck => want_pump = true,
+                FaultKind::SolverStarvation { max_iterations } => {
+                    want_cap = Some(max_iterations);
+                }
+                FaultKind::SensorBias { temp_k } => want_bias = temp_k,
+                _ => {}
+            }
+        }
+        if want_pump != self.applied.pump_stuck {
+            let _ = self.inner.inject(PlantFault::PumpStuck(want_pump));
+            self.applied.pump_stuck = want_pump;
+        }
+        if want_cap != self.applied.iteration_cap {
+            let _ = self.inner.inject(PlantFault::SolverIterationCap(want_cap));
+            self.applied.iteration_cap = want_cap;
+        }
+        if want_bias != self.applied.sensor_bias_k {
+            self.applied.bias_supported = self
+                .inner
+                .inject(PlantFault::SensorBias { temp_k: want_bias });
+            self.applied.sensor_bias_k = want_bias;
+        }
+    }
+
+    /// Applies the input-side corruption, returning the effective load
+    /// and leaving the effective forecast in `self.scratch`.
+    fn corrupt_inputs(&mut self, step: u64, load: Watts, forecast: &[Watts]) -> Watts {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(forecast);
+        let mut load = load;
+        let mut dropout = false;
+        for kind in self.plan.active(step) {
+            match kind {
+                FaultKind::LoadSpike { power_w } => {
+                    load += Watts::new(power_w);
+                }
+                FaultKind::ConverterDerate { efficiency } => {
+                    let eff = efficiency.clamp(1e-3, 1.0);
+                    load += Watts::new(load.value().abs() * (1.0 / eff - 1.0));
+                }
+                FaultKind::ForecastDropout => dropout = true,
+                FaultKind::ForecastStale => {
+                    self.scratch.clear();
+                    self.scratch.extend_from_slice(&self.last_forecast);
+                }
+                FaultKind::ForecastScale { gain } => {
+                    for w in &mut self.scratch {
+                        *w = Watts::new(w.value() * gain);
+                    }
+                }
+                FaultKind::ForecastCorrupt => {
+                    for w in &mut self.scratch {
+                        *w = Watts::new(f64::NAN);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if dropout {
+            self.scratch.clear();
+        }
+        load
+    }
+
+    /// Applies measurement-side corruption to the reported record.
+    fn corrupt_record(&mut self, step: u64, mut record: StepRecord) -> StepRecord {
+        let mut temp_sigma = 0.0;
+        let mut ratio_sigma = 0.0;
+        let mut bias = 0.0;
+        for kind in self.plan.active(step) {
+            match kind {
+                FaultKind::SensorNoise {
+                    temp_sigma_k,
+                    ratio_sigma: rs,
+                } => {
+                    temp_sigma = temp_sigma_k;
+                    ratio_sigma = rs;
+                }
+                FaultKind::SensorBias { temp_k } if !self.applied.bias_supported => {
+                    bias = temp_k;
+                }
+                _ => {}
+            }
+        }
+        if temp_sigma > 0.0 {
+            let db = temp_sigma * self.gauss();
+            let dc = temp_sigma * self.gauss();
+            record.state.battery_temp = Kelvin::new(record.state.battery_temp.value() + db);
+            record.state.coolant_temp = Kelvin::new(record.state.coolant_temp.value() + dc);
+        }
+        if ratio_sigma > 0.0 {
+            let ds = ratio_sigma * self.gauss();
+            let de = ratio_sigma * self.gauss();
+            record.state.soc = Ratio::new(record.state.soc.value() + ds);
+            record.state.soe = Ratio::new(record.state.soe.value() + de);
+        }
+        if bias != 0.0 {
+            record.state.battery_temp = Kelvin::new(record.state.battery_temp.value() + bias);
+        }
+        record
+    }
+}
+
+impl<C: Controller> Controller for FaultedController<C> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn step(&mut self, load: Watts, forecast: &[Watts], dt: Seconds) -> StepRecord {
+        self.step_with(load, forecast, dt, &NullSink)
+    }
+
+    fn step_with(
+        &mut self,
+        load: Watts,
+        forecast: &[Watts],
+        dt: Seconds,
+        sink: &dyn Sink,
+    ) -> StepRecord {
+        let step = self.step;
+        self.step += 1;
+
+        for kind in self.plan.active(step) {
+            self.injections += 1;
+            sink.record(Event::FaultInjected {
+                step,
+                fault: kind.name(),
+            });
+        }
+
+        self.reconcile_plant_faults(step);
+        let eff_load = self.corrupt_inputs(step, load, forecast);
+        // Freeze the stale buffer *after* corruption so a stale window
+        // replays the last pre-fault window, not its own output.
+        if !self.plan.active(step).any(|k| k == FaultKind::ForecastStale) {
+            self.last_forecast.clear();
+            self.last_forecast.extend_from_slice(forecast);
+        }
+
+        let scratch = std::mem::take(&mut self.scratch);
+        let record = self.inner.step_with(eff_load, &scratch, dt, sink);
+        self.scratch = scratch;
+        self.corrupt_record(step, record)
+    }
+
+    fn state(&self) -> SystemState {
+        // Truthful: sensor corruption applies to per-step records; the
+        // state accessor reports the plant as it is, so harnesses can
+        // compare belief vs ground truth.
+        self.inner.state()
+    }
+
+    fn inject(&mut self, fault: PlantFault) -> bool {
+        self.inner.inject(fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otem_telemetry::MemorySink;
+
+    /// A stub controller that records exactly what it was asked to do.
+    #[derive(Debug, Default)]
+    struct Probe {
+        loads: Vec<f64>,
+        forecasts: Vec<Vec<f64>>,
+        plant_faults: Vec<PlantFault>,
+        support_bias: bool,
+    }
+
+    impl Controller for Probe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+
+        fn step(&mut self, load: Watts, forecast: &[Watts], _dt: Seconds) -> StepRecord {
+            self.loads.push(load.value());
+            self.forecasts
+                .push(forecast.iter().map(|w| w.value()).collect());
+            StepRecord {
+                load,
+                hees: Default::default(),
+                cooling_power: Watts::ZERO,
+                state: self.state(),
+            }
+        }
+
+        fn state(&self) -> SystemState {
+            SystemState {
+                battery_temp: Kelvin::from_celsius(30.0),
+                coolant_temp: Kelvin::from_celsius(29.0),
+                soe: Ratio::new(0.5),
+                soc: Ratio::new(0.8),
+            }
+        }
+
+        fn inject(&mut self, fault: PlantFault) -> bool {
+            self.plant_faults.push(fault);
+            match fault {
+                PlantFault::SensorBias { .. } => self.support_bias,
+                _ => true,
+            }
+        }
+    }
+
+    fn run(plan: FaultPlan, steps: u64) -> (FaultedController<Probe>, MemorySink) {
+        let mut faulted = FaultedController::new(Probe::default(), plan);
+        let sink = MemorySink::new();
+        let forecast = [Watts::new(10_000.0), Watts::new(20_000.0)];
+        for _ in 0..steps {
+            let _ = faulted.step_with(Watts::new(5_000.0), &forecast, Seconds::new(1.0), &sink);
+        }
+        (faulted, sink)
+    }
+
+    #[test]
+    fn windows_are_half_open_and_named() {
+        let w = FaultWindow {
+            from: 2,
+            until: 4,
+            kind: FaultKind::ForecastDropout,
+        };
+        assert!(!w.covers(1));
+        assert!(w.covers(2));
+        assert!(w.covers(3));
+        assert!(!w.covers(4));
+        assert_eq!(FaultKind::ForecastDropout.name(), "forecast_dropout");
+        assert_eq!(
+            FaultKind::SolverStarvation { max_iterations: 0 }.name(),
+            "solver_starvation"
+        );
+    }
+
+    #[test]
+    fn load_faults_reshape_the_demand() {
+        let plan = FaultPlan::new(1)
+            .inject(FaultKind::LoadSpike { power_w: 1_000_000.0 }, 1, 2)
+            .inject(FaultKind::ConverterDerate { efficiency: 0.5 }, 2, 3);
+        let (f, sink) = run(plan, 3);
+        assert_eq!(f.inner().loads[0], 5_000.0);
+        assert_eq!(f.inner().loads[1], 1_005_000.0);
+        assert_eq!(f.inner().loads[2], 10_000.0, "1/0.5 − 1 doubles |load|");
+        assert_eq!(sink.count_kind("fault_injected"), 2);
+        assert_eq!(f.injections(), 2);
+    }
+
+    #[test]
+    fn forecast_faults_corrupt_the_window() {
+        let plan = FaultPlan::new(1)
+            .inject(FaultKind::ForecastScale { gain: 0.1 }, 0, 1)
+            .inject(FaultKind::ForecastDropout, 1, 2)
+            .inject(FaultKind::ForecastCorrupt, 2, 3);
+        let (f, _) = run(plan, 4);
+        let fc = &f.inner().forecasts;
+        assert_eq!(fc[0], vec![1_000.0, 2_000.0]);
+        assert!(fc[1].is_empty());
+        assert!(fc[2].iter().all(|v| v.is_nan()));
+        assert_eq!(fc[3], vec![10_000.0, 20_000.0], "nominal after the window");
+    }
+
+    #[test]
+    fn stale_forecast_replays_the_pre_fault_window() {
+        let mut faulted = FaultedController::new(
+            Probe::default(),
+            FaultPlan::new(1).inject(FaultKind::ForecastStale, 1, 3),
+        );
+        for k in 0..4u64 {
+            let fresh = [Watts::new(1_000.0 * k as f64)];
+            let _ = faulted.step(Watts::ZERO, &fresh, Seconds::new(1.0));
+        }
+        let fc = &faulted.inner().forecasts;
+        assert_eq!(fc[0], vec![0.0]);
+        assert_eq!(fc[1], vec![0.0], "frozen at the step-0 window");
+        assert_eq!(fc[2], vec![0.0], "still frozen");
+        assert_eq!(fc[3], vec![3_000.0], "thaws when the window closes");
+    }
+
+    #[test]
+    fn plant_faults_are_idempotent_and_cleared() {
+        let plan = FaultPlan::new(1)
+            .inject(FaultKind::PumpStuck, 1, 3)
+            .inject(FaultKind::SolverStarvation { max_iterations: 0 }, 1, 3);
+        let (f, _) = run(plan, 5);
+        // One injection on entry, one clear on exit — not one per step.
+        assert_eq!(
+            f.inner().plant_faults,
+            vec![
+                PlantFault::PumpStuck(true),
+                PlantFault::SolverIterationCap(Some(0)),
+                PlantFault::PumpStuck(false),
+                PlantFault::SolverIterationCap(None),
+            ]
+        );
+    }
+
+    #[test]
+    fn sensor_bias_falls_back_to_record_corruption_when_unsupported() {
+        let plan = FaultPlan::new(1).inject(FaultKind::SensorBias { temp_k: 5.0 }, 0, 1);
+        let mut faulted = FaultedController::new(Probe::default(), plan);
+        let rec = faulted.step(Watts::ZERO, &[], Seconds::new(1.0));
+        // Probe rejects the bias injection, so the decorator biases the
+        // reported measurement instead.
+        assert!((rec.state.battery_temp.value() - (303.15 + 5.0)).abs() < 1e-9);
+        // Ground truth stays unbiased.
+        assert!((faulted.state().battery_temp.value() - 303.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensor_noise_is_seed_deterministic() {
+        let plan = || {
+            FaultPlan::new(99).inject(
+                FaultKind::SensorNoise {
+                    temp_sigma_k: 2.0,
+                    ratio_sigma: 0.05,
+                },
+                0,
+                10,
+            )
+        };
+        let (run_a, _) = run(plan(), 10);
+        let (run_b, _) = run(plan(), 10);
+        let mut a = FaultedController::new(Probe::default(), plan());
+        let mut b = FaultedController::new(Probe::default(), plan());
+        for _ in 0..10 {
+            let ra = a.step(Watts::ZERO, &[], Seconds::new(1.0));
+            let rb = b.step(Watts::ZERO, &[], Seconds::new(1.0));
+            assert_eq!(
+                ra.state.battery_temp.value().to_bits(),
+                rb.state.battery_temp.value().to_bits()
+            );
+            assert_ne!(
+                ra.state.battery_temp.value(),
+                303.15,
+                "noise must actually perturb the reading"
+            );
+        }
+        let _ = (run_a, run_b);
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let (f, sink) = run(FaultPlan::new(7), 5);
+        assert_eq!(f.injections(), 0);
+        assert_eq!(sink.count_kind("fault_injected"), 0);
+        assert!(f.inner().plant_faults.is_empty());
+        assert!(f.inner().loads.iter().all(|&l| l == 5_000.0));
+    }
+}

@@ -4,7 +4,7 @@
 use crate::bounds::Bounds;
 use crate::objective::Objective;
 use crate::projected::ProjectedGradient;
-use crate::solution::Solution;
+use crate::solution::{Solution, SolverOutcome};
 
 /// A boxed constraint function `g: Rⁿ → R`.
 pub type ConstraintFn = Box<dyn Fn(&[f64]) -> f64 + Send + Sync>;
@@ -101,9 +101,10 @@ impl Default for AugmentedLagrangian {
 }
 
 impl AugmentedLagrangian {
-    /// Solves the constrained problem from `x0`. `converged` in the
-    /// result means both the inner solver converged and the final point
-    /// is feasible to tolerance.
+    /// Solves the constrained problem from `x0`. A
+    /// [`SolverOutcome::Converged`] result means the final point is
+    /// feasible to tolerance; [`SolverOutcome::Stalled`] means the outer
+    /// budget ran out while still infeasible.
     pub fn minimize<F: Objective>(
         &self,
         problem: &ConstrainedProblem<'_, F>,
@@ -137,7 +138,7 @@ impl AugmentedLagrangian {
 
             if violation < self.feasibility_tolerance {
                 let value = problem.objective.value(&x);
-                return Solution::new(x, value, iterations, true);
+                return Solution::new(x, value, iterations, SolverOutcome::Converged);
             }
 
             // Multiplier updates.
@@ -159,7 +160,16 @@ impl AugmentedLagrangian {
             .constraints
             .iter()
             .all(|c| c.violation(&x) < self.feasibility_tolerance * 10.0);
-        Solution::new(x, value, iterations, feasible)
+        Solution::new(
+            x,
+            value,
+            iterations,
+            if feasible {
+                SolverOutcome::Converged
+            } else {
+                SolverOutcome::Stalled
+            },
+        )
     }
 }
 
@@ -205,7 +215,7 @@ mod tests {
             constraints: vec![Constraint::equality(|x: &[f64]| x[0] + x[1] - 1.0)],
         };
         let sol = AugmentedLagrangian::default().minimize(&problem, &[0.0, 0.0]);
-        assert!(sol.converged, "{sol:?}");
+        assert!(sol.converged(), "{sol:?}");
         assert!((sol.x[0] - 0.5).abs() < 1e-4, "{sol:?}");
         assert!((sol.x[1] - 0.5).abs() < 1e-4);
     }

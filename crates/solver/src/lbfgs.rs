@@ -2,7 +2,7 @@
 //! minimisation.
 
 use crate::objective::{GradientMode, Objective};
-use crate::solution::Solution;
+use crate::solution::{Solution, SolverOutcome};
 use otem_telemetry::{Event, NullSink, Sink};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -81,7 +81,15 @@ impl Lbfgs {
         let mut x = x0.to_vec();
         let mut grad = vec![0.0; n];
         let mut value = f.value(&x);
+        if !value.is_finite() {
+            // Corrupt problem data: surface it structurally instead of
+            // letting the line search stall on NaN comparisons.
+            return Solution::new(x, value, 0, SolverOutcome::NonFinite);
+        }
         gradient(&x, &mut grad);
+        if grad.iter().any(|g| !g.is_finite()) {
+            return Solution::new(x, value, 0, SolverOutcome::NonFinite);
+        }
 
         let mut pairs: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new();
         // Step length accepted by the previous iteration's line search
@@ -97,7 +105,7 @@ impl Lbfgs {
                 step: last_step,
             });
             if gnorm < self.tolerance {
-                return Solution::new(x, value, iter, true);
+                return Solution::new(x, value, iter, SolverOutcome::Converged);
             }
 
             // Two-loop recursion for d = −H·g.
@@ -188,11 +196,20 @@ impl Lbfgs {
                     grad.copy_from_slice(&new_grad);
                     last_step = t;
                 } else {
-                    return Solution::new(x, value, iter, gnorm < self.tolerance * 100.0);
+                    // Bisection made no progress: report the iterations
+                    // actually performed and a structured reason.
+                    let outcome = if !value.is_finite() {
+                        SolverOutcome::NonFinite
+                    } else if gnorm < self.tolerance * 100.0 {
+                        SolverOutcome::Converged
+                    } else {
+                        SolverOutcome::Stalled
+                    };
+                    return Solution::new(x, value, iter, outcome);
                 }
             }
         }
-        Solution::new(x, value, self.max_iterations, false)
+        Solution::new(x, value, self.max_iterations, SolverOutcome::BudgetExhausted)
     }
 }
 
@@ -211,7 +228,7 @@ mod tests {
             (x[0] - 2.0).powi(2) + 5.0 * (x[1] + 1.0).powi(2)
         });
         let sol = Lbfgs::default().minimize(&f, &[10.0, -10.0]);
-        assert!(sol.converged);
+        assert!(sol.converged());
         assert!((sol.x[0] - 2.0).abs() < 1e-6);
         assert!((sol.x[1] + 1.0).abs() < 1e-6);
     }
@@ -222,7 +239,7 @@ mod tests {
             100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2)
         });
         let sol = Lbfgs::default().minimize(&f, &[-1.2, 1.0]);
-        assert!(sol.converged, "{sol:?}");
+        assert!(sol.converged(), "{sol:?}");
         assert!((sol.x[0] - 1.0).abs() < 1e-5);
         assert!((sol.x[1] - 1.0).abs() < 1e-5);
         assert!(sol.iterations < 200, "took {}", sol.iterations);
@@ -249,7 +266,7 @@ mod tests {
     fn already_optimal_returns_immediately() {
         let f = FnObjective::new(|x: &[f64]| x[0] * x[0]);
         let sol = Lbfgs::default().minimize(&f, &[0.0]);
-        assert!(sol.converged);
+        assert!(sol.converged());
         assert_eq!(sol.iterations, 0);
     }
 

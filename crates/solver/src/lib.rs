@@ -48,4 +48,4 @@ pub use nelder_mead::NelderMead;
 pub use objective::{FnObjective, FnObjectiveWithGrad, GradientMode, NumericalGradient, Objective};
 pub use projected::ProjectedGradient;
 pub use scalar::{brent, golden_section};
-pub use solution::Solution;
+pub use solution::{Solution, SolverOutcome};

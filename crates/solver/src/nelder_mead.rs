@@ -2,7 +2,7 @@
 //! non-smooth objectives).
 
 use crate::objective::Objective;
-use crate::solution::Solution;
+use crate::solution::{Solution, SolverOutcome};
 use serde::{Deserialize, Serialize};
 
 /// Nelder–Mead downhill simplex with the standard
@@ -54,7 +54,7 @@ impl NelderMead {
             let spread = simplex[n].1 - simplex[0].1;
             if spread.abs() < self.tolerance {
                 let (x, value) = simplex.swap_remove(0);
-                return Solution::new(x, value, evals, true);
+                return Solution::new(x, value, evals, SolverOutcome::Converged);
             }
 
             // Centroid of all but the worst.
@@ -103,7 +103,7 @@ impl NelderMead {
         }
         simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
         let (x, value) = simplex.swap_remove(0);
-        Solution::new(x, value, evals, false)
+        Solution::new(x, value, evals, SolverOutcome::BudgetExhausted)
     }
 }
 
@@ -116,7 +116,7 @@ mod tests {
     fn quadratic() {
         let f = FnObjective::new(|x: &[f64]| (x[0] - 4.0).powi(2) + (x[1] - 1.0).powi(2));
         let sol = NelderMead::default().minimize(&f, &[0.0, 0.0]);
-        assert!(sol.converged);
+        assert!(sol.converged());
         assert!((sol.x[0] - 4.0).abs() < 1e-4, "{sol:?}");
         assert!((sol.x[1] - 1.0).abs() < 1e-4);
     }
@@ -148,7 +148,7 @@ mod tests {
             ..NelderMead::default()
         };
         let sol = solver.minimize(&f, &[1.0; 5]);
-        assert!(!sol.converged);
+        assert!(!sol.converged());
         assert!(sol.iterations <= 60); // budget plus the in-flight iteration
     }
 }

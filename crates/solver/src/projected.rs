@@ -4,7 +4,7 @@
 
 use crate::bounds::Bounds;
 use crate::objective::{GradientMode, Objective};
-use crate::solution::Solution;
+use crate::solution::{Solution, SolverOutcome};
 use otem_telemetry::{Event, NullSink, Sink};
 use serde::{Deserialize, Serialize};
 
@@ -123,7 +123,15 @@ impl ProjectedGradient {
 
         let mut grad = vec![0.0; n];
         let mut value = f.value(&x);
+        if !value.is_finite() {
+            // Corrupt problem data (e.g. a NaN in the forecast window):
+            // surface it structurally instead of silently stalling.
+            return Solution::new(x, value, 0, SolverOutcome::NonFinite);
+        }
         gradient(&x, &mut grad);
+        if grad.iter().any(|g| !g.is_finite()) {
+            return Solution::new(x, value, 0, SolverOutcome::NonFinite);
+        }
 
         let mut history = std::collections::VecDeque::with_capacity(self.memory);
         history.push_back(value);
@@ -147,7 +155,7 @@ impl ProjectedGradient {
                 step,
             });
             if pg_norm < self.tolerance {
-                return Solution::new(x, value, iter, true);
+                return Solution::new(x, value, iter, SolverOutcome::Converged);
             }
 
             // Trial point along the projected BB direction with
@@ -179,8 +187,17 @@ impl ProjectedGradient {
                 }
             }
             if !accepted {
-                // Line search stalled: accept the best known point.
-                return Solution::new(x, value, iter, pg_norm < self.tolerance * 100.0);
+                // Line search stalled: accept the best known point,
+                // reporting the iterations actually performed — not the
+                // configured budget — and a structured reason.
+                let outcome = if !value.is_finite() {
+                    SolverOutcome::NonFinite
+                } else if pg_norm < self.tolerance * 100.0 {
+                    SolverOutcome::Converged
+                } else {
+                    SolverOutcome::Stalled
+                };
+                return Solution::new(x, value, iter, outcome);
             }
 
             gradient(&x, &mut grad);
@@ -204,7 +221,7 @@ impl ProjectedGradient {
                 (step * 2.0).clamp(self.step_min, self.step_max)
             };
         }
-        Solution::new(x, value, self.max_iterations, false)
+        Solution::new(x, value, self.max_iterations, SolverOutcome::BudgetExhausted)
     }
 }
 
@@ -223,7 +240,7 @@ mod tests {
             &Bounds::unbounded(2),
             &[5.0, 5.0],
         );
-        assert!(sol.converged, "{sol:?}");
+        assert!(sol.converged(), "{sol:?}");
         assert!((sol.x[0] - 1.0).abs() < 1e-5);
         assert!((sol.x[1] + 2.0).abs() < 1e-5);
     }
@@ -290,8 +307,47 @@ mod tests {
             ..ProjectedGradient::default()
         };
         let sol = solver.minimize(&f, &Bounds::unbounded(2), &[-1.2, 1.0]);
-        assert!(!sol.converged);
+        assert_eq!(sol.outcome, SolverOutcome::BudgetExhausted);
+        assert!(!sol.converged());
         assert_eq!(sol.iterations, 3);
+    }
+
+    #[test]
+    fn zero_iteration_budget_reports_starved_not_full_budget() {
+        // A starved solve must report the iterations actually performed
+        // (zero), not the configured budget.
+        let f = FnObjective::new(|x: &[f64]| (x[0] - 1.0).powi(2));
+        let solver = ProjectedGradient {
+            max_iterations: 0,
+            ..ProjectedGradient::default()
+        };
+        let sol = solver.minimize(&f, &Bounds::unbounded(1), &[5.0]);
+        assert_eq!(sol.iterations, 0);
+        assert_eq!(sol.outcome, SolverOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn non_finite_objective_is_surfaced_structurally() {
+        let f = FnObjective::new(|_: &[f64]| f64::NAN);
+        let sol =
+            ProjectedGradient::default().minimize(&f, &Bounds::uniform(2, -1.0, 1.0), &[0.5, 0.5]);
+        assert_eq!(sol.outcome, SolverOutcome::NonFinite);
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.value.is_nan());
+        // The returned point is the projected start, still finite.
+        assert!(sol.x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn non_finite_gradient_is_surfaced_structurally() {
+        use crate::objective::FnObjectiveWithGrad;
+        let f = FnObjectiveWithGrad::new(
+            |x: &[f64]| x[0] * x[0],
+            |_: &[f64], g: &mut [f64]| g.fill(f64::INFINITY),
+        );
+        let sol =
+            ProjectedGradient::default().minimize(&f, &Bounds::uniform(1, -1.0, 1.0), &[0.5]);
+        assert_eq!(sol.outcome, SolverOutcome::NonFinite);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! method, for line searches and scalar design studies (e.g. sizing one
 //! parameter against a simulation metric).
 
-use crate::solution::Solution;
+use crate::solution::{Solution, SolverOutcome};
 
 /// Golden-section search over `[a, b]` for a unimodal function.
 ///
@@ -44,7 +44,16 @@ pub fn golden_section<F: Fn(f64) -> f64>(
         iterations += 1;
     }
     let x = 0.5 * (a + b);
-    Solution::new(vec![x], f(x), iterations, (b - a) <= tolerance)
+    Solution::new(
+        vec![x],
+        f(x),
+        iterations,
+        if (b - a) <= tolerance {
+            SolverOutcome::Converged
+        } else {
+            SolverOutcome::BudgetExhausted
+        },
+    )
 }
 
 /// Brent's method over `[a, b]`: golden-section reliability with
@@ -77,7 +86,7 @@ pub fn brent<F: Fn(f64) -> f64>(
         let tol1 = tolerance * x.abs() + 1e-12;
         let tol2 = 2.0 * tol1;
         if (x - m).abs() <= tol2 - 0.5 * (b - a) {
-            return Solution::new(vec![x], fx, iterations, true);
+            return Solution::new(vec![x], fx, iterations, SolverOutcome::Converged);
         }
         let mut use_golden = true;
         if e.abs() > tol1 {
@@ -140,7 +149,7 @@ pub fn brent<F: Fn(f64) -> f64>(
             }
         }
     }
-    Solution::new(vec![x], fx, max_iterations, false)
+    Solution::new(vec![x], fx, max_iterations, SolverOutcome::BudgetExhausted)
 }
 
 #[cfg(test)]
@@ -150,7 +159,7 @@ mod tests {
     #[test]
     fn golden_section_finds_quadratic_minimum() {
         let sol = golden_section(|x| (x - 2.5).powi(2), 0.0, 10.0, 1e-8, 200);
-        assert!(sol.converged);
+        assert!(sol.converged());
         assert!((sol.x[0] - 2.5).abs() < 1e-6, "{sol:?}");
     }
 

@@ -1,6 +1,45 @@
-//! Solver result type.
+//! Solver result types.
 
 use serde::{Deserialize, Serialize};
+
+/// How a minimisation run ended — the structured replacement for a bare
+/// `converged` flag, so callers (the MPC supervisor in particular) can
+/// distinguish "met tolerance" from "ran out of budget", "line search
+/// stalled" and "the objective itself is broken".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverOutcome {
+    /// The convergence tolerance was met.
+    Converged,
+    /// The iteration budget ran out; the point is the best seen and is
+    /// normally still usable (standard for a real-time MPC solve).
+    BudgetExhausted,
+    /// The line search could make no further progress from the current
+    /// iterate (numerically flat or ill-conditioned terrain). The point
+    /// is the best seen.
+    Stalled,
+    /// A non-finite objective value or gradient was encountered — the
+    /// problem data is corrupt and the returned point is *not*
+    /// trustworthy beyond being the (projected) starting point.
+    NonFinite,
+}
+
+impl SolverOutcome {
+    /// Stable snake_case name (for logs and telemetry).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Converged => "converged",
+            Self::BudgetExhausted => "budget_exhausted",
+            Self::Stalled => "stalled",
+            Self::NonFinite => "non_finite",
+        }
+    }
+
+    /// Whether the returned point is a usable minimiser candidate — every
+    /// outcome except [`SolverOutcome::NonFinite`].
+    pub fn is_usable(self) -> bool {
+        !matches!(self, Self::NonFinite)
+    }
+}
 
 /// The result of a minimisation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -9,22 +48,27 @@ pub struct Solution {
     pub x: Vec<f64>,
     /// Objective value at `x`.
     pub value: f64,
-    /// Iterations consumed.
+    /// Outer iterations actually performed (not the configured budget).
     pub iterations: usize,
-    /// Whether the convergence tolerance was met (otherwise the
-    /// iteration budget ran out — the point is still the best seen).
-    pub converged: bool,
+    /// How the run ended.
+    pub outcome: SolverOutcome,
 }
 
 impl Solution {
     /// Builds a solution record.
-    pub fn new(x: Vec<f64>, value: f64, iterations: usize, converged: bool) -> Self {
+    pub fn new(x: Vec<f64>, value: f64, iterations: usize, outcome: SolverOutcome) -> Self {
         Self {
             x,
             value,
             iterations,
-            converged,
+            outcome,
         }
+    }
+
+    /// Whether the convergence tolerance was met (the legacy boolean
+    /// view of [`Solution::outcome`]).
+    pub fn converged(&self) -> bool {
+        self.outcome == SolverOutcome::Converged
     }
 }
 
@@ -34,9 +78,37 @@ mod tests {
 
     #[test]
     fn carries_fields() {
-        let s = Solution::new(vec![1.0], 0.5, 10, true);
+        let s = Solution::new(vec![1.0], 0.5, 10, SolverOutcome::Converged);
         assert_eq!(s.x, vec![1.0]);
         assert_eq!(s.value, 0.5);
-        assert!(s.converged);
+        assert_eq!(s.iterations, 10);
+        assert!(s.converged());
+    }
+
+    #[test]
+    fn outcome_names_are_stable() {
+        assert_eq!(SolverOutcome::Converged.name(), "converged");
+        assert_eq!(SolverOutcome::BudgetExhausted.name(), "budget_exhausted");
+        assert_eq!(SolverOutcome::Stalled.name(), "stalled");
+        assert_eq!(SolverOutcome::NonFinite.name(), "non_finite");
+    }
+
+    #[test]
+    fn only_non_finite_is_unusable() {
+        assert!(SolverOutcome::Converged.is_usable());
+        assert!(SolverOutcome::BudgetExhausted.is_usable());
+        assert!(SolverOutcome::Stalled.is_usable());
+        assert!(!SolverOutcome::NonFinite.is_usable());
+    }
+
+    #[test]
+    fn non_converged_outcomes_report_false() {
+        for outcome in [
+            SolverOutcome::BudgetExhausted,
+            SolverOutcome::Stalled,
+            SolverOutcome::NonFinite,
+        ] {
+            assert!(!Solution::new(vec![], 0.0, 0, outcome).converged());
+        }
     }
 }

@@ -69,6 +69,43 @@ pub enum Event {
         /// The bound it was pinned to.
         bound: f64,
     },
+    /// A scheduled fault from a fault plan is active this step (one
+    /// event per active fault per step, so campaigns are fully
+    /// reconstructible from the event stream).
+    FaultInjected {
+        /// Zero-based step index along the route.
+        step: u64,
+        /// Stable snake_case fault name (e.g. `"forecast_nan"`,
+        /// `"pump_stuck"`).
+        fault: &'static str,
+    },
+    /// The supervisor rejected a controller decision (or the post-step
+    /// state it produced) as unusable.
+    DecisionRejected {
+        /// Zero-based step index along the route.
+        step: u64,
+        /// Stable snake_case rejection predicate that fired (e.g.
+        /// `"non_finite_cost"`, `"soc_out_of_range"`).
+        reason: &'static str,
+    },
+    /// The supervisor disarmed the MPC and switched the plant to the
+    /// rule-based fallback policy.
+    FallbackEngaged {
+        /// Zero-based step index along the route.
+        step: u64,
+        /// Consecutive healthy steps required before the MPC is
+        /// re-armed (grows with exponential backoff on repeated
+        /// failures).
+        backoff_steps: u64,
+    },
+    /// The supervisor re-armed the MPC after enough consecutive healthy
+    /// fallback steps.
+    MpcRearmed {
+        /// Zero-based step index along the route.
+        step: u64,
+        /// Healthy fallback steps observed before re-arming.
+        healthy_steps: u64,
+    },
     /// One closed-loop simulation step completed (the per-step signal
     /// set behind the paper's Figs. 1, 6–9).
     StepCompleted {
@@ -103,6 +140,10 @@ impl Event {
             Event::CoolingToggle { .. } => "cooling_toggle",
             Event::UcapSaturated { .. } => "ucap_saturated",
             Event::BoundClamp { .. } => "bound_clamp",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::DecisionRejected { .. } => "decision_rejected",
+            Event::FallbackEngaged { .. } => "fallback_engaged",
+            Event::MpcRearmed { .. } => "mpc_rearmed",
             Event::StepCompleted { .. } => "step_completed",
         }
     }
@@ -143,6 +184,24 @@ impl Event {
                 let _ = write!(out, ",\"index\":{index}");
                 field(out, "raw", raw);
                 field(out, "bound", bound);
+            }
+            Event::FaultInjected { step, fault } => {
+                let _ = write!(out, ",\"step\":{step},\"fault\":\"{fault}\"");
+            }
+            Event::DecisionRejected { step, reason } => {
+                let _ = write!(out, ",\"step\":{step},\"reason\":\"{reason}\"");
+            }
+            Event::FallbackEngaged {
+                step,
+                backoff_steps,
+            } => {
+                let _ = write!(out, ",\"step\":{step},\"backoff_steps\":{backoff_steps}");
+            }
+            Event::MpcRearmed {
+                step,
+                healthy_steps,
+            } => {
+                let _ = write!(out, ",\"step\":{step},\"healthy_steps\":{healthy_steps}");
             }
             Event::StepCompleted {
                 step,
@@ -239,6 +298,74 @@ mod tests {
         assert_eq!(
             bad.to_json(),
             "{\"event\":\"cooling_toggle\",\"on\":true,\"battery_temp_k\":null}"
+        );
+    }
+
+    #[test]
+    fn degradation_events_encode_kind_and_fields() {
+        assert_eq!(
+            Event::FaultInjected {
+                step: 42,
+                fault: "forecast_nan",
+            }
+            .to_json(),
+            "{\"event\":\"fault_injected\",\"step\":42,\"fault\":\"forecast_nan\"}"
+        );
+        assert_eq!(
+            Event::DecisionRejected {
+                step: 43,
+                reason: "non_finite_cost",
+            }
+            .to_json(),
+            "{\"event\":\"decision_rejected\",\"step\":43,\"reason\":\"non_finite_cost\"}"
+        );
+        assert_eq!(
+            Event::FallbackEngaged {
+                step: 43,
+                backoff_steps: 5,
+            }
+            .to_json(),
+            "{\"event\":\"fallback_engaged\",\"step\":43,\"backoff_steps\":5}"
+        );
+        assert_eq!(
+            Event::MpcRearmed {
+                step: 48,
+                healthy_steps: 5,
+            }
+            .to_json(),
+            "{\"event\":\"mpc_rearmed\",\"step\":48,\"healthy_steps\":5}"
+        );
+        assert_eq!(
+            Event::FaultInjected {
+                step: 0,
+                fault: "pump_stuck",
+            }
+            .kind(),
+            "fault_injected"
+        );
+        assert_eq!(
+            Event::DecisionRejected {
+                step: 0,
+                reason: "x",
+            }
+            .kind(),
+            "decision_rejected"
+        );
+        assert_eq!(
+            Event::FallbackEngaged {
+                step: 0,
+                backoff_steps: 0,
+            }
+            .kind(),
+            "fallback_engaged"
+        );
+        assert_eq!(
+            Event::MpcRearmed {
+                step: 0,
+                healthy_steps: 0,
+            }
+            .kind(),
+            "mpc_rearmed"
         );
     }
 

@@ -18,7 +18,8 @@
 //! | [`drivecycle`] | `otem-drivecycle` | cycles + power-train model |
 //! | [`solver`] | `otem-solver` | NLP toolkit for the MPC |
 //! | [`telemetry`] | `otem-telemetry` | structured events, metrics, sinks |
-//! | [`control`] | `otem` | OTEM MPC, baselines, simulator |
+//! | [`control`] | `otem` | OTEM MPC, baselines, simulator, supervisor |
+//! | [`faults`] | `otem-faults` | deterministic fault-injection harness |
 //!
 //! # Examples
 //!
@@ -43,6 +44,7 @@ pub use otem as control;
 pub use otem_battery as battery;
 pub use otem_converter as converter;
 pub use otem_drivecycle as drivecycle;
+pub use otem_faults as faults;
 pub use otem_hees as hees;
 pub use otem_solver as solver;
 pub use otem_telemetry as telemetry;

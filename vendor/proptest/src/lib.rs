@@ -179,6 +179,66 @@ macro_rules! int_strategy {
 }
 int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+/// Strategy that always produces the same value (stand-in for
+/// `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies of one value type — the
+/// engine behind [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Union")
+            .field("options", &self.options.len())
+            .finish()
+    }
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// Builds the union; panics on an empty option list.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Boxes a strategy for use in a [`Union`] (the `as Box<dyn _>` cast a
+/// macro cannot spell without knowing the value type).
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(strategy)
+}
+
+/// Uniform choice among strategies of the same value type (stand-in
+/// for `proptest::prop_oneof!`; upstream's optional per-arm weights are
+/// not supported — every arm is equally likely).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strategy)),+])
+    };
+}
+
 /// Collection strategies (stand-in for `proptest::collection`).
 pub mod collection {
     use super::{fmt, Strategy, TestRng};
@@ -242,7 +302,9 @@ pub mod collection {
 /// `proptest::prelude::*`).
 pub mod prelude {
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, Strategy,
+    };
 
     /// Module alias so `prop::collection::vec` resolves as it does with
     /// the real proptest prelude.
@@ -371,6 +433,13 @@ mod tests {
         fn ranges_respect_bounds(x in -2.0..3.0f64, n in 1u32..7) {
             prop_assert!((-2.0..3.0).contains(&x));
             prop_assert!((1..7).contains(&n));
+        }
+
+        #[test]
+        fn oneof_draws_from_every_arm(
+            x in prop_oneof![Just(-1.0f64), 0.0..1.0f64, Just(2.0)],
+        ) {
+            prop_assert!(x == -1.0 || (0.0..1.0).contains(&x) || x == 2.0);
         }
 
         #[test]
