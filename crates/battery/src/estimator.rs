@@ -177,7 +177,9 @@ mod tests {
 
     #[test]
     fn tracks_through_a_discharge() {
-        let profile: Vec<f64> = (0..600).map(|k| if k % 60 < 30 { 3.0 } else { 0.5 }).collect();
+        let profile: Vec<f64> = (0..600)
+            .map(|k| if k % 60 < 30 { 3.0 } else { 0.5 })
+            .collect();
         let (truth, estimate) = run_filter(0.9, 0.7, &profile);
         assert!((estimate - truth).abs() < 0.02, "{estimate} vs {truth}");
     }

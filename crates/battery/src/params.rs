@@ -260,9 +260,7 @@ mod tests {
     #[test]
     fn resistance_at_reference_temperature_matches_fit() {
         let r = ResistanceCurve::default();
-        let got = r
-            .resistance(Ratio::ONE, Kelvin::from_celsius(25.0))
-            .value();
+        let got = r.resistance(Ratio::ONE, Kelvin::from_celsius(25.0)).value();
         // At SoC = 1 the exponential term is negligible.
         assert!((got - 0.074_46).abs() < 1e-4, "{got}");
     }

@@ -40,9 +40,7 @@ fn bench_solvers(c: &mut Criterion) {
                 .sum()
         });
         let bounds = Bounds::uniform(20, 0.0, 0.5); // active at the bound
-        b.iter(|| {
-            black_box(ProjectedGradient::default().minimize(&f, &bounds, &[0.0; 20]))
-        });
+        b.iter(|| black_box(ProjectedGradient::default().minimize(&f, &bounds, &[0.0; 20])));
     });
 }
 

@@ -7,8 +7,8 @@
 //! cargo run --release -p otem-bench --bin ambient_sweep
 //! ```
 
-use otem_bench::{cycle_trace, run, Methodology};
 use otem::SystemConfig;
+use otem_bench::{cycle_trace, run, Methodology};
 use otem_drivecycle::StandardCycle;
 use otem_units::Kelvin;
 

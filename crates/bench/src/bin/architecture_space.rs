@@ -118,7 +118,11 @@ fn main() {
     );
     println!(
         "{:<34} {:>12.4e} {:>10.2} {:>10.1} {:>9.1}%",
-        "semi-active, cap converted", loss, avg / 1000.0, tp, unserved * 100.0
+        "semi-active, cap converted",
+        loss,
+        avg / 1000.0,
+        tp,
+        unserved * 100.0
     );
 
     let (loss, avg, tp, unserved) = run_semi_active(
@@ -128,7 +132,11 @@ fn main() {
     );
     println!(
         "{:<34} {:>12.4e} {:>10.2} {:>10.1} {:>9.1}%",
-        "semi-active, battery converted", loss, avg / 1000.0, tp, unserved * 100.0
+        "semi-active, battery converted",
+        loss,
+        avg / 1000.0,
+        tp,
+        unserved * 100.0
     );
 
     let otem = run(Methodology::Otem, &config, &trace).expect("run");

@@ -85,8 +85,7 @@ fn run(
     let sim = Simulator::new(config);
 
     let (result, rejected, fallbacks, rearms) = if supervised {
-        let mut harness =
-            FaultedController::new(SupervisedOtem::with_defaults(otem), plan);
+        let mut harness = FaultedController::new(SupervisedOtem::with_defaults(otem), plan);
         let result = sim.run_with(&mut harness, trace, &sink);
         let sup = harness.into_inner();
         (result, sup.rejected(), sup.fallbacks(), sup.rearms())
@@ -129,7 +128,15 @@ fn main() {
     println!("# Fault sweep — supervised vs unsupervised OTEM, US06 (city-EV rig)");
     println!(
         "{:>18} {:>12} {:>10} {:>10} {:>12} {:>7} {:>9} {:>9} {:>7}",
-        "campaign", "controller", "Q_loss", "Tpeak(°C)", "unserved(J)", "faults", "rejected", "fallback", "rearm"
+        "campaign",
+        "controller",
+        "Q_loss",
+        "Tpeak(°C)",
+        "unserved(J)",
+        "faults",
+        "rejected",
+        "fallback",
+        "rearm"
     );
 
     for (name, plan) in campaigns() {

@@ -38,12 +38,18 @@ fn main() {
     for t in (0..n).step_by(30) {
         print!("{:>7}", t);
         for (_, r) in &series {
-            print!(" {:>9.2}", r.records[t].state.battery_temp.to_celsius().value());
+            print!(
+                " {:>9.2}",
+                r.records[t].state.battery_temp.to_celsius().value()
+            );
         }
         println!();
     }
 
-    println!("\n{:>9} {:>10} {:>12} {:>14}", "size (F)", "Tpeak(°C)", "t>40°C (s)", "cap fallbacks");
+    println!(
+        "\n{:>9} {:>10} {:>12} {:>14}",
+        "size (F)", "Tpeak(°C)", "t>40°C (s)", "cap fallbacks"
+    );
     for (farads, r) in &series {
         // Fallbacks: steps where the policy wanted the cap but the battery
         // had to serve while hot (> 37 °C) — the Fig. 1 failure mode.

@@ -39,7 +39,10 @@ fn main() {
     for t in (0..n).step_by(60) {
         print!("{:>7}", t);
         for r in &results {
-            print!(" {:>14.2}", r.records[t].state.battery_temp.to_celsius().value());
+            print!(
+                " {:>14.2}",
+                r.records[t].state.battery_temp.to_celsius().value()
+            );
         }
         println!();
     }
@@ -51,10 +54,16 @@ fn main() {
             .iter()
             .map(|t| t.to_celsius().value())
             .collect();
-        println!("{}", otem_bench::plot::labelled_sparkline(r.methodology, &temps, 72));
+        println!(
+            "{}",
+            otem_bench::plot::labelled_sparkline(r.methodology, &temps, 72)
+        );
     }
 
-    println!("\n{:>14} {:>10} {:>12} {:>12}", "methodology", "Tpeak(°C)", "Tmean(°C)", "Q_loss");
+    println!(
+        "\n{:>14} {:>10} {:>12} {:>12}",
+        "methodology", "Tpeak(°C)", "Tmean(°C)", "Q_loss"
+    );
     for r in &results {
         let mean = r
             .battery_temps()

@@ -36,7 +36,11 @@ fn main() {
     }
 
     println!("\n# trace shapes");
-    let loads: Vec<f64> = r.records.iter().map(|rec| rec.load.value() / 1000.0).collect();
+    let loads: Vec<f64> = r
+        .records
+        .iter()
+        .map(|rec| rec.load.value() / 1000.0)
+        .collect();
     let temps: Vec<f64> = r
         .battery_temps()
         .iter()
@@ -48,10 +52,22 @@ fn main() {
         .iter()
         .map(|rec| rec.cooling_power.value() / 1000.0)
         .collect();
-    println!("{}", otem_bench::plot::labelled_sparkline("P_e (kW)", &loads, 72));
-    println!("{}", otem_bench::plot::labelled_sparkline("T_b (°C)", &temps, 72));
-    println!("{}", otem_bench::plot::labelled_sparkline("SoE (%)", &soes, 72));
-    println!("{}", otem_bench::plot::labelled_sparkline("cool (kW)", &cooling, 72));
+    println!(
+        "{}",
+        otem_bench::plot::labelled_sparkline("P_e (kW)", &loads, 72)
+    );
+    println!(
+        "{}",
+        otem_bench::plot::labelled_sparkline("T_b (°C)", &temps, 72)
+    );
+    println!(
+        "{}",
+        otem_bench::plot::labelled_sparkline("SoE (%)", &soes, 72)
+    );
+    println!(
+        "{}",
+        otem_bench::plot::labelled_sparkline("cool (kW)", &cooling, 72)
+    );
 
     // TEB events, via the library's analysis module.
     let report = otem::analysis::teb_report(&r, &otem::analysis::TebCriteria::default());

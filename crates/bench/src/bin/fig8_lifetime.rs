@@ -28,9 +28,7 @@ fn main() {
     std::fs::create_dir_all("results").expect("results dir");
     // Telemetry is captured for one representative cycle (US06) so the
     // JSONL logs stay bounded; the other cycles run uninstrumented.
-    let run_cycle = |m: Methodology,
-                     cycle: StandardCycle,
-                     trace: &otem_drivecycle::PowerTrace| {
+    let run_cycle = |m: Methodology, cycle: StandardCycle, trace: &otem_drivecycle::PowerTrace| {
         if cycle == StandardCycle::Us06 {
             let path = format!("results/fig8_us06_{}.jsonl", m.name().to_lowercase());
             let sink = JsonlSink::create(&path).expect("telemetry file");
@@ -50,7 +48,11 @@ fn main() {
         let trace = cycle_trace(cycle, repeats(cycle)).expect("trace");
         let base = run_cycle(Methodology::Parallel, cycle, &trace);
         let mut row = format!("{:<7} {:>10.1}", cycle.spec().name, 100.0);
-        for m in [Methodology::ActiveCooling, Methodology::Dual, Methodology::Otem] {
+        for m in [
+            Methodology::ActiveCooling,
+            Methodology::Dual,
+            Methodology::Otem,
+        ] {
             let r = run_cycle(m, cycle, &trace);
             let ratio = r.capacity_loss() / base.capacity_loss() * 100.0;
             match m {
@@ -58,14 +60,21 @@ fn main() {
                 Methodology::Dual => dual_ratios.push(ratio),
                 _ => {}
             }
-            let width = if m == Methodology::ActiveCooling { 14 } else { 8 };
+            let width = if m == Methodology::ActiveCooling {
+                14
+            } else {
+                8
+            };
             row.push_str(&format!(" {:>width$.1}", ratio));
         }
         println!("{row}");
     }
     let otem_avg = otem_ratios.iter().sum::<f64>() / otem_ratios.len() as f64;
     let dual_avg = dual_ratios.iter().sum::<f64>() / dual_ratios.len() as f64;
-    println!("\nOTEM average capacity loss vs Parallel : {:.1} (paper: 83.6, i.e. −16.38%)", otem_avg);
+    println!(
+        "\nOTEM average capacity loss vs Parallel : {:.1} (paper: 83.6, i.e. −16.38%)",
+        otem_avg
+    );
     println!("Dual average capacity loss vs Parallel : {dual_avg:.1}");
     println!("Shape check: OTEM is the best (or tied-best) methodology on every cycle,");
     println!("and the only one that also holds the battery inside its thermal limits.");

@@ -97,8 +97,7 @@ fn main() {
     let config = SystemConfig::default();
     let p = plant(&config);
     std::fs::create_dir_all("results").expect("results dir");
-    let sink =
-        JsonlSink::create("results/perf_report_telemetry.jsonl").expect("telemetry file");
+    let sink = JsonlSink::create("results/perf_report_telemetry.jsonl").expect("telemetry file");
 
     println!(
         "{:<8} {:>12} {:>12} {:>14} {:>14} {:>9}",
@@ -110,7 +109,13 @@ fn main() {
             .map(|k| Watts::new(20_000.0 + 40_000.0 * ((k % 5) as f64 / 4.0)))
             .collect();
         let serial = run_mode(&p, &loads, horizon, GradientMode::Serial, &sink);
-        let parallel = run_mode(&p, &loads, horizon, GradientMode::Parallel { threads }, &sink);
+        let parallel = run_mode(
+            &p,
+            &loads,
+            horizon,
+            GradientMode::Parallel { threads },
+            &sink,
+        );
         assert_eq!(
             serial.cap_bus.to_bits(),
             parallel.cap_bus.to_bits(),

@@ -1,22 +1,31 @@
 //! Developer smoke test: one US06 pass per methodology, printing the
 //! headline metrics (fast shape check before the full experiments).
 
-use otem_bench::{cycle_trace, run, Methodology};
 use otem::SystemConfig;
+use otem_bench::{cycle_trace, run, Methodology};
 use otem_drivecycle::StandardCycle;
 use otem_units::Kelvin;
 
 fn main() {
     let config = SystemConfig::default();
-    let repeats: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1);
-    let stress = std::env::args().nth(2).map(|a| a == "stress").unwrap_or(false);
+    let repeats: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
+    let stress = std::env::args()
+        .nth(2)
+        .map(|a| a == "stress")
+        .unwrap_or(false);
     let (config, trace) = if stress {
         (
             otem_bench::stress_config(),
             otem_bench::stress_trace(StandardCycle::Us06, repeats).expect("trace"),
         )
     } else {
-        (config, cycle_trace(StandardCycle::Us06, repeats).expect("trace"))
+        (
+            config,
+            cycle_trace(StandardCycle::Us06, repeats).expect("trace"),
+        )
     };
     println!(
         "{:<14} {:>12} {:>10} {:>10} {:>9} {:>8} {:>10} {:>10}",
@@ -32,7 +41,10 @@ fn main() {
             r.average_power().value() / 1000.0,
             r.cooling_energy().value() / 1e6,
             r.peak_battery_temp().to_celsius().value(),
-            r.battery_temps().iter().map(|t| t.to_celsius().value()).sum::<f64>()
+            r.battery_temps()
+                .iter()
+                .map(|t| t.to_celsius().value())
+                .sum::<f64>()
                 / r.records.len().max(1) as f64,
             r.time_above(Kelvin::from_celsius(40.0)).value(),
             r.shortfall_energy().value() / 1e6,

@@ -10,6 +10,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod plot;
+pub mod spans;
 
 use otem::policy::{ActiveCooling, Dual, Otem, Parallel};
 use otem::{Controller, OtemError, SimulationResult, Simulator, SystemConfig};
@@ -28,8 +29,7 @@ pub fn paper_config() -> SystemConfig {
 /// [`paper_config`] with a different ultracapacitor size (Table I,
 /// Fig. 1 sweeps).
 pub fn paper_config_with_capacitance(farads: f64) -> SystemConfig {
-    SystemConfig::with_capacitance(Farads::new(farads))
-        .with_ambient(Kelvin::from_celsius(30.0))
+    SystemConfig::with_capacitance(Farads::new(farads)).with_ambient(Kelvin::from_celsius(30.0))
 }
 
 /// The thermally stressed rig of the paper's Figs. 1, 6, 7 and Table I:
@@ -96,10 +96,7 @@ impl Methodology {
     /// # Errors
     ///
     /// Propagates component validation errors.
-    pub fn controller(
-        self,
-        config: &SystemConfig,
-    ) -> Result<Box<dyn Controller>, OtemError> {
+    pub fn controller(self, config: &SystemConfig) -> Result<Box<dyn Controller>, OtemError> {
         Ok(match self {
             Self::Parallel => Box::new(Parallel::new(config)?),
             Self::ActiveCooling => Box::new(ActiveCooling::new(config)?),

@@ -1,0 +1,495 @@
+//! Span-trace analysis: ingests the JSONL stream an instrumented run
+//! writes (see `otem_telemetry::span`) and turns its `span_start` /
+//! `span_end` pairs into the per-phase profile the `trace_report` bin
+//! prints and `BENCH_spans.json` records.
+//!
+//! The vendored `serde` is a derive stub, so the JSONL lines are read
+//! with a small hand-rolled field extractor — the span events carry
+//! only integers and snake_case names, which keeps that honest.
+//!
+//! Beyond aggregation, [`analyze`] *validates* the stream: every start
+//! must be matched by an end, ends must close innermost-first per lane,
+//! and the time attributed to a span's children can never exceed the
+//! span's own duration. `scripts/tier1.sh` gates on these checks via
+//! `trace_report`, so a broken emitter fails CI rather than producing a
+//! quietly nonsensical profile.
+
+use otem_telemetry::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parsed `span_end` joined with its `span_start`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Enclosing span id on the same lane (`0` = root).
+    pub parent: u64,
+    /// Span name (`"mpc_solve"`, `"rollout"`, …).
+    pub name: String,
+    /// Lane (thread) the span ran on.
+    pub lane: u64,
+    /// Open time, ns on the trace's monotonic epoch.
+    pub start_ns: u64,
+    /// Close time, ns on the trace's monotonic epoch.
+    pub end_ns: u64,
+    /// `end_ns - start_ns` as emitted.
+    pub dur_ns: u64,
+    /// Total duration of the span's direct children.
+    pub child_ns: u64,
+}
+
+impl SpanRecord {
+    /// Duration minus time spent in child spans (same lane).
+    pub fn self_ns(&self) -> u64 {
+        self.dur_ns.saturating_sub(self.child_ns)
+    }
+}
+
+/// Aggregated statistics for one span name.
+#[derive(Debug)]
+pub struct PhaseStats {
+    /// Span name.
+    pub name: String,
+    /// Closed spans with this name.
+    pub count: u64,
+    /// Cumulative duration (includes time inside child spans), ns.
+    pub total_ns: u64,
+    /// Self time (cumulative minus direct children), ns.
+    pub self_ns: u64,
+    /// Duration distribution, ns buckets.
+    pub hist: Histogram,
+}
+
+impl PhaseStats {
+    fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            // 1 µs … ~9 minutes in ×2 steps: covers a single rollout up
+            // to a whole campaign run at better than 2× resolution.
+            hist: Histogram::exponential(1_000.0, 2.0, 40),
+        }
+    }
+
+    /// Mean duration in ns (0 for an empty phase).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// The result of [`analyze`]: per-phase statistics plus every
+/// structural violation found in the stream.
+#[derive(Debug)]
+pub struct TraceAnalysis {
+    /// Per-name statistics, sorted by descending cumulative time.
+    pub phases: Vec<PhaseStats>,
+    /// Every closed span, in close order.
+    pub spans: Vec<SpanRecord>,
+    /// Structural violations (empty for a well-formed trace).
+    pub errors: Vec<String>,
+}
+
+impl TraceAnalysis {
+    /// `true` when the stream was balanced and properly nested.
+    pub fn is_balanced(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Statistics for one span name, if it occurred.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Sum of `dur_ns` across all closed spans with this name.
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.phase(name).map_or(0, |p| p.total_ns)
+    }
+
+    /// Renders the per-phase table (`trace_report`'s stdout).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<20} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            "phase", "count", "total_ms", "self_ms", "mean_us", "p50_us", "p95_us", "p99_us"
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>8} {:>12.3} {:>12.3} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                p.name,
+                p.count,
+                p.total_ns as f64 / 1e6,
+                p.self_ns as f64 / 1e6,
+                p.mean_ns() / 1e3,
+                p.hist.quantile(0.50) / 1e3,
+                p.hist.quantile(0.95) / 1e3,
+                p.hist.quantile(0.99) / 1e3,
+            );
+        }
+        out
+    }
+
+    /// Renders `BENCH_spans.json` (hand-rolled; vendored serde is a
+    /// stub).
+    pub fn render_json(&self, steps: usize) -> String {
+        let mut rows = Vec::with_capacity(self.phases.len());
+        for p in &self.phases {
+            rows.push(format!(
+                concat!(
+                    "    {{ \"name\": \"{}\", \"count\": {}, ",
+                    "\"total_ms\": {:.4}, \"self_ms\": {:.4}, \"mean_us\": {:.2}, ",
+                    "\"p50_us\": {:.2}, \"p95_us\": {:.2}, \"p99_us\": {:.2} }}"
+                ),
+                p.name,
+                p.count,
+                p.total_ns as f64 / 1e6,
+                p.self_ns as f64 / 1e6,
+                p.mean_ns() / 1e3,
+                p.hist.quantile(0.50) / 1e3,
+                p.hist.quantile(0.95) / 1e3,
+                p.hist.quantile(0.99) / 1e3,
+            ));
+        }
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"span_trace\",\n",
+                "  \"steps\": {},\n",
+                "  \"spans\": {},\n",
+                "  \"balanced\": {},\n",
+                "  \"phases\": [\n{}\n  ]\n",
+                "}}\n"
+            ),
+            steps,
+            self.spans.len(),
+            self.is_balanced(),
+            rows.join(",\n")
+        )
+    }
+}
+
+/// A span currently open on some lane.
+#[derive(Debug)]
+struct OpenSpan {
+    id: u64,
+    parent: u64,
+    name: String,
+    start_ns: u64,
+    child_ns: u64,
+}
+
+/// Analyzes a span JSONL stream (non-span lines are ignored).
+///
+/// Validation rules, each producing one entry in
+/// [`TraceAnalysis::errors`]:
+///
+/// - a `span_end` whose id is not the innermost open span on its lane
+///   (the emitter guarantees innermost-first closing);
+/// - an end time earlier than the matching start;
+/// - a span whose direct children account for more time than the span
+///   itself;
+/// - any span still open when the stream ends.
+pub fn analyze(lines: impl IntoIterator<Item = String>) -> TraceAnalysis {
+    let mut open: BTreeMap<u64, Vec<OpenSpan>> = BTreeMap::new();
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+
+    for line in lines {
+        match json_str(&line, "event") {
+            Some("span_start") => {
+                let (Some(id), Some(parent), Some(name), Some(lane), Some(t_ns)) = (
+                    json_u64(&line, "id"),
+                    json_u64(&line, "parent"),
+                    json_str(&line, "name"),
+                    json_u64(&line, "lane"),
+                    json_u64(&line, "t_ns"),
+                ) else {
+                    errors.push(format!("malformed span_start: {line}"));
+                    continue;
+                };
+                let stack = open.entry(lane).or_default();
+                let innermost = stack.last().map_or(0, |s| s.id);
+                if parent != innermost {
+                    errors.push(format!(
+                        "span {id} ({name}) claims parent {parent} but lane {lane}'s \
+                         innermost open span is {innermost}"
+                    ));
+                }
+                stack.push(OpenSpan {
+                    id,
+                    parent,
+                    name: name.to_string(),
+                    start_ns: t_ns,
+                    child_ns: 0,
+                });
+            }
+            Some("span_end") => {
+                let (Some(id), Some(lane), Some(t_ns), Some(dur_ns)) = (
+                    json_u64(&line, "id"),
+                    json_u64(&line, "lane"),
+                    json_u64(&line, "t_ns"),
+                    json_u64(&line, "dur_ns"),
+                ) else {
+                    errors.push(format!("malformed span_end: {line}"));
+                    continue;
+                };
+                let stack = open.entry(lane).or_default();
+                let Some(top) = stack.pop() else {
+                    errors.push(format!("span_end {id} on lane {lane} with no open span"));
+                    continue;
+                };
+                if top.id != id {
+                    errors.push(format!(
+                        "span_end {id} on lane {lane} but innermost open span is {} ({})",
+                        top.id, top.name
+                    ));
+                    stack.push(top);
+                    continue;
+                }
+                if t_ns < top.start_ns {
+                    errors.push(format!(
+                        "span {id} ({}) ends at {t_ns} ns, before its start {} ns",
+                        top.name, top.start_ns
+                    ));
+                }
+                if top.child_ns > dur_ns {
+                    errors.push(format!(
+                        "span {id} ({}) lasted {dur_ns} ns but its children total {} ns",
+                        top.name, top.child_ns
+                    ));
+                }
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_ns += dur_ns;
+                }
+                spans.push(SpanRecord {
+                    id,
+                    parent: top.parent,
+                    name: top.name,
+                    lane,
+                    start_ns: top.start_ns,
+                    end_ns: t_ns,
+                    dur_ns,
+                    child_ns: top.child_ns,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    for (lane, stack) in &open {
+        for s in stack {
+            errors.push(format!(
+                "span {} ({}) on lane {lane} never closed",
+                s.id, s.name
+            ));
+        }
+    }
+
+    let mut by_name: BTreeMap<&str, PhaseStats> = BTreeMap::new();
+    for s in &spans {
+        let p = by_name
+            .entry(s.name.as_str())
+            .or_insert_with(|| PhaseStats::new(&s.name));
+        p.count += 1;
+        p.total_ns += s.dur_ns;
+        p.self_ns += s.self_ns();
+        p.hist.observe(s.dur_ns as f64);
+    }
+    let mut phases: Vec<PhaseStats> = by_name.into_values().collect();
+    phases.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+
+    TraceAnalysis {
+        phases,
+        spans,
+        errors,
+    }
+}
+
+/// Extracts an unsigned integer field (`"key":123`) from one JSON line.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = field_value(line, key)?;
+    let digits: &str = {
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        &rest[..end]
+    };
+    digits.parse().ok()
+}
+
+/// Extracts a string field (`"key":"value"`) from one JSON line. Span
+/// names are snake_case identifiers, so escapes inside the value are
+/// treated as malformed (`None`) rather than unescaped.
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = field_value(line, key)?.strip_prefix('"')?;
+    let end = rest.find(['"', '\\'])?;
+    if rest[end..].starts_with('\\') {
+        return None;
+    }
+    Some(&rest[..end])
+}
+
+/// The text immediately after `"key":`.
+fn field_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)?;
+    Some(&line[at + needle.len()..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otem_telemetry::Event;
+
+    fn lines(events: &[Event]) -> Vec<String> {
+        events.iter().map(Event::to_json).collect()
+    }
+
+    fn start(id: u64, parent: u64, name: &'static str, lane: u64, t_ns: u64) -> Event {
+        Event::SpanStart {
+            id,
+            parent,
+            name,
+            lane,
+            t_ns,
+        }
+    }
+
+    fn end(id: u64, name: &'static str, lane: u64, t_ns: u64, dur_ns: u64) -> Event {
+        Event::SpanEnd {
+            id,
+            name,
+            lane,
+            t_ns,
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn nested_trace_aggregates_self_and_cumulative_time() {
+        let a = analyze(lines(&[
+            start(1, 0, "solve", 1, 0),
+            start(2, 1, "rollout", 1, 100),
+            end(2, "rollout", 1, 400, 300),
+            start(3, 1, "rollout", 1, 500),
+            end(3, "rollout", 1, 700, 200),
+            end(1, "solve", 1, 1_000, 1_000),
+        ]));
+        assert!(a.is_balanced(), "{:?}", a.errors);
+        assert_eq!(a.spans.len(), 3);
+        let solve = a.phase("solve").expect("solve phase");
+        assert_eq!(solve.count, 1);
+        assert_eq!(solve.total_ns, 1_000);
+        assert_eq!(solve.self_ns, 500, "1000 - two rollouts");
+        let rollout = a.phase("rollout").expect("rollout phase");
+        assert_eq!(rollout.count, 2);
+        assert_eq!(rollout.total_ns, 500);
+        assert_eq!(rollout.self_ns, 500, "leaves have no children");
+        // Phases sort by descending cumulative time.
+        assert_eq!(a.phases[0].name, "solve");
+    }
+
+    #[test]
+    fn lanes_are_independent_stacks() {
+        // Interleaved starts/ends across two lanes — balanced per lane,
+        // unordered globally.
+        let a = analyze(lines(&[
+            start(1, 0, "solve", 1, 0),
+            start(2, 0, "rollout", 2, 10),
+            start(3, 0, "rollout", 3, 10),
+            end(3, "rollout", 3, 60, 50),
+            end(2, "rollout", 2, 50, 40),
+            end(1, "solve", 1, 100, 100),
+        ]));
+        assert!(a.is_balanced(), "{:?}", a.errors);
+        // Cross-lane spans are roots, not children: solve keeps all its
+        // time to itself.
+        assert_eq!(a.phase("solve").unwrap().self_ns, 100);
+    }
+
+    #[test]
+    fn unmatched_start_is_reported() {
+        let a = analyze(lines(&[start(1, 0, "solve", 1, 0)]));
+        assert!(!a.is_balanced());
+        assert!(a.errors[0].contains("never closed"), "{:?}", a.errors);
+    }
+
+    #[test]
+    fn out_of_order_end_is_reported() {
+        let a = analyze(lines(&[
+            start(1, 0, "solve", 1, 0),
+            start(2, 1, "rollout", 1, 10),
+            end(1, "solve", 1, 100, 100), // parent closed before child
+        ]));
+        assert!(!a.is_balanced());
+        assert!(
+            a.errors.iter().any(|e| e.contains("innermost open span")),
+            "{:?}",
+            a.errors
+        );
+    }
+
+    #[test]
+    fn child_time_exceeding_parent_is_reported() {
+        let a = analyze(lines(&[
+            start(1, 0, "solve", 1, 0),
+            start(2, 1, "rollout", 1, 0),
+            end(2, "rollout", 1, 500, 500),
+            end(1, "solve", 1, 100, 100), // 100 ns parent, 500 ns child
+        ]));
+        assert!(
+            a.errors.iter().any(|e| e.contains("children total"),),
+            "{:?}",
+            a.errors
+        );
+    }
+
+    #[test]
+    fn non_span_lines_are_ignored() {
+        let a = analyze(vec![
+            Event::PoolHit.to_json(),
+            start(1, 0, "solve", 1, 0).to_json(),
+            "not json at all".to_string(),
+            end(1, "solve", 1, 10, 10).to_json(),
+        ]);
+        assert!(a.is_balanced(), "{:?}", a.errors);
+        assert_eq!(a.spans.len(), 1);
+    }
+
+    #[test]
+    fn json_field_extractors_handle_span_lines() {
+        let line = start(7, 3, "mpc_solve", 2, 1_500).to_json();
+        assert_eq!(json_u64(&line, "id"), Some(7));
+        assert_eq!(json_u64(&line, "parent"), Some(3));
+        assert_eq!(json_u64(&line, "lane"), Some(2));
+        assert_eq!(json_u64(&line, "t_ns"), Some(1_500));
+        assert_eq!(json_str(&line, "name"), Some("mpc_solve"));
+        assert_eq!(json_str(&line, "event"), Some("span_start"));
+        assert_eq!(json_u64(&line, "missing"), None);
+        assert_eq!(json_str(&line, "name_with_escape"), None);
+    }
+
+    #[test]
+    fn report_renders_table_and_json() {
+        let a = analyze(lines(&[
+            start(1, 0, "solve", 1, 0),
+            end(1, "solve", 1, 2_000_000, 2_000_000),
+        ]));
+        let table = a.render_table();
+        assert!(table.contains("phase"), "{table}");
+        assert!(table.contains("solve"), "{table}");
+        let json = a.render_json(120);
+        assert!(json.contains("\"bench\": \"span_trace\""), "{json}");
+        assert!(json.contains("\"steps\": 120"), "{json}");
+        assert!(json.contains("\"balanced\": true"), "{json}");
+        assert!(json.contains("\"name\": \"solve\""), "{json}");
+    }
+}

@@ -296,8 +296,18 @@ mod tests {
     fn signs_are_preserved() {
         let dc = DcDcConverter::ultracap_side();
         let v = Volts::new(14.0);
-        assert!(dc.input_for_output(Watts::new(-6_000.0), v).unwrap().value() < 0.0);
-        assert!(dc.output_for_input(Watts::new(-6_000.0), v).unwrap().value() < 0.0);
+        assert!(
+            dc.input_for_output(Watts::new(-6_000.0), v)
+                .unwrap()
+                .value()
+                < 0.0
+        );
+        assert!(
+            dc.output_for_input(Watts::new(-6_000.0), v)
+                .unwrap()
+                .value()
+                < 0.0
+        );
     }
 
     #[test]
@@ -326,7 +336,9 @@ mod tests {
     fn tiny_transfer_dominated_by_quiescent_loss() {
         let dc = DcDcConverter::ultracap_side();
         let tiny = dc.efficiency(Watts::new(30.0), Volts::new(16.0)).unwrap();
-        let moderate = dc.efficiency(Watts::new(5_000.0), Volts::new(16.0)).unwrap();
+        let moderate = dc
+            .efficiency(Watts::new(5_000.0), Volts::new(16.0))
+            .unwrap();
         assert!(tiny < 0.90, "η = {tiny} should be poor at 30 W");
         assert!(moderate > tiny + 0.05, "light-load collapse missing");
     }
@@ -347,7 +359,10 @@ mod tests {
     fn zero_power_zero_loss() {
         let dc = DcDcConverter::ultracap_side();
         assert_eq!(dc.loss(Watts::ZERO, Volts::new(16.0)), Watts::ZERO);
-        assert_eq!(dc.input_for_output(Watts::ZERO, Volts::new(16.0)).unwrap(), Watts::ZERO);
+        assert_eq!(
+            dc.input_for_output(Watts::ZERO, Volts::new(16.0)).unwrap(),
+            Watts::ZERO
+        );
         assert_eq!(dc.efficiency(Watts::ZERO, Volts::new(16.0)).unwrap(), 1.0);
     }
 

@@ -50,7 +50,10 @@ impl fmt::Display for OtemError {
             Self::Hees(e) => write!(f, "HEES: {e}"),
             Self::Cycle(e) => write!(f, "drive cycle: {e}"),
             Self::InvalidConfig { field, constraint } => {
-                write!(f, "invalid configuration: {field} must satisfy {constraint}")
+                write!(
+                    f,
+                    "invalid configuration: {field} must satisfy {constraint}"
+                )
             }
             Self::Solver { reason } => write!(f, "solver: {reason}"),
             Self::NonFinite { quantity } => write!(f, "non-finite {quantity}"),

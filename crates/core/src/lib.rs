@@ -59,6 +59,6 @@ pub mod supervisor;
 pub use config::SystemConfig;
 pub use controller::{Controller, PlantFault, StepRecord, SystemState};
 pub use error::OtemError;
-pub use supervisor::{SupervisedOtem, SupervisorConfig};
 pub use metrics::SimulationResult;
 pub use sim::Simulator;
+pub use supervisor::{SupervisedOtem, SupervisorConfig};

@@ -33,10 +33,7 @@ impl SimulationResult {
     /// the energy spent powering the cooling system, which is served
     /// from the bus.
     pub fn energy(&self) -> Joules {
-        self.records
-            .iter()
-            .map(|r| r.total_power() * self.dt)
-            .sum()
+        self.records.iter().map(|r| r.total_power() * self.dt).sum()
     }
 
     /// Energy drawn by the cooling system alone.
@@ -94,10 +91,7 @@ impl SimulationResult {
 
     /// The ultracapacitor SoE time series as fractions (for Fig. 7).
     pub fn soe_series(&self) -> Vec<f64> {
-        self.records
-            .iter()
-            .map(|r| r.state.soe.value())
-            .collect()
+        self.records.iter().map(|r| r.state.soe.value()).collect()
     }
 
     /// Battery-lifetime projection: driving hours until the 20 %

@@ -27,7 +27,7 @@ use otem_hees::{HeesSnapshot, HybridCommand, HybridHees};
 use otem_solver::{
     Bounds, GradientMode, NumericalGradient, Objective, ProjectedGradient, Solution, SolverOutcome,
 };
-use otem_telemetry::{Event, NullSink, Sink};
+use otem_telemetry::{span, Event, NullSink, Sink};
 use otem_thermal::{CoolingPlant, ThermalModel, ThermalState};
 use otem_units::{Kelvin, Ratio, Seconds, Watts};
 use serde::{Deserialize, Serialize};
@@ -248,19 +248,26 @@ impl Mpc {
         dt: Seconds,
         sink: &dyn Sink,
     ) -> MpcDecision {
+        let _solve_span = span(sink, "mpc_solve");
         let n = self.config.horizon;
 
         // Decision vector layout: [cap_share_0..n-1, cool_duty_0..n-1],
         // cap shares normalised by the C7 limit into [-1, 1].
-        self.x0.clear();
-        self.x0.resize(2 * n, 0.0);
-        if self.config.warm_start {
-            if let Some(prev) = &self.previous {
-                warm_start_shift(&mut self.x0, prev, n, self.config.block_size);
+        {
+            let _warm_span = span(sink, "warm_start");
+            self.x0.clear();
+            self.x0.resize(2 * n, 0.0);
+            if self.config.warm_start {
+                if let Some(prev) = &self.previous {
+                    warm_start_shift(&mut self.x0, prev, n, self.config.block_size);
+                }
             }
         }
 
-        self.pool.rebind(&plant.hees);
+        {
+            let _pool_span = span(sink, "pool");
+            self.pool.rebind(&plant.hees);
+        }
         let objective = RolloutObjective {
             plant,
             loads,
@@ -387,11 +394,7 @@ impl WorkspacePool {
     /// (the only time a plant clone happens). `sink` learns which way it
     /// went — a warm pool records only [`Event::PoolHit`]s.
     fn take(&self, source: &HybridHees, sink: &dyn Sink) -> RolloutWorkspace {
-        let pooled = self
-            .slots
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop();
+        let pooled = self.slots.lock().unwrap_or_else(|e| e.into_inner()).pop();
         match pooled {
             Some(ws) => {
                 sink.record(Event::PoolHit);
@@ -459,8 +462,11 @@ impl RolloutObjective<'_> {
     }
 
     /// Central differences over the coordinate window starting at `start`,
-    /// through one pooled workspace.
+    /// through one pooled workspace. Runs on the caller's thread — under
+    /// [`GradientMode::Parallel`] that is a scoped worker, so the
+    /// `rollout` span lands on that worker's lane.
     fn gradient_window(&self, x: &[f64], grad_chunk: &mut [f64], start: usize) {
+        let _rollout_span = span(self.sink, "rollout");
         let mut ws = self.pool.take(&self.plant.hees, self.sink);
         ws.xp.clear();
         ws.xp.extend_from_slice(x);
@@ -472,6 +478,7 @@ impl RolloutObjective<'_> {
 
 impl Objective for RolloutObjective<'_> {
     fn value(&self, z: &[f64]) -> f64 {
+        let _rollout_span = span(self.sink, "rollout");
         let mut ws = self.pool.take(&self.plant.hees, self.sink);
         let cost = self.eval_with(&mut ws.hees, z);
         self.pool.put(ws);
@@ -548,16 +555,13 @@ fn rollout_cost_with(
         // coldest achievable; price it with Eq. 16.
         let outlet = state.coolant;
         let coldest = plant.plant.coldest_inlet(outlet);
-        let inlet = Kelvin::new(
-            outlet.value() - duty * (outlet.value() - coldest.value()),
-        );
+        let inlet = Kelvin::new(outlet.value() - duty * (outlet.value() - coldest.value()));
         let action = plant.plant.actuate(outlet, inlet);
         // Smooth relaxation of the pump's on/off behaviour: the rollout
         // prices the pump proportionally to the duty so the objective
         // stays differentiable at duty = 0 (the applied move re-imposes
         // the real on/off gate).
-        let cooling_electric =
-            action.cooler_power + action.pump_power * duty;
+        let cooling_electric = action.cooler_power + action.pump_power * duty;
 
         // Bus power balance pins the battery's share.
         let battery_bus = load + cooling_electric - cap_bus;
@@ -576,10 +580,7 @@ fn rollout_cost_with(
 
         // --- Eq. 19 terms ---------------------------------------------
         cost += config.w1 * cooling_electric.value() * dtv;
-        let loss = plant
-            .aging
-            .loss_rate(state.battery, step.battery_c_rate)
-            * dtv;
+        let loss = plant.aging.loss_rate(state.battery, step.battery_c_rate) * dtv;
         cost += config.w2 * loss;
         cost += config.w3 * step.hees_power().value() * dtv;
 
@@ -605,20 +606,12 @@ fn rollout_cost_with(
     // otherwise make the tail punish the very cooling that lowers the
     // terminal temperature.
     if config.terminal_tail > 0.0 {
-        let mean_load: f64 = loads
-            .iter()
-            .take(n)
-            .map(|p| p.value().abs())
-            .sum::<f64>()
-            / n as f64;
+        let mean_load: f64 = loads.iter().take(n).map(|p| p.value().abs()).sum::<f64>() / n as f64;
         let pack = plant.hees.battery();
         let pack_voltage = pack.open_circuit_voltage().value().max(1.0);
-        let cell_current =
-            mean_load / pack_voltage / pack.config().parallel as f64;
+        let cell_current = mean_load / pack_voltage / pack.config().parallel as f64;
         let c_load = (cell_current / pack.cell().effective_capacity().value()).max(0.2);
-        cost += config.w2
-            * plant.aging.loss_rate(state.battery, c_load)
-            * config.terminal_tail;
+        cost += config.w2 * plant.aging.loss_rate(state.battery, c_load) * config.terminal_tail;
         let over_t = (state.battery.value() - config.temp_soft.value()).max(0.0);
         cost += config.temp_penalty * over_t * over_t * (config.terminal_tail / dtv.max(1e-9));
     }
@@ -815,7 +808,11 @@ mod tests {
         };
         let mut z = vec![0.0; 12];
         for (i, zi) in z.iter_mut().enumerate() {
-            *zi = if i < 6 { 0.1 * i as f64 - 0.2 } else { 0.15 * (i - 6) as f64 };
+            *zi = if i < 6 {
+                0.1 * i as f64 - 0.2
+            } else {
+                0.15 * (i - 6) as f64
+            };
         }
         for _ in 0..3 {
             let pooled = objective.value(&z);
@@ -851,7 +848,13 @@ mod tests {
         };
         let dim = 16;
         let z: Vec<f64> = (0..dim)
-            .map(|i| if i < 8 { 0.05 * i as f64 - 0.15 } else { 0.1 * (i - 8) as f64 })
+            .map(|i| {
+                if i < 8 {
+                    0.05 * i as f64 - 0.15
+                } else {
+                    0.1 * (i - 8) as f64
+                }
+            })
             .collect();
 
         // Reference: plain finite differences over the public clone-based
@@ -1001,6 +1004,83 @@ mod tests {
         let misses = sink.count_kind("pool_miss");
         assert_eq!(misses, 1, "serial mode needs exactly one workspace");
         assert!(hits > misses, "pool should run warm: {hits} hits");
+    }
+
+    #[test]
+    fn observed_solve_nests_phase_spans_under_mpc_solve() {
+        use otem_telemetry::{Event as TEvent, MemorySink};
+        let config = SystemConfig::default();
+        let p = plant(&config);
+        let loads = vec![Watts::new(30_000.0); 6];
+        let mut mpc = Mpc::new(MpcConfig {
+            horizon: 6,
+            solver_iterations: 4,
+            ..MpcConfig::default()
+        });
+        let sink = MemorySink::new();
+        mpc.solve_with(&p, &loads, Seconds::new(1.0), &sink);
+        let events = sink.events();
+        let starts: Vec<(&str, u64, u64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                TEvent::SpanStart {
+                    name, id, parent, ..
+                } => Some((*name, *id, *parent)),
+                _ => None,
+            })
+            .collect();
+        let (_, solve_id, solve_parent) = *starts
+            .iter()
+            .find(|(name, ..)| *name == "mpc_solve")
+            .expect("mpc_solve span");
+        assert_eq!(solve_parent, 0, "mpc_solve is the root here");
+        for phase in ["warm_start", "pool"] {
+            let (_, _, parent) = *starts
+                .iter()
+                .find(|(name, ..)| *name == phase)
+                .unwrap_or_else(|| panic!("missing {phase} span"));
+            assert_eq!(parent, solve_id, "{phase} must nest under mpc_solve");
+        }
+        for phase in ["iteration", "gradient", "line_search", "rollout"] {
+            assert!(
+                starts.iter().any(|(name, ..)| *name == phase),
+                "missing {phase} span"
+            );
+        }
+        // Balanced: every start has its end.
+        assert_eq!(
+            sink.count_kind("span_start"),
+            sink.count_kind("span_end"),
+            "unbalanced span stream"
+        );
+    }
+
+    #[test]
+    fn parallel_gradient_rollout_spans_carry_distinct_lanes() {
+        use otem_telemetry::{Event as TEvent, MemorySink};
+        let config = SystemConfig::default();
+        let p = plant(&config);
+        let loads = vec![Watts::new(30_000.0); 6];
+        let mut mpc = Mpc::new(MpcConfig {
+            horizon: 6,
+            solver_iterations: 4,
+            gradient_mode: GradientMode::Parallel { threads: 4 },
+            ..MpcConfig::default()
+        });
+        let sink = MemorySink::new();
+        mpc.solve_with(&p, &loads, Seconds::new(1.0), &sink);
+        let mut lanes = std::collections::BTreeSet::new();
+        for e in sink.events() {
+            if let TEvent::SpanStart { name, lane, .. } = e {
+                if name == "rollout" {
+                    lanes.insert(lane);
+                }
+            }
+        }
+        assert!(
+            lanes.len() >= 2,
+            "parallel gradient workers must appear on distinct lanes, got {lanes:?}"
+        );
     }
 
     #[test]

@@ -73,8 +73,7 @@ pub fn plan_split(
     base.set_state(config.initial_soc, config.initial_soe);
 
     let soe_of = |level: usize| -> f64 {
-        config.soe_min.value()
-            + (1.0 - config.soe_min.value()) * level as f64 / (levels - 1) as f64
+        config.soe_min.value() + (1.0 - config.soe_min.value()) * level as f64 / (levels - 1) as f64
     };
     let level_of = |soe: f64| -> usize {
         let t = (soe - config.soe_min.value()) / (1.0 - config.soe_min.value());
@@ -188,11 +187,7 @@ mod tests {
         let config = SystemConfig::default();
         let trace = flat_trace(20_000.0, 30);
         let plan = plan_split(&config, &trace, &small_planner()).unwrap();
-        let cap_energy: f64 = plan
-            .cap_bus
-            .iter()
-            .map(|p| p.value().abs())
-            .sum::<f64>();
+        let cap_energy: f64 = plan.cap_bus.iter().map(|p| p.value().abs()).sum::<f64>();
         // Near-zero bank activity (grid noise allowed).
         assert!(
             cap_energy < 0.1 * 20_000.0 * 30.0,

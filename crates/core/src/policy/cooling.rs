@@ -6,7 +6,7 @@ use crate::controller::{Controller, StepRecord, SystemState};
 use crate::error::OtemError;
 use otem_battery::BatteryPack;
 use otem_hees::HeesStep;
-use otem_telemetry::{Event, NullSink, Sink};
+use otem_telemetry::{span, Event, NullSink, Sink};
 use otem_thermal::{CoolerAction, CoolingPlant, ThermalModel, ThermalState};
 use otem_units::{Kelvin, Ratio, Seconds, Watts};
 
@@ -66,6 +66,7 @@ impl Controller for ActiveCooling {
         dt: Seconds,
         sink: &dyn Sink,
     ) -> StepRecord {
+        let _step_span = span(sink, "cooling_step");
         // Thermostat with hysteresis.
         let was_on = self.cooling_on;
         if self.state.battery >= self.on_threshold {
@@ -100,17 +101,15 @@ impl Controller for ActiveCooling {
             .unwrap_or(otem_battery::PowerDraw::IDLE);
         self.battery.integrate(draw, dt);
 
-        self.state =
-            self.thermal
-                .step_crank_nicolson(self.state, draw.heat, action.inlet, dt);
+        self.state = self
+            .thermal
+            .step_crank_nicolson(self.state, draw.heat, action.inlet, dt);
 
         StepRecord {
             load,
             hees: HeesStep {
                 delivered: draw.terminal_power - action.total_power(),
-                shortfall: Watts::new(
-                    (total.value() - draw.terminal_power.value()).max(0.0),
-                ),
+                shortfall: Watts::new((total.value() - draw.terminal_power.value()).max(0.0)),
                 battery_internal: draw.internal_power,
                 cap_internal: Watts::ZERO,
                 battery_heat: draw.heat,

@@ -6,7 +6,7 @@ use crate::controller::{Controller, StepRecord, SystemState};
 use crate::error::OtemError;
 use otem_battery::BatteryPack;
 use otem_hees::{pack_domain_bank, DualHees, DualMode};
-use otem_telemetry::{Event, NullSink, Sink};
+use otem_telemetry::{span, Event, NullSink, Sink};
 use otem_thermal::{ThermalModel, ThermalState};
 use otem_units::{Kelvin, Ratio, Seconds, Watts};
 
@@ -72,6 +72,7 @@ impl Controller for Dual {
         dt: Seconds,
         sink: &dyn Sink,
     ) -> StepRecord {
+        let _step_span = span(sink, "dual_step");
         // Threshold rule with hysteresis (the [16] policy).
         if self.state.battery >= self.hot_threshold {
             self.using_cap = true;
@@ -96,10 +97,7 @@ impl Controller for Dual {
 
         let mode = if self.using_cap && self.hees.cap_can_serve(load) {
             DualMode::Ultracap
-        } else if !self.using_cap
-            && self.hees.soe() < self.recharge_target
-            && load.value() >= 0.0
-        {
+        } else if !self.using_cap && self.hees.soe() < self.recharge_target && load.value() >= 0.0 {
             DualMode::BatteryRecharging(self.recharge_power.value())
         } else {
             DualMode::Battery

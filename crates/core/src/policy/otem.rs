@@ -9,7 +9,7 @@ use crate::mpc::{Mpc, MpcConfig, MpcDecision, MpcPlant};
 use otem_battery::BatteryPack;
 use otem_converter::DcDcConverter;
 use otem_hees::{HybridCommand, HybridHees};
-use otem_telemetry::{Event, NullSink, Sink};
+use otem_telemetry::{span, Event, NullSink, Sink};
 use otem_thermal::{CoolerAction, CoolingPlant, ThermalModel, ThermalState};
 use otem_ultracap::UltracapParams;
 use otem_units::{Kelvin, Seconds, Watts};
@@ -137,6 +137,7 @@ impl Controller for Otem {
         dt: Seconds,
         sink: &dyn Sink,
     ) -> StepRecord {
+        let _step_span = span(sink, "otem_step");
         let decision = self.plan_with(load, forecast, dt, sink);
         self.apply_with(load, decision.cap_bus, decision.cool_duty, dt, sink)
     }
@@ -192,9 +193,9 @@ impl Otem {
             .collect();
 
         // Line 14: optimise (over block-sized model steps).
-        let decision =
-            self.mpc
-                .solve_with(&self.plant_snapshot(), &loads, dt * block as f64, sink);
+        let decision = self
+            .mpc
+            .solve_with(&self.plant_snapshot(), &loads, dt * block as f64, sink);
 
         if decision.cap_bus.value().abs() >= 0.995 * self.config.cap_power_max.value() {
             sink.record(Event::UcapSaturated {
@@ -247,9 +248,9 @@ impl Otem {
             self.state.battery,
             dt,
         );
-        self.state = self
-            .thermal
-            .step_crank_nicolson(self.state, hees_step.battery_heat, action.inlet, dt);
+        self.state =
+            self.thermal
+                .step_crank_nicolson(self.state, hees_step.battery_heat, action.inlet, dt);
 
         StepRecord {
             load,
@@ -317,7 +318,8 @@ mod tests {
     fn regen_is_absorbed() {
         let config = SystemConfig::default();
         let mut otem = Otem::with_mpc(&config, short_mpc()).expect("valid");
-        otem.hees.set_state(otem_units::Ratio::new(0.8), otem_units::Ratio::new(0.5));
+        otem.hees
+            .set_state(otem_units::Ratio::new(0.8), otem_units::Ratio::new(0.5));
         let forecast = vec![Watts::new(-30_000.0); 6];
         let before_soc = otem.state().soc;
         let before_soe = otem.state().soe;

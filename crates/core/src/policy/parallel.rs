@@ -6,6 +6,7 @@ use crate::controller::{Controller, StepRecord, SystemState};
 use crate::error::OtemError;
 use otem_battery::BatteryPack;
 use otem_hees::{pack_domain_bank, ParallelHees};
+use otem_telemetry::{span, Sink};
 use otem_thermal::{ThermalModel, ThermalState};
 use otem_units::{Seconds, Watts};
 
@@ -28,8 +29,7 @@ impl Parallel {
         config.validate()?;
         let battery = BatteryPack::new(config.cell.clone(), config.pack)?;
         let rated = battery.open_circuit_voltage();
-        let mut hees =
-            ParallelHees::new(battery, pack_domain_bank(config.capacitance, rated))?;
+        let mut hees = ParallelHees::new(battery, pack_domain_bank(config.capacitance, rated))?;
         hees.set_state(config.initial_soc, config.initial_soe);
         Ok(Self {
             hees,
@@ -60,6 +60,17 @@ impl Controller for Parallel {
             cooling_power: Watts::ZERO,
             state: self.state_snapshot(),
         }
+    }
+
+    fn step_with(
+        &mut self,
+        load: Watts,
+        forecast: &[Watts],
+        dt: Seconds,
+        sink: &dyn Sink,
+    ) -> StepRecord {
+        let _step_span = span(sink, "parallel_step");
+        self.step(load, forecast, dt)
     }
 
     fn state(&self) -> SystemState {

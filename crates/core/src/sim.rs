@@ -6,7 +6,7 @@ use crate::controller::Controller;
 use crate::metrics::SimulationResult;
 use otem_battery::AgingModel;
 use otem_drivecycle::PowerTrace;
-use otem_telemetry::{Event, NullSink, Sink};
+use otem_telemetry::{span, Event, NullSink, Sink};
 use serde::{Deserialize, Serialize};
 
 /// Drives a [`Controller`] over a [`PowerTrace`], accumulating the
@@ -61,14 +61,11 @@ impl Simulator {
         let mut records = Vec::with_capacity(trace.len());
 
         for t in 0..trace.len() {
+            let _step_span = span(sink, "sim_step");
             let load = trace.get(t);
             let forecast = trace.window(t + 1, self.forecast_len);
             let record = controller.step_with(load, &forecast, dt, sink);
-            aging.accumulate(
-                record.state.battery_temp,
-                record.hees.battery_c_rate,
-                dt,
-            );
+            aging.accumulate(record.state.battery_temp, record.hees.battery_c_rate, dt);
             sink.record(Event::StepCompleted {
                 step: t as u64,
                 load_w: record.load.value(),
@@ -102,10 +99,7 @@ mod tests {
     fn run_collects_one_record_per_sample() {
         let config = SystemConfig::default();
         let mut controller = Parallel::new(&config).expect("valid");
-        let trace = PowerTrace::new(
-            Seconds::new(1.0),
-            vec![Watts::new(10_000.0); 25],
-        );
+        let trace = PowerTrace::new(Seconds::new(1.0), vec![Watts::new(10_000.0); 25]);
         let result = Simulator::new(&config).run(&mut controller, &trace);
         assert_eq!(result.records.len(), 25);
         assert!(result.capacity_loss() > 0.0);
@@ -243,11 +237,21 @@ mod tests {
         assert_eq!(result.records.len(), 7);
         assert_eq!(sink.count_kind("step_completed"), 7);
         // The event mirrors the record it was derived from.
-        if let Event::StepCompleted { step, load_w, .. } = sink.events()[0] {
+        let first = sink
+            .events()
+            .into_iter()
+            .find(|e| matches!(e, Event::StepCompleted { .. }))
+            .expect("a step_completed event");
+        if let Event::StepCompleted { step, load_w, .. } = first {
             assert_eq!(step, 0);
             assert_eq!(load_w, 10_000.0);
-        } else {
-            panic!("first event is not step_completed");
         }
+        // Each step is wrapped in a sim_step span, balanced.
+        assert_eq!(
+            sink.count_kind("span_start"),
+            7 + 7,
+            "sim_step + parallel_step"
+        );
+        assert_eq!(sink.count_kind("span_end"), 14);
     }
 }

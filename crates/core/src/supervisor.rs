@@ -40,7 +40,7 @@ use crate::error::OtemError;
 use crate::mpc::MpcDecision;
 use crate::policy::Otem;
 use otem_solver::SolverOutcome;
-use otem_telemetry::{Event, NullSink, Sink};
+use otem_telemetry::{span, Event, NullSink, Sink};
 use otem_units::{Kelvin, Ratio, Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -290,6 +290,10 @@ impl SupervisedOtem {
     /// The Dual-style thermostatic command on the wrapped plant:
     /// hysteretic full cooling, slow bank recharge while below target.
     fn fallback_step(&mut self, load: Watts, dt: Seconds, sink: &dyn Sink) -> StepRecord {
+        // Degraded-time accounting: every period the rule-based fallback
+        // drives the plant is wrapped in this span, so fault campaigns
+        // can report *time spent degraded* straight from the trace.
+        let _fallback_span = span(sink, "supervisor_fallback");
         let measured = self.inner.state();
         if measured.battery_temp >= self.config.fallback_on {
             self.fallback_cooling = true;
@@ -341,13 +345,9 @@ impl Controller for SupervisedOtem {
             let decision = self.inner.plan_with(load, forecast, dt, sink);
             return match validate_decision(&decision, cap_limit) {
                 Ok(()) => {
-                    let record = self.inner.apply_with(
-                        load,
-                        decision.cap_bus,
-                        decision.cool_duty,
-                        dt,
-                        sink,
-                    );
+                    let record =
+                        self.inner
+                            .apply_with(load, decision.cap_bus, decision.cool_duty, dt, sink);
                     self.check_state(record, step, sink)
                 }
                 Err(e) => {
@@ -364,6 +364,10 @@ impl Controller for SupervisedOtem {
             self.cooldown -= 1;
             return self.fallback_step(load, dt, sink);
         }
+        // The probe span covers the speculative solve, its validation,
+        // and whichever path follows (the re-arming apply or another
+        // fallback period) — the tail of the degraded episode.
+        let _probe_span = span(sink, "supervisor_probe");
         let decision = self.inner.plan_with(load, forecast, dt, sink);
         match validate_decision(&decision, cap_limit) {
             Ok(()) => {
@@ -379,13 +383,9 @@ impl Controller for SupervisedOtem {
                     self.backoff = self.config.initial_backoff.max(1);
                     // The probe that closed the streak is healthy: apply
                     // it — the MPC is driving again from this period.
-                    let record = self.inner.apply_with(
-                        load,
-                        decision.cap_bus,
-                        decision.cool_duty,
-                        dt,
-                        sink,
-                    );
+                    let record =
+                        self.inner
+                            .apply_with(load, decision.cap_bus, decision.cool_duty, dt, sink);
                     return self.check_state(record, step, sink);
                 }
                 self.fallback_step(load, dt, sink)

@@ -162,8 +162,10 @@ impl DriveCycle {
     /// plotting or interchange with other simulators.
     pub fn to_csv(&self) -> String {
         let mut out = String::with_capacity(self.speeds.len() * 16 + 16);
-        out.push_str("t_s,speed_mps
-");
+        out.push_str(
+            "t_s,speed_mps
+",
+        );
         for (i, s) in self.speeds.iter().enumerate() {
             use std::fmt::Write;
             let _ = writeln!(out, "{i},{:.4}", s.value());
@@ -286,22 +288,18 @@ mod tests {
     #[test]
     fn invalid_traces_rejected() {
         assert!(DriveCycle::from_speeds("empty", vec![]).is_err());
-        assert!(
-            DriveCycle::from_speeds("neg", vec![MetersPerSecond::new(-1.0)]).is_err()
-        );
-        assert!(DriveCycle::from_speeds(
-            "nan",
-            vec![MetersPerSecond::new(f64::NAN)]
-        )
-        .is_err());
+        assert!(DriveCycle::from_speeds("neg", vec![MetersPerSecond::new(-1.0)]).is_err());
+        assert!(DriveCycle::from_speeds("nan", vec![MetersPerSecond::new(f64::NAN)]).is_err());
     }
 
     #[test]
     fn csv_round_trip() {
         let c = ramp();
         let csv = c.to_csv();
-        assert!(csv.starts_with("t_s,speed_mps
-"));
+        assert!(csv.starts_with(
+            "t_s,speed_mps
+"
+        ));
         let back = DriveCycle::from_csv("test", &csv).expect("parse");
         assert_eq!(back.len(), c.len());
         for (a, b) in back.speeds().iter().zip(c.speeds()) {
@@ -311,15 +309,26 @@ mod tests {
 
     #[test]
     fn csv_rejects_garbage() {
-        assert!(DriveCycle::from_csv("bad", "t_s,speed_mps
+        assert!(DriveCycle::from_csv(
+            "bad",
+            "t_s,speed_mps
 0,not-a-number
-").is_err());
-        assert!(DriveCycle::from_csv("bad", "t_s,speed_mps
+"
+        )
+        .is_err());
+        assert!(DriveCycle::from_csv(
+            "bad",
+            "t_s,speed_mps
 0
-").is_err());
+"
+        )
+        .is_err());
         // Negative speeds still rejected through from_speeds.
-        assert!(DriveCycle::from_csv("bad", "0,-3.0
-").is_err());
+        assert!(DriveCycle::from_csv(
+            "bad", "0,-3.0
+"
+        )
+        .is_err());
     }
 
     #[test]

@@ -54,9 +54,7 @@ impl GradeProfile {
     /// breakpoint is given, distances are not strictly increasing, any
     /// value is non-finite, or a segment's grade magnitude exceeds 30 %
     /// (steeper than any public road).
-    pub fn from_breakpoints(
-        breakpoints: Vec<(Meters, Meters)>,
-    ) -> Result<Self, CycleError> {
+    pub fn from_breakpoints(breakpoints: Vec<(Meters, Meters)>) -> Result<Self, CycleError> {
         if breakpoints.is_empty() {
             return Err(CycleError::InvalidTrace {
                 index: 0,
@@ -173,16 +171,10 @@ mod tests {
     fn invalid_profiles_rejected() {
         assert!(GradeProfile::from_breakpoints(vec![]).is_err());
         // Non-increasing distance.
-        assert!(GradeProfile::from_breakpoints(vec![
-            (m(0.0), m(0.0)),
-            (m(0.0), m(5.0)),
-        ])
-        .is_err());
+        assert!(GradeProfile::from_breakpoints(vec![(m(0.0), m(0.0)), (m(0.0), m(5.0)),]).is_err());
         // Cliff.
-        assert!(GradeProfile::from_breakpoints(vec![
-            (m(0.0), m(0.0)),
-            (m(100.0), m(50.0)),
-        ])
-        .is_err());
+        assert!(
+            GradeProfile::from_breakpoints(vec![(m(0.0), m(0.0)), (m(100.0), m(50.0)),]).is_err()
+        );
     }
 }

@@ -42,9 +42,7 @@ pub fn synthesize(spec: &CycleSpec, seed: u64) -> Result<DriveCycle, CycleError>
     let moving_total = duration.saturating_sub(idle_total);
     if moving_total < n_trips * 4 {
         return Err(CycleError::Unsatisfiable {
-            reason: format!(
-                "only {moving_total} moving seconds for {n_trips} trips"
-            ),
+            reason: format!("only {moving_total} moving seconds for {n_trips} trips"),
         });
     }
 
@@ -83,8 +81,9 @@ pub fn synthesize(spec: &CycleSpec, seed: u64) -> Result<DriveCycle, CycleError>
     };
 
     for trip in 0..n_trips {
-        let trip_secs =
-            ((dur_weights[trip] / dur_sum) * moving_total as f64).round().max(4.0) as usize;
+        let trip_secs = ((dur_weights[trip] / dur_sum) * moving_total as f64)
+            .round()
+            .max(4.0) as usize;
         let target_peak = if trip == fastest {
             vcap
         } else {
@@ -138,9 +137,7 @@ pub fn synthesize(spec: &CycleSpec, seed: u64) -> Result<DriveCycle, CycleError>
     let actual = trace_distance(&speeds);
     if (actual - target).abs() / target > 0.02 {
         return Err(CycleError::Unsatisfiable {
-            reason: format!(
-                "distance converged to {actual:.0} m vs requested {target:.0} m"
-            ),
+            reason: format!("distance converged to {actual:.0} m vs requested {target:.0} m"),
         });
     }
 
@@ -179,7 +176,9 @@ fn synth_trip(speeds: &mut Vec<f64>, secs: usize, peak: f64, accel: f64, rng: &m
     let jitter = (0.35 * accel).min(0.15 * peak.max(1.0));
     for _ in 0..cruise {
         v += rng.gen_range(-jitter..=jitter);
-        v = v.clamp(0.55 * peak, peak / 0.97 * 0.999).min(peak / 0.97 * 0.97 + jitter);
+        v = v
+            .clamp(0.55 * peak, peak / 0.97 * 0.999)
+            .min(peak / 0.97 * 0.97 + jitter);
         // Never exceed the construction cap implicitly handled by caller's
         // vcap choice: peaks are already ≤ vcap, jitter stays within it.
         v = v.min(peak);
@@ -219,12 +218,19 @@ mod tests {
     fn every_standard_cycle_synthesises() {
         for cycle in StandardCycle::EXTENDED {
             let spec = cycle.spec();
-            let trace = synthesize(&spec, cycle.seed())
-                .unwrap_or_else(|e| panic!("{cycle}: {e}"));
-            assert_eq!(trace.duration().value(), spec.duration.value(), "{cycle} duration");
+            let trace = synthesize(&spec, cycle.seed()).unwrap_or_else(|e| panic!("{cycle}: {e}"));
+            assert_eq!(
+                trace.duration().value(),
+                spec.duration.value(),
+                "{cycle} duration"
+            );
             let dist_err =
                 (trace.distance().value() - spec.distance.value()).abs() / spec.distance.value();
-            assert!(dist_err < 0.02, "{cycle} distance off by {:.1}%", dist_err * 100.0);
+            assert!(
+                dist_err < 0.02,
+                "{cycle} distance off by {:.1}%",
+                dist_err * 100.0
+            );
             assert!(
                 trace.max_speed().value() <= spec.max_speed.value() * 1.001,
                 "{cycle} overspeeds"

@@ -3,9 +3,7 @@
 use crate::cycle::DriveCycle;
 use crate::error::CycleError;
 use crate::trace::PowerTrace;
-use otem_units::{
-    Kilograms, MetersPerSecond, MetersPerSecondSquared, Newtons, Ratio, Watts,
-};
+use otem_units::{Kilograms, MetersPerSecond, MetersPerSecondSquared, Newtons, Ratio, Watts};
 use serde::{Deserialize, Serialize};
 
 /// Vehicle and driveline parameters for the road-load model.
@@ -278,8 +276,16 @@ mod tests {
     #[test]
     fn grade_adds_load() {
         let t = train();
-        let flat = t.power_request(MetersPerSecond::new(20.0), MetersPerSecondSquared::ZERO, 0.0);
-        let hill = t.power_request(MetersPerSecond::new(20.0), MetersPerSecondSquared::ZERO, 0.05);
+        let flat = t.power_request(
+            MetersPerSecond::new(20.0),
+            MetersPerSecondSquared::ZERO,
+            0.0,
+        );
+        let hill = t.power_request(
+            MetersPerSecond::new(20.0),
+            MetersPerSecondSquared::ZERO,
+            0.05,
+        );
         assert!(hill.value() > flat.value() + 15_000.0);
     }
 
@@ -287,10 +293,18 @@ mod tests {
     fn aero_grows_quadratically() {
         let t = train();
         let f1 = t
-            .tractive_force(MetersPerSecond::new(10.0), MetersPerSecondSquared::ZERO, 0.0)
+            .tractive_force(
+                MetersPerSecond::new(10.0),
+                MetersPerSecondSquared::ZERO,
+                0.0,
+            )
             .value();
         let f2 = t
-            .tractive_force(MetersPerSecond::new(20.0), MetersPerSecondSquared::ZERO, 0.0)
+            .tractive_force(
+                MetersPerSecond::new(20.0),
+                MetersPerSecondSquared::ZERO,
+                0.0,
+            )
             .value();
         let rolling = 0.009 * 2_100.0 * 9.806_65;
         assert!(((f2 - rolling) / (f1 - rolling) - 4.0).abs() < 1e-9);

@@ -1,12 +1,8 @@
 //! Property tests: synthesis robustness across random specs, and
 //! power-train monotonicity.
 
-use otem_drivecycle::{
-    synthesize, CycleSpec, Powertrain, StandardCycle, VehicleParams,
-};
-use otem_units::{
-    Meters, MetersPerSecond, MetersPerSecondSquared, Seconds, Watts,
-};
+use otem_drivecycle::{synthesize, CycleSpec, Powertrain, StandardCycle, VehicleParams};
+use otem_units::{Meters, MetersPerSecond, MetersPerSecondSquared, Seconds, Watts};
 use proptest::prelude::*;
 
 proptest! {

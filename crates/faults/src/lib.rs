@@ -369,7 +369,11 @@ impl<C: Controller> Controller for FaultedController<C> {
         let eff_load = self.corrupt_inputs(step, load, forecast);
         // Freeze the stale buffer *after* corruption so a stale window
         // replays the last pre-fault window, not its own output.
-        if !self.plan.active(step).any(|k| k == FaultKind::ForecastStale) {
+        if !self
+            .plan
+            .active(step)
+            .any(|k| k == FaultKind::ForecastStale)
+        {
             self.last_forecast.clear();
             self.last_forecast.extend_from_slice(forecast);
         }
@@ -472,7 +476,13 @@ mod tests {
     #[test]
     fn load_faults_reshape_the_demand() {
         let plan = FaultPlan::new(1)
-            .inject(FaultKind::LoadSpike { power_w: 1_000_000.0 }, 1, 2)
+            .inject(
+                FaultKind::LoadSpike {
+                    power_w: 1_000_000.0,
+                },
+                1,
+                2,
+            )
             .inject(FaultKind::ConverterDerate { efficiency: 0.5 }, 2, 3);
         let (f, sink) = run(plan, 3);
         assert_eq!(f.inner().loads[0], 5_000.0);
@@ -515,9 +525,11 @@ mod tests {
 
     #[test]
     fn plant_faults_are_idempotent_and_cleared() {
-        let plan = FaultPlan::new(1)
-            .inject(FaultKind::PumpStuck, 1, 3)
-            .inject(FaultKind::SolverStarvation { max_iterations: 0 }, 1, 3);
+        let plan = FaultPlan::new(1).inject(FaultKind::PumpStuck, 1, 3).inject(
+            FaultKind::SolverStarvation { max_iterations: 0 },
+            1,
+            3,
+        );
         let (f, _) = run(plan, 5);
         // One injection on entry, one clear on exit — not one per step.
         assert_eq!(

@@ -149,25 +149,26 @@ impl DualHees {
         dt: Seconds,
     ) -> HeesStep {
         let total = load + recharge;
-        let feasible = self
-            .battery
-            .draw_power(total, temperature)
-            .or_else(|_| {
-                // Clamp to the peak the pack can deliver right now.
-                let peak = self.battery.max_discharge_power(temperature) * 0.999;
-                self.battery.draw_power(peak.min(total), temperature)
-            });
+        let feasible = self.battery.draw_power(total, temperature).or_else(|_| {
+            // Clamp to the peak the pack can deliver right now.
+            let peak = self.battery.max_discharge_power(temperature) * 0.999;
+            self.battery.draw_power(peak.min(total), temperature)
+        });
         let draw = match feasible {
             Ok(d) => d,
-            Err(_) => return HeesStep {
-                shortfall: load,
-                ..HeesStep::default()
-            },
+            Err(_) => {
+                return HeesStep {
+                    shortfall: load,
+                    ..HeesStep::default()
+                }
+            }
         };
         self.battery.integrate(draw, dt);
 
         // Recharge leg: whatever of `recharge` fits after serving the load.
-        let to_cap = (draw.terminal_power.value() - load.value()).max(0.0).min(recharge.value());
+        let to_cap = (draw.terminal_power.value() - load.value())
+            .max(0.0)
+            .min(recharge.value());
         if to_cap > 0.0 {
             if let Ok(cap_draw) = self.cap.draw_power(Watts::new(-to_cap)) {
                 self.cap.integrate(cap_draw, dt);
@@ -201,7 +202,12 @@ mod tests {
     #[test]
     fn battery_mode_uses_battery_only() {
         let mut h = hees();
-        let step = h.step(DualMode::Battery, Watts::new(30_000.0), room(), Seconds::new(1.0));
+        let step = h.step(
+            DualMode::Battery,
+            Watts::new(30_000.0),
+            room(),
+            Seconds::new(1.0),
+        );
         assert!(step.battery_internal.value() > 30_000.0);
         assert_eq!(step.cap_internal, Watts::ZERO);
         assert!(step.battery_heat.value() > 0.0);
@@ -212,7 +218,12 @@ mod tests {
     fn ultracap_mode_rests_the_battery() {
         let mut h = hees();
         h.set_state(Ratio::ONE, Ratio::new(0.8));
-        let step = h.step(DualMode::Ultracap, Watts::new(20_000.0), room(), Seconds::new(1.0));
+        let step = h.step(
+            DualMode::Ultracap,
+            Watts::new(20_000.0),
+            room(),
+            Seconds::new(1.0),
+        );
         assert_eq!(step.battery_internal, Watts::ZERO);
         assert_eq!(step.battery_heat, Watts::ZERO);
         assert!(step.cap_internal.value() > 0.0);
@@ -223,7 +234,12 @@ mod tests {
     fn depleted_cap_falls_back_to_battery() {
         let mut h = hees();
         h.set_state(Ratio::ONE, Ratio::new(0.001));
-        let step = h.step(DualMode::Ultracap, Watts::new(30_000.0), room(), Seconds::new(1.0));
+        let step = h.step(
+            DualMode::Ultracap,
+            Watts::new(30_000.0),
+            room(),
+            Seconds::new(1.0),
+        );
         assert!(step.battery_internal.value() > 0.0, "battery took over");
         assert!(step.battery_heat.value() > 0.0);
     }
@@ -234,7 +250,12 @@ mod tests {
         let mut h2 = hees();
         h1.set_state(Ratio::ONE, Ratio::new(0.5));
         h2.set_state(Ratio::ONE, Ratio::new(0.5));
-        let plain = h1.step(DualMode::Battery, Watts::new(20_000.0), room(), Seconds::new(1.0));
+        let plain = h1.step(
+            DualMode::Battery,
+            Watts::new(20_000.0),
+            room(),
+            Seconds::new(1.0),
+        );
         let recharging = h2.step(
             DualMode::BatteryRecharging(15_000.0),
             Watts::new(20_000.0),
@@ -250,7 +271,12 @@ mod tests {
     fn regen_in_battery_mode_charges_battery() {
         let mut h = hees();
         h.set_state(Ratio::new(0.7), Ratio::new(0.5));
-        let step = h.step(DualMode::Battery, Watts::new(-25_000.0), room(), Seconds::new(10.0));
+        let step = h.step(
+            DualMode::Battery,
+            Watts::new(-25_000.0),
+            room(),
+            Seconds::new(10.0),
+        );
         assert!(step.battery_internal.value() < 0.0);
         assert!(h.soc() > Ratio::new(0.7));
     }
@@ -259,7 +285,12 @@ mod tests {
     fn regen_in_cap_mode_charges_cap() {
         let mut h = hees();
         h.set_state(Ratio::new(0.7), Ratio::new(0.5));
-        let step = h.step(DualMode::Ultracap, Watts::new(-25_000.0), room(), Seconds::new(1.0));
+        let step = h.step(
+            DualMode::Ultracap,
+            Watts::new(-25_000.0),
+            room(),
+            Seconds::new(1.0),
+        );
         assert!(step.cap_internal.value() < 0.0);
         assert!(h.soe() > Ratio::new(0.5));
         assert_eq!(step.battery_heat, Watts::ZERO);
@@ -271,7 +302,12 @@ mod tests {
         h.set_state(Ratio::ONE, Ratio::ONE);
         let mut battery_took_over_at = None;
         for t in 0..300 {
-            let step = h.step(DualMode::Ultracap, Watts::new(25_000.0), room(), Seconds::new(1.0));
+            let step = h.step(
+                DualMode::Ultracap,
+                Watts::new(25_000.0),
+                room(),
+                Seconds::new(1.0),
+            );
             if step.battery_internal.value() > 0.0 {
                 battery_took_over_at = Some(t);
                 break;

@@ -191,7 +191,10 @@ impl HybridHees {
     /// now.
     pub fn cap_bus_limit(&self) -> Watts {
         let storage_peak = self.cap.max_discharge_power();
-        match self.cap_converter.efficiency(storage_peak, self.cap.voltage()) {
+        match self
+            .cap_converter
+            .efficiency(storage_peak, self.cap.voltage())
+        {
             Ok(eta) => storage_peak * eta,
             Err(_) => Watts::ZERO,
         }
@@ -200,12 +203,7 @@ impl HybridHees {
     /// Executes one control period. Each leg clamps independently to its
     /// feasibility envelope; the clamped remainder shows up as
     /// [`HeesStep::shortfall`] relative to the commanded net.
-    pub fn step(
-        &mut self,
-        command: HybridCommand,
-        temperature: Kelvin,
-        dt: Seconds,
-    ) -> HeesStep {
+    pub fn step(&mut self, command: HybridCommand, temperature: Kelvin, dt: Seconds) -> HeesStep {
         let mut converter_loss = Watts::ZERO;
         let mut delivered = Watts::ZERO;
 
@@ -225,7 +223,8 @@ impl HybridHees {
                         .draw_power(storage_power, temperature)
                         .or_else(|_| {
                             let peak = self.battery.max_discharge_power(temperature) * 0.999;
-                            self.battery.draw_power(peak.min(storage_power), temperature)
+                            self.battery
+                                .draw_power(peak.min(storage_power), temperature)
                         });
                     match draw {
                         Ok(d) => {

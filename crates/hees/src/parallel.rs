@@ -122,14 +122,10 @@ impl ParallelHees {
 
         // Apply to the battery.
         let per_cell = Amps::new(i_b / self.battery.config().parallel as f64);
-        let heat = self
-            .battery
-            .cell()
-            .heat_generation(per_cell, temperature)
+        let heat = self.battery.cell().heat_generation(per_cell, temperature)
             * self.battery.config().cell_count() as f64;
         let c_rate = self.battery.cell().c_rate(per_cell).abs();
-        self.battery
-            .cell_integrate(Amps::new(i_b), dt);
+        self.battery.cell_integrate(Amps::new(i_b), dt);
 
         // Apply to the ultracapacitor: its store sees V_c·I_c.
         let cap_internal = Watts::new(v_c * i_c);

@@ -117,8 +117,7 @@ impl SemiActiveHees {
         match self.side {
             ConvertedSide::Ultracap => {
                 // Converted leg: the bank through its converter.
-                let (cap_internal, cap_delivered, conv_loss) =
-                    self.cap_leg(converted_bus, dt);
+                let (cap_internal, cap_delivered, conv_loss) = self.cap_leg(converted_bus, dt);
                 // Direct leg: the battery takes the remainder, unconverted.
                 let (bat_internal, bat_heat, c_rate, bat_delivered) =
                     self.battery_leg(direct_share, temperature, dt);
@@ -145,7 +144,13 @@ impl SemiActiveHees {
                     match storage_request {
                         Ok(p) => {
                             let (i, h, c, d) = self.battery_leg(p, temperature, dt);
-                            (i, h, c, if d == p { converted_bus } else { d }, (d - converted_bus).abs())
+                            (
+                                i,
+                                h,
+                                c,
+                                if d == p { converted_bus } else { d },
+                                (d - converted_bus).abs(),
+                            )
                         }
                         Err(_) => (Watts::ZERO, Watts::ZERO, 0.0, Watts::ZERO, Watts::ZERO),
                     };
@@ -186,9 +191,15 @@ impl SemiActiveHees {
                         let bus_got = if clamped == p {
                             bus
                         } else {
-                            self.converter.output_for_input(clamped, v).unwrap_or(Watts::ZERO)
+                            self.converter
+                                .output_for_input(clamped, v)
+                                .unwrap_or(Watts::ZERO)
                         };
-                        ((d.internal_power), bus_got, (d.terminal_power - bus_got).abs())
+                        (
+                            (d.internal_power),
+                            bus_got,
+                            (d.terminal_power - bus_got).abs(),
+                        )
                     }
                     Err(_) => (Watts::ZERO, Watts::ZERO, Watts::ZERO),
                 }
@@ -220,13 +231,10 @@ impl SemiActiveHees {
         temperature: Kelvin,
         dt: Seconds,
     ) -> (Watts, Watts, f64, Watts) {
-        let draw = self
-            .battery
-            .draw_power(power, temperature)
-            .or_else(|_| {
-                let peak = self.battery.max_discharge_power(temperature) * 0.999;
-                self.battery.draw_power(peak.min(power), temperature)
-            });
+        let draw = self.battery.draw_power(power, temperature).or_else(|_| {
+            let peak = self.battery.max_discharge_power(temperature) * 0.999;
+            self.battery.draw_power(peak.min(power), temperature)
+        });
         match draw {
             Ok(d) => {
                 self.battery.integrate(d, dt);
@@ -319,11 +327,15 @@ mod tests {
     #[test]
     fn sides_report_correctly() {
         assert_eq!(
-            SemiActiveHees::cap_converted(Farads::new(5_000.0)).unwrap().side(),
+            SemiActiveHees::cap_converted(Farads::new(5_000.0))
+                .unwrap()
+                .side(),
             ConvertedSide::Ultracap
         );
         assert_eq!(
-            SemiActiveHees::battery_converted(Farads::new(5_000.0)).unwrap().side(),
+            SemiActiveHees::battery_converted(Farads::new(5_000.0))
+                .unwrap()
+                .side(),
             ConvertedSide::Battery
         );
     }

@@ -3,7 +3,7 @@
 
 use crate::objective::{GradientMode, Objective};
 use crate::solution::{Solution, SolverOutcome};
-use otem_telemetry::{Event, NullSink, Sink};
+use otem_telemetry::{span, Event, NullSink, Sink};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -62,6 +62,7 @@ impl Lbfgs {
     ) -> Solution {
         let threads = self.gradient_mode.worker_threads() as u64;
         self.minimize_with_grad(f, x0, sink, |x, g| {
+            let _grad_span = span(sink, "gradient");
             f.gradient_with(x, g, self.gradient_mode);
             sink.record(Event::GradientEval {
                 dim: g.len() as u64,
@@ -97,6 +98,7 @@ impl Lbfgs {
         let mut last_step = 0.0;
 
         for iter in 0..self.max_iterations {
+            let _iter_span = span(sink, "iteration");
             let gnorm = grad.iter().map(|g| g.abs()).fold(0.0, f64::max);
             sink.record(Event::SolverIteration {
                 iteration: iter as u64,
@@ -150,6 +152,10 @@ impl Lbfgs {
             let mut trial = vec![0.0; n];
             let mut new_grad = vec![0.0; n];
             let mut accepted = false;
+            // Covers the bisection and the salvage evaluation below —
+            // both are line-search work; closes at iteration end or on
+            // the stall return, balanced either way by RAII.
+            let _line_search = span(sink, "line_search");
             for _ in 0..60 {
                 for i in 0..n {
                     trial[i] = x[i] + t * d[i];
@@ -163,7 +169,11 @@ impl Lbfgs {
                 gradient(&trial, &mut new_grad);
                 if dot(&new_grad, &d) < c2 * dir_deriv {
                     lo = t;
-                    t = if hi.is_finite() { 0.5 * (lo + hi) } else { 2.0 * t };
+                    t = if hi.is_finite() {
+                        0.5 * (lo + hi)
+                    } else {
+                        2.0 * t
+                    };
                     continue;
                 }
                 let s: Vec<f64> = (0..n).map(|i| trial[i] - x[i]).collect();
@@ -209,7 +219,12 @@ impl Lbfgs {
                 }
             }
         }
-        Solution::new(x, value, self.max_iterations, SolverOutcome::BudgetExhausted)
+        Solution::new(
+            x,
+            value,
+            self.max_iterations,
+            SolverOutcome::BudgetExhausted,
+        )
     }
 }
 
@@ -224,9 +239,7 @@ mod tests {
 
     #[test]
     fn quadratic_bowl() {
-        let f = FnObjective::new(|x: &[f64]| {
-            (x[0] - 2.0).powi(2) + 5.0 * (x[1] + 1.0).powi(2)
-        });
+        let f = FnObjective::new(|x: &[f64]| (x[0] - 2.0).powi(2) + 5.0 * (x[1] + 1.0).powi(2));
         let sol = Lbfgs::default().minimize(&f, &[10.0, -10.0]);
         assert!(sol.converged());
         assert!((sol.x[0] - 2.0).abs() < 1e-6);
@@ -285,7 +298,10 @@ mod tests {
                 ..Lbfgs::default()
             };
             let parallel = solver.minimize_sync(&f, &x0);
-            assert_eq!(parallel.iterations, serial.iterations, "threads = {threads}");
+            assert_eq!(
+                parallel.iterations, serial.iterations,
+                "threads = {threads}"
+            );
             assert_eq!(
                 parallel.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 serial.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
@@ -321,7 +337,10 @@ mod tests {
                 _ => None,
             })
             .expect("iterations recorded");
-        assert!(last < Lbfgs::default().tolerance, "terminal residual {last}");
+        assert!(
+            last < Lbfgs::default().tolerance,
+            "terminal residual {last}"
+        );
     }
 
     #[test]

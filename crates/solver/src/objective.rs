@@ -138,7 +138,8 @@ pub struct FnObjectiveWithGrad<F, G> {
 
 impl<F, G> std::fmt::Debug for FnObjectiveWithGrad<F, G> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FnObjectiveWithGrad").finish_non_exhaustive()
+        f.debug_struct("FnObjectiveWithGrad")
+            .finish_non_exhaustive()
     }
 }
 

@@ -5,7 +5,7 @@
 use crate::bounds::Bounds;
 use crate::objective::{GradientMode, Objective};
 use crate::solution::{Solution, SolverOutcome};
-use otem_telemetry::{Event, NullSink, Sink};
+use otem_telemetry::{span, Event, NullSink, Sink};
 use serde::{Deserialize, Serialize};
 
 /// Projected spectral (Barzilai–Borwein) gradient method with a
@@ -55,12 +55,7 @@ impl ProjectedGradient {
     /// # Panics
     ///
     /// Panics if `x0.len() != bounds.len()`.
-    pub fn minimize<F: Objective + ?Sized>(
-        &self,
-        f: &F,
-        bounds: &Bounds,
-        x0: &[f64],
-    ) -> Solution {
+    pub fn minimize<F: Objective + ?Sized>(&self, f: &F, bounds: &Bounds, x0: &[f64]) -> Solution {
         self.minimize_with_grad(f, bounds, x0, &NullSink, |x, g| f.gradient(x, g))
     }
 
@@ -100,6 +95,7 @@ impl ProjectedGradient {
     ) -> Solution {
         let threads = self.gradient_mode.worker_threads() as u64;
         self.minimize_with_grad(f, bounds, x0, sink, |x, g| {
+            let _grad_span = span(sink, "gradient");
             f.gradient_with(x, g, self.gradient_mode);
             sink.record(Event::GradientEval {
                 dim: g.len() as u64,
@@ -141,6 +137,7 @@ impl ProjectedGradient {
         let mut grad_prev = grad.clone();
 
         for iter in 0..self.max_iterations {
+            let _iter_span = span(sink, "iteration");
             // Projected-gradient stationarity measure.
             let pg_norm = (0..n)
                 .map(|i| {
@@ -163,15 +160,14 @@ impl ProjectedGradient {
             let f_ref = history.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let mut alpha = step.clamp(self.step_min, self.step_max);
             let mut accepted = false;
+            let line_search = span(sink, "line_search");
             for _ in 0..40 {
                 let mut trial = vec![0.0; n];
                 for i in 0..n {
                     trial[i] = x[i] - alpha * grad[i];
                 }
                 bounds.project(&mut trial);
-                let decrease: f64 = (0..n)
-                    .map(|i| grad[i] * (x[i] - trial[i]))
-                    .sum();
+                let decrease: f64 = (0..n).map(|i| grad[i] * (x[i] - trial[i])).sum();
                 let f_trial = f.value(&trial);
                 if f_trial <= f_ref - self.armijo * decrease.max(0.0) {
                     x_prev.copy_from_slice(&x);
@@ -186,6 +182,7 @@ impl ProjectedGradient {
                     break;
                 }
             }
+            line_search.close();
             if !accepted {
                 // Line search stalled: accept the best known point,
                 // reporting the iterations actually performed — not the
@@ -221,7 +218,12 @@ impl ProjectedGradient {
                 (step * 2.0).clamp(self.step_min, self.step_max)
             };
         }
-        Solution::new(x, value, self.max_iterations, SolverOutcome::BudgetExhausted)
+        Solution::new(
+            x,
+            value,
+            self.max_iterations,
+            SolverOutcome::BudgetExhausted,
+        )
     }
 }
 
@@ -232,14 +234,8 @@ mod tests {
 
     #[test]
     fn unconstrained_quadratic() {
-        let f = FnObjective::new(|x: &[f64]| {
-            (x[0] - 1.0).powi(2) + 10.0 * (x[1] + 2.0).powi(2)
-        });
-        let sol = ProjectedGradient::default().minimize(
-            &f,
-            &Bounds::unbounded(2),
-            &[5.0, 5.0],
-        );
+        let f = FnObjective::new(|x: &[f64]| (x[0] - 1.0).powi(2) + 10.0 * (x[1] + 2.0).powi(2));
+        let sol = ProjectedGradient::default().minimize(&f, &Bounds::unbounded(2), &[5.0, 5.0]);
         assert!(sol.converged(), "{sol:?}");
         assert!((sol.x[0] - 1.0).abs() < 1e-5);
         assert!((sol.x[1] + 2.0).abs() < 1e-5);
@@ -249,8 +245,7 @@ mod tests {
     fn active_box_constraint() {
         // Minimum at x = 3 but box caps at 2.
         let f = FnObjective::new(|x: &[f64]| (x[0] - 3.0).powi(2));
-        let sol =
-            ProjectedGradient::default().minimize(&f, &Bounds::uniform(1, -1.0, 2.0), &[0.0]);
+        let sol = ProjectedGradient::default().minimize(&f, &Bounds::uniform(1, -1.0, 2.0), &[0.0]);
         assert!((sol.x[0] - 2.0).abs() < 1e-8, "{sol:?}");
     }
 
@@ -278,11 +273,8 @@ mod tests {
                 .map(|(i, &v)| (i as f64 + 1.0) * (v - 0.5).powi(2))
                 .sum()
         });
-        let sol = ProjectedGradient::default().minimize(
-            &f,
-            &Bounds::uniform(n, 0.0, 1.0),
-            &vec![0.0; n],
-        );
+        let sol =
+            ProjectedGradient::default().minimize(&f, &Bounds::uniform(n, 0.0, 1.0), &vec![0.0; n]);
         for (i, v) in sol.x.iter().enumerate() {
             assert!((v - 0.5).abs() < 1e-4, "coordinate {i} = {v}");
         }
@@ -345,8 +337,7 @@ mod tests {
             |x: &[f64]| x[0] * x[0],
             |_: &[f64], g: &mut [f64]| g.fill(f64::INFINITY),
         );
-        let sol =
-            ProjectedGradient::default().minimize(&f, &Bounds::uniform(1, -1.0, 1.0), &[0.5]);
+        let sol = ProjectedGradient::default().minimize(&f, &Bounds::uniform(1, -1.0, 1.0), &[0.5]);
         assert_eq!(sol.outcome, SolverOutcome::NonFinite);
     }
 
@@ -373,7 +364,10 @@ mod tests {
                 ..ProjectedGradient::default()
             };
             let parallel = solver.minimize_sync(&f, &bounds, &x0);
-            assert_eq!(parallel.iterations, serial.iterations, "threads = {threads}");
+            assert_eq!(
+                parallel.iterations, serial.iterations,
+                "threads = {threads}"
+            );
             assert_eq!(
                 parallel.value.to_bits(),
                 serial.value.to_bits(),
@@ -398,8 +392,7 @@ mod tests {
         let plain = ProjectedGradient::default().minimize_sync(&f, &bounds, &x0);
 
         let sink = MemorySink::new();
-        let observed =
-            ProjectedGradient::default().minimize_sync_observed(&f, &bounds, &x0, &sink);
+        let observed = ProjectedGradient::default().minimize_sync_observed(&f, &bounds, &x0, &sink);
         assert_eq!(observed.iterations, plain.iterations);
         assert_eq!(observed.value.to_bits(), plain.value.to_bits());
         assert_eq!(
@@ -408,10 +401,7 @@ mod tests {
         );
         // One iteration event per outer iteration, plus the terminal
         // iteration that observed convergence before returning.
-        assert_eq!(
-            sink.count_kind("solver_iteration"),
-            observed.iterations + 1
-        );
+        assert_eq!(sink.count_kind("solver_iteration"), observed.iterations + 1);
         // One gradient per accepted iterate plus the initial gradient.
         assert_eq!(sink.count_kind("gradient_eval"), observed.iterations + 1);
     }

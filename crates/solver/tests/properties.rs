@@ -2,8 +2,8 @@
 //! problems with known solutions.
 
 use otem_solver::{
-    AugmentedLagrangian, Bounds, Constraint, ConstrainedProblem, FnObjective, Lbfgs,
-    NelderMead, ProjectedGradient,
+    AugmentedLagrangian, Bounds, ConstrainedProblem, Constraint, FnObjective, Lbfgs, NelderMead,
+    ProjectedGradient,
 };
 use proptest::prelude::*;
 

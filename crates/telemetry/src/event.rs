@@ -106,6 +106,40 @@ pub enum Event {
         /// Healthy fallback steps observed before re-arming.
         healthy_steps: u64,
     },
+    /// A hierarchical timed span opened (see the crate's span API:
+    /// [`span`](crate::span) / [`SpanGuard`](crate::SpanGuard)).
+    ///
+    /// Timestamps are nanoseconds on the process-wide monotonic epoch;
+    /// `lane` identifies the OS thread (one Chrome-trace timeline row
+    /// per lane) and `parent` is the id of the enclosing span on the
+    /// same lane, or `0` for a root span.
+    SpanStart {
+        /// Process-unique span id (never `0`).
+        id: u64,
+        /// Id of the enclosing span on this lane (`0` = root).
+        parent: u64,
+        /// Stable snake_case span name (e.g. `"mpc_solve"`).
+        name: &'static str,
+        /// Lane (thread) the span opened on.
+        lane: u64,
+        /// Open time, nanoseconds since the monotonic epoch.
+        t_ns: u64,
+    },
+    /// The matching close of a [`Event::SpanStart`]. Per lane, ends are
+    /// emitted innermost-first, so the Start/End stream is always
+    /// balanced and properly nested.
+    SpanEnd {
+        /// Id of the span that closed.
+        id: u64,
+        /// The span's name (repeated so consumers need not join on id).
+        name: &'static str,
+        /// Lane (thread) the span closed on — same as its open lane.
+        lane: u64,
+        /// Close time, nanoseconds since the monotonic epoch.
+        t_ns: u64,
+        /// `t_ns - start.t_ns` (saturating).
+        dur_ns: u64,
+    },
     /// One closed-loop simulation step completed (the per-step signal
     /// set behind the paper's Figs. 1, 6–9).
     StepCompleted {
@@ -144,6 +178,8 @@ impl Event {
             Event::DecisionRejected { .. } => "decision_rejected",
             Event::FallbackEngaged { .. } => "fallback_engaged",
             Event::MpcRearmed { .. } => "mpc_rearmed",
+            Event::SpanStart { .. } => "span_start",
+            Event::SpanEnd { .. } => "span_end",
             Event::StepCompleted { .. } => "step_completed",
         }
     }
@@ -186,10 +222,12 @@ impl Event {
                 field(out, "bound", bound);
             }
             Event::FaultInjected { step, fault } => {
-                let _ = write!(out, ",\"step\":{step},\"fault\":\"{fault}\"");
+                let _ = write!(out, ",\"step\":{step}");
+                str_field(out, "fault", fault);
             }
             Event::DecisionRejected { step, reason } => {
-                let _ = write!(out, ",\"step\":{step},\"reason\":\"{reason}\"");
+                let _ = write!(out, ",\"step\":{step}");
+                str_field(out, "reason", reason);
             }
             Event::FallbackEngaged {
                 step,
@@ -202,6 +240,28 @@ impl Event {
                 healthy_steps,
             } => {
                 let _ = write!(out, ",\"step\":{step},\"healthy_steps\":{healthy_steps}");
+            }
+            Event::SpanStart {
+                id,
+                parent,
+                name,
+                lane,
+                t_ns,
+            } => {
+                let _ = write!(out, ",\"id\":{id},\"parent\":{parent}");
+                str_field(out, "name", name);
+                let _ = write!(out, ",\"lane\":{lane},\"t_ns\":{t_ns}");
+            }
+            Event::SpanEnd {
+                id,
+                name,
+                lane,
+                t_ns,
+                dur_ns,
+            } => {
+                let _ = write!(out, ",\"id\":{id}");
+                str_field(out, "name", name);
+                let _ = write!(out, ",\"lane\":{lane},\"t_ns\":{t_ns},\"dur_ns\":{dur_ns}");
             }
             Event::StepCompleted {
                 step,
@@ -242,6 +302,33 @@ fn field(out: &mut String, name: &str, value: f64) {
     } else {
         let _ = write!(out, ",\"{name}\":null");
     }
+}
+
+/// Writes `,"name":"value"` with the value escaped per the JSON spec.
+fn str_field(out: &mut String, name: &str, value: &str) {
+    let _ = write!(out, ",\"{name}\":");
+    write_json_string(out, value);
+}
+
+/// Appends `s` as a JSON string literal (quotes included): `"` and `\`
+/// are backslash-escaped and control characters use `\n`/`\r`/`\t` or
+/// `\u00XX`, so the output is valid JSON for *any* input string.
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 #[cfg(test)]
@@ -367,6 +454,71 @@ mod tests {
             .kind(),
             "mpc_rearmed"
         );
+    }
+
+    #[test]
+    fn span_events_encode_all_fields() {
+        let start = Event::SpanStart {
+            id: 7,
+            parent: 3,
+            name: "mpc_solve",
+            lane: 2,
+            t_ns: 1_500,
+        };
+        assert_eq!(start.kind(), "span_start");
+        assert_eq!(
+            start.to_json(),
+            "{\"event\":\"span_start\",\"id\":7,\"parent\":3,\
+             \"name\":\"mpc_solve\",\"lane\":2,\"t_ns\":1500}"
+        );
+        let end = Event::SpanEnd {
+            id: 7,
+            name: "mpc_solve",
+            lane: 2,
+            t_ns: 2_500,
+            dur_ns: 1_000,
+        };
+        assert_eq!(end.kind(), "span_end");
+        assert_eq!(
+            end.to_json(),
+            "{\"event\":\"span_end\",\"id\":7,\"name\":\"mpc_solve\",\
+             \"lane\":2,\"t_ns\":2500,\"dur_ns\":1000}"
+        );
+    }
+
+    #[test]
+    fn string_fields_are_escaped_per_json_spec() {
+        let e = Event::DecisionRejected {
+            step: 1,
+            reason: "quote \" back \\ slash",
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"decision_rejected\",\"step\":1,\
+             \"reason\":\"quote \\\" back \\\\ slash\"}"
+        );
+        let e = Event::FaultInjected {
+            step: 2,
+            fault: "tab\there\nnewline\u{1}ctl",
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"fault_injected\",\"step\":2,\
+             \"fault\":\"tab\\there\\nnewline\\u0001ctl\"}"
+        );
+    }
+
+    #[test]
+    fn json_string_escaper_covers_every_control_char() {
+        for byte in 0u32..0x20 {
+            let c = char::from_u32(byte).unwrap();
+            let mut out = String::new();
+            write_json_string(&mut out, &c.to_string());
+            assert!(
+                out.starts_with('"') && out.ends_with('"') && out.contains('\\'),
+                "control char {byte:#x} must be escaped, got {out:?}"
+            );
+        }
     }
 
     #[test]

@@ -20,9 +20,16 @@
 //!   [`MemorySink`] (bounded ring buffer for tests and in-process
 //!   inspection) and [`JsonlSink`] (streaming JSON-lines writer for
 //!   `results/`).
+//! * [`span`] / [`Span`] / [`SpanGuard`] — hierarchical timed spans on
+//!   a monotonic clock: *where the time went* inside an MPC solve,
+//!   nested via a thread-local stack and closed by RAII. Consumed
+//!   through [`Event::SpanStart`] / [`Event::SpanEnd`] by any sink; the
+//!   [`ChromeTraceSink`] turns them into a `chrome://tracing` /
+//!   Perfetto timeline with one row per worker thread.
 //! * Metric primitives — [`Counter`], [`Gauge`] and fixed-bucket
-//!   [`Histogram`], all interior-mutable so they can be shared across
-//!   the solver's gradient worker threads.
+//!   [`Histogram`] (with interpolated [`Histogram::quantile`]), all
+//!   interior-mutable so they can be shared across the solver's
+//!   gradient worker threads.
 //! * [`RingBuffer`] — the bounded FIFO behind [`MemorySink`], exposed
 //!   for reuse.
 //!
@@ -59,8 +66,10 @@ mod event;
 mod metrics;
 mod ring;
 mod sink;
+mod span;
 
 pub use event::Event;
 pub use metrics::{Counter, Gauge, Histogram};
 pub use ring::RingBuffer;
-pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
+pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, NullSink, Sink};
+pub use span::{span, Span, SpanGuard};

@@ -120,7 +120,10 @@ impl Histogram {
     /// Panics if `bounds` is empty, non-finite, or not strictly
     /// ascending.
     pub fn with_bounds(bounds: &[f64]) -> Self {
-        assert!(!bounds.is_empty(), "histogram needs at least one bucket edge");
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket edge"
+        );
         assert!(
             bounds.iter().all(|b| b.is_finite()),
             "histogram bucket edges must be finite"
@@ -143,7 +146,10 @@ impl Histogram {
     ///
     /// Panics if `start <= 0`, `factor <= 1`, or `n == 0`.
     pub fn exponential(start: f64, factor: f64, n: usize) -> Self {
-        assert!(start > 0.0 && factor > 1.0 && n > 0, "invalid exponential buckets");
+        assert!(
+            start > 0.0 && factor > 1.0 && n > 0,
+            "invalid exponential buckets"
+        );
         let mut bounds = Vec::with_capacity(n);
         let mut edge = start;
         for _ in 0..n {
@@ -183,6 +189,63 @@ impl Histogram {
     /// Total observations recorded.
     pub fn count(&self) -> u64 {
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) estimated by linear
+    /// interpolation within the winning bucket.
+    ///
+    /// The rank `q·count` is located by a cumulative scan; within the
+    /// winning bucket the estimate interpolates linearly from its lower
+    /// edge (the previous bound, or `min(first bound, 0)` for the first
+    /// bucket) to its upper bound. The overflow bucket has no upper
+    /// edge, so quantiles landing there **saturate** at the last finite
+    /// bound — a deliberate under-estimate that keeps p99 reporting
+    /// stable instead of extrapolating into the open tail.
+    ///
+    /// Returns `NaN` when the histogram is empty.
+    ///
+    /// ```
+    /// use otem_telemetry::Histogram;
+    /// let h = Histogram::with_bounds(&[10.0, 20.0]);
+    /// for _ in 0..10 {
+    ///     h.observe(15.0); // all mass in (10, 20]
+    /// }
+    /// assert_eq!(h.quantile(0.0), 10.0);
+    /// assert_eq!(h.quantile(0.5), 15.0);
+    /// assert_eq!(h.quantile(1.0), 20.0);
+    /// ```
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.snapshot();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = q * total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let reached = cum + c;
+            if reached as f64 >= rank {
+                let last = self.bounds[self.bounds.len() - 1];
+                if i == self.bounds.len() {
+                    // Overflow bucket: saturate at the last finite edge.
+                    return last;
+                }
+                let upper = self.bounds[i];
+                let lower = if i == 0 {
+                    upper.min(0.0)
+                } else {
+                    self.bounds[i - 1]
+                };
+                let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return lower + (upper - lower) * frac;
+            }
+            cum = reached;
+        }
+        self.bounds[self.bounds.len() - 1]
     }
 
     /// Adds every bucket of `other` into `self`. Merging is commutative
@@ -250,6 +313,58 @@ mod tests {
         assert_eq!(h.count(), 3);
         // NaN and +inf overflow; -inf compares below every edge.
         assert_eq!(h.snapshot(), vec![1, 2]);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_the_winning_bucket() {
+        let h = Histogram::with_bounds(&[10.0, 20.0, 40.0]);
+        // 4 obs in (10, 20], 4 in (20, 40].
+        for v in [12.0, 14.0, 16.0, 18.0, 22.0, 26.0, 30.0, 38.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), 10.0); // lower edge of first occupied bucket
+        assert_eq!(h.quantile(0.25), 15.0); // rank 2 of 4 in (10, 20]
+        assert_eq!(h.quantile(0.5), 20.0); // exactly the bucket boundary
+        assert_eq!(h.quantile(0.75), 30.0); // rank 2 of 4 in (20, 40]
+        assert_eq!(h.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn quantile_saturates_at_the_open_upper_bound() {
+        let h = Histogram::with_bounds(&[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1e9); // overflow bucket
+        h.observe(1e9);
+        assert_eq!(h.quantile(1.0), 2.0, "overflow saturates at last edge");
+        assert_eq!(h.quantile(0.99), 2.0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_nan() {
+        let h = Histogram::with_bounds(&[1.0]);
+        assert!(h.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn quantile_clamps_q_and_tolerates_nan() {
+        let h = Histogram::with_bounds(&[10.0, 20.0]);
+        h.observe(15.0);
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
+    }
+
+    #[test]
+    fn quantile_first_bucket_lower_edge_never_exceeds_zero() {
+        let h = Histogram::with_bounds(&[10.0]);
+        h.observe(5.0);
+        h.observe(5.0);
+        // Lower edge of the first bucket is min(bound, 0) = 0.
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(0.5), 5.0);
+        let neg = Histogram::with_bounds(&[-5.0, 5.0]);
+        neg.observe(-10.0);
+        assert_eq!(neg.quantile(0.0), -5.0, "negative edge is its own floor");
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Sinks: where emitted events go.
 
-use crate::event::Event;
+use crate::event::{write_json_string, Event};
 use crate::ring::RingBuffer;
+use crate::span;
+use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
@@ -185,6 +187,136 @@ impl<W: Write + Send> Sink for JsonlSink<W> {
     }
 }
 
+/// Streams events in the Chrome Trace Event (JSON Array) format, so a
+/// run opens directly in `chrome://tracing` or
+/// [Perfetto](https://ui.perfetto.dev).
+///
+/// * [`Event::SpanStart`] / [`Event::SpanEnd`] become `ph:"B"` /
+///   `ph:"E"` duration records; the span's lane becomes the `tid`, so
+///   the MPC's parallel gradient workers render as separate timeline
+///   rows; timestamps are microseconds with nanosecond resolution
+///   (fractional `ts`).
+/// * Every other event becomes a thread-scoped instant record
+///   (`ph:"i"`, `s:"t"`) stamped at record time, with the event's own
+///   JSONL object embedded under `args`, so cooling toggles, pool
+///   misses and fault injections show up as markers on the timeline.
+///
+/// [`ChromeTraceSink::finish`] writes the closing `]`. Both Chrome and
+/// Perfetto tolerate a missing terminator (the format spec makes the
+/// closing bracket optional), so a trace cut short by a crash still
+/// loads — but [`finish`](ChromeTraceSink::finish) is what makes the
+/// output strictly valid JSON.
+#[derive(Debug)]
+pub struct ChromeTraceSink<W: Write + Send> {
+    inner: Mutex<ChromeState<W>>,
+}
+
+#[derive(Debug)]
+struct ChromeState<W> {
+    writer: W,
+    buf: String,
+    any: bool,
+}
+
+impl ChromeTraceSink<BufWriter<File>> {
+    /// Creates (truncating) `path` and streams the trace into it
+    /// through a buffered writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> ChromeTraceSink<W> {
+    /// Wraps the writer.
+    pub fn new(writer: W) -> Self {
+        Self {
+            inner: Mutex::new(ChromeState {
+                writer,
+                buf: String::with_capacity(256),
+                any: false,
+            }),
+        }
+    }
+
+    /// Writes the closing `]`, flushes, and returns the writer. An
+    /// empty trace becomes `[]`.
+    pub fn finish(self) -> W {
+        let mut state = self.inner.into_inner().expect("chrome sink poisoned");
+        let _ = if state.any {
+            state.writer.write_all(b"\n]\n")
+        } else {
+            state.writer.write_all(b"[]\n")
+        };
+        let _ = state.writer.flush();
+        state.writer
+    }
+}
+
+impl<W: Write + Send> Sink for ChromeTraceSink<W> {
+    fn record(&self, event: Event) {
+        let state = &mut *self.inner.lock().expect("chrome sink poisoned");
+        state.buf.clear();
+        state.buf.push_str(if state.any { ",\n" } else { "[\n" });
+        let buf = &mut state.buf;
+        match event {
+            Event::SpanStart {
+                name, lane, t_ns, ..
+            } => {
+                buf.push_str("{\"name\":");
+                write_json_string(buf, name);
+                let _ = write!(
+                    buf,
+                    ",\"cat\":\"span\",\"ph\":\"B\",\"pid\":1,\"tid\":{lane},\"ts\":{:.3}}}",
+                    t_ns as f64 / 1_000.0
+                );
+            }
+            Event::SpanEnd {
+                name, lane, t_ns, ..
+            } => {
+                buf.push_str("{\"name\":");
+                write_json_string(buf, name);
+                let _ = write!(
+                    buf,
+                    ",\"cat\":\"span\",\"ph\":\"E\",\"pid\":1,\"tid\":{lane},\"ts\":{:.3}}}",
+                    t_ns as f64 / 1_000.0
+                );
+            }
+            other => {
+                // Thread-scoped instant marker stamped now, on this
+                // thread's lane, carrying the event's fields as args.
+                buf.push_str("{\"name\":");
+                write_json_string(buf, other.kind());
+                let _ = write!(
+                    buf,
+                    ",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\
+                     \"tid\":{},\"ts\":{:.3},\"args\":",
+                    span::lane(),
+                    span::now_ns() as f64 / 1_000.0
+                );
+                other.write_json(buf);
+                buf.push('}');
+            }
+        }
+        // I/O errors are swallowed, as in JsonlSink: telemetry must
+        // never abort the simulation it observes.
+        let _ = state.writer.write_all(state.buf.as_bytes());
+        state.any = true;
+    }
+
+    fn flush(&self) {
+        let _ = self
+            .inner
+            .lock()
+            .expect("chrome sink poisoned")
+            .writer
+            .flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,11 +356,58 @@ mod tests {
     }
 
     #[test]
+    fn chrome_sink_writes_b_e_pairs_and_instant_markers() {
+        let sink = ChromeTraceSink::new(Vec::new());
+        sink.record(Event::SpanStart {
+            id: 1,
+            parent: 0,
+            name: "mpc_solve",
+            lane: 3,
+            t_ns: 1_500,
+        });
+        sink.record(Event::PoolMiss);
+        sink.record(Event::SpanEnd {
+            id: 1,
+            name: "mpc_solve",
+            lane: 3,
+            t_ns: 4_500,
+            dur_ns: 3_000,
+        });
+        let text = String::from_utf8(sink.finish()).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert!(
+            text.contains("\"ph\":\"B\",\"pid\":1,\"tid\":3,\"ts\":1.500"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"ph\":\"E\",\"pid\":1,\"tid\":3,\"ts\":4.500"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"name\":\"pool_miss\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\""),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"args\":{\"event\":\"pool_miss\"}"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_chrome_trace_is_an_empty_array() {
+        let sink = ChromeTraceSink::new(Vec::new());
+        let text = String::from_utf8(sink.finish()).unwrap();
+        assert_eq!(text.trim(), "[]");
+    }
+
+    #[test]
     fn sinks_are_object_safe() {
         let sinks: Vec<Box<dyn Sink>> = vec![
             Box::new(NullSink),
             Box::new(MemorySink::with_capacity(4)),
             Box::new(JsonlSink::new(Vec::new())),
+            Box::new(ChromeTraceSink::new(Vec::new())),
         ];
         for sink in &sinks {
             sink.record(Event::PoolHit);

@@ -118,4 +118,68 @@ proptest! {
             prop_assert!(v > EDGES[EDGES.len() - 1]);
         }
     }
+
+    #[test]
+    fn quantile_stays_within_the_bucket_edges(
+        values in prop::collection::vec(-50.0..50.0f64, 1..300),
+        q in 0.0..=1.0f64,
+    ) {
+        let h = Histogram::with_bounds(&EDGES);
+        for &v in &values {
+            h.observe(v);
+        }
+        let est = h.quantile(q);
+        // Estimates are interpolated bucket edges, so they live on the
+        // grid's span: the lowest finite edge up to the open bound's
+        // saturation at the highest finite edge.
+        prop_assert!(est.is_finite());
+        prop_assert!(est >= EDGES[0], "{est} below the lowest edge");
+        prop_assert!(est <= EDGES[EDGES.len() - 1], "{est} above saturation");
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        values in prop::collection::vec(-50.0..50.0f64, 1..300),
+        q1 in 0.0..=1.0f64,
+        q2 in 0.0..=1.0f64,
+    ) {
+        let h = Histogram::with_bounds(&EDGES);
+        for &v in &values {
+            h.observe(v);
+        }
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(
+            h.quantile(lo) <= h.quantile(hi),
+            "quantile({lo}) > quantile({hi})"
+        );
+    }
+
+    #[test]
+    fn quantile_of_a_point_mass_recovers_its_bucket(
+        v in -45.0..45.0f64,
+        n in 1u32..50,
+        q in 0.05..=0.95f64,
+    ) {
+        // Every observation in one bucket: any interior quantile must
+        // land inside that bucket's edge interval.
+        let h = Histogram::with_bounds(&EDGES);
+        for _ in 0..n {
+            h.observe(v);
+        }
+        let idx = h.bucket_for(v);
+        let est = h.quantile(q);
+        if idx < EDGES.len() {
+            prop_assert!(est <= EDGES[idx], "{est} above bucket {idx}");
+            let lower = if idx == 0 { EDGES[0].min(0.0) } else { EDGES[idx - 1] };
+            prop_assert!(est >= lower, "{est} below bucket {idx}");
+        } else {
+            prop_assert_eq!(est, EDGES[EDGES.len() - 1]);
+        }
+    }
+}
+
+#[test]
+fn quantile_of_an_empty_histogram_is_nan() {
+    let h = Histogram::with_bounds(&EDGES);
+    assert!(h.quantile(0.5).is_nan());
 }

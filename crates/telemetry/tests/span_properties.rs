@@ -1,0 +1,145 @@
+//! Property tests for the span layer's structural invariants: no
+//! matter in what order guards are opened and dropped, the recorded
+//! `span_start` / `span_end` stream is balanced, properly nested per
+//! lane, and parent ids always point at the span that was innermost at
+//! open time.
+//!
+//! Guards are deliberately dropped *out of order* (the API allows
+//! holding them in collections); the layer's contract is that a guard
+//! dropped over still-open children closes those children first.
+
+use otem_telemetry::{span, Event, MemorySink, SpanGuard};
+use proptest::prelude::*;
+
+/// Fixed name pool (span names are `&'static str`).
+const NAMES: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+
+/// One scripted action against a bag of live guards.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Open a new span (child of whatever is innermost).
+    Open(usize),
+    /// Drop the guard at `index % live.len()` — arbitrary order, not
+    /// necessarily the innermost.
+    Drop(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..NAMES.len()).prop_map(Op::Open),
+        (0usize..64).prop_map(Op::Drop),
+    ]
+}
+
+/// Replays the recorded events through a per-lane stack machine and
+/// fails on any structural violation.
+fn check_stream(events: &[Event]) -> Result<(), TestCaseError> {
+    use std::collections::BTreeMap;
+    let mut stacks: BTreeMap<u64, Vec<(u64, &'static str)>> = BTreeMap::new();
+    let mut starts = 0u64;
+    let mut ends = 0u64;
+    for e in events {
+        match *e {
+            Event::SpanStart {
+                id,
+                parent,
+                name,
+                lane,
+                ..
+            } => {
+                starts += 1;
+                let stack = stacks.entry(lane).or_default();
+                let innermost = stack.last().map_or(0, |&(id, _)| id);
+                prop_assert!(
+                    parent == innermost,
+                    "span {id} opened with parent {parent} but innermost was {innermost}"
+                );
+                stack.push((id, name));
+            }
+            Event::SpanEnd {
+                id,
+                name,
+                lane,
+                t_ns,
+                dur_ns,
+            } => {
+                ends += 1;
+                let stack = stacks.entry(lane).or_default();
+                let (top_id, top_name) =
+                    stack.pop().expect("span_end with no open span on its lane");
+                prop_assert!(top_id == id, "ends must close innermost-first");
+                prop_assert_eq!(top_name, name);
+                prop_assert!(dur_ns <= t_ns, "duration cannot precede the epoch");
+            }
+            _ => {}
+        }
+    }
+    prop_assert_eq!(starts, ends);
+    for (lane, stack) in stacks {
+        prop_assert!(stack.is_empty(), "lane {} left spans open", lane);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_open_close_orders_emit_balanced_nested_streams(
+        ops in prop::collection::vec(op_strategy(), 0..40),
+    ) {
+        let sink = MemorySink::new();
+        let base = sink.events().len();
+        {
+            let mut live: Vec<SpanGuard> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Open(name) => live.push(span(&sink, NAMES[name])),
+                    Op::Drop(index) => {
+                        if !live.is_empty() {
+                            // swap_remove drops the guard immediately —
+                            // possibly a span with open children.
+                            let i = index % live.len();
+                            drop(live.swap_remove(i));
+                        }
+                    }
+                }
+            }
+            // Remaining guards drop here, in reverse insertion order —
+            // which, after swap_removes, is *not* reverse open order.
+        }
+        let events: Vec<Event> = sink.events().split_off(base);
+        check_stream(&events)?;
+    }
+
+    #[test]
+    fn disabled_sinks_never_record_and_guards_stay_inert(
+        opens in 1usize..10,
+    ) {
+        let sink = otem_telemetry::NullSink;
+        let mut live = Vec::new();
+        for k in 0..opens {
+            let g = span(&sink, NAMES[k % NAMES.len()]);
+            prop_assert!(!g.is_active());
+            prop_assert_eq!(g.id(), 0);
+            live.push(g);
+        }
+        drop(live);
+        // A span opened right after must still see a clean stack: the
+        // inert guards above never touched it.
+        let mem = MemorySink::new();
+        let base = mem.events().len();
+        let g = span(&mem, "probe");
+        prop_assert!(g.is_active());
+        drop(g);
+        let events = mem.events().split_off(base);
+        let roots: Vec<_> = events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::SpanStart { parent, .. } => Some(parent),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(roots, vec![0u64]);
+    }
+}

@@ -116,8 +116,7 @@ impl UltracapBank {
     /// Maximum charge power acceptable right now (mirror of
     /// [`Self::max_discharge_power`] against the remaining headroom).
     pub fn max_charge_power(&self) -> Watts {
-        let headroom =
-            self.params.energy_capacity().value() - self.stored_energy().value();
+        let headroom = self.params.energy_capacity().value() - self.stored_energy().value();
         Watts::new(self.params.max_power.value().min(headroom))
     }
 
@@ -208,7 +207,7 @@ mod tests {
     }
 
     #[test]
-    fn voltage_follows_square_root_of_soe(){
+    fn voltage_follows_square_root_of_soe() {
         let mut b = bank();
         assert_eq!(b.voltage(), b.params().rated_voltage);
         b.set_soe(Ratio::new(0.25));
@@ -223,8 +222,8 @@ mod tests {
         let e_cap = b.params().energy_capacity().value();
         let draw = b.draw_power(Watts::new(10_000.0)).expect("feasible");
         b.integrate(draw, Seconds::new(10.0));
-        let expected = (1.0 - 10_000.0 * 10.0 / e_cap)
-            * (-10.0 / b.params().leakage_time_constant).exp();
+        let expected =
+            (1.0 - 10_000.0 * 10.0 / e_cap) * (-10.0 / b.params().leakage_time_constant).exp();
         assert!((b.soe().value() - expected).abs() < 1e-9);
     }
 
@@ -277,8 +276,7 @@ mod tests {
         // bank does not.
         let sustain = Watts::new(15_000.0);
         let seconds_alive = |farads: f64| -> u32 {
-            let mut b =
-                UltracapBank::new(UltracapParams::paper_bank(Farads::new(farads))).unwrap();
+            let mut b = UltracapBank::new(UltracapParams::paper_bank(Farads::new(farads))).unwrap();
             let mut t = 0;
             while t < 600 {
                 match b.draw_power(sustain) {

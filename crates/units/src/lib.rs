@@ -38,9 +38,7 @@ mod thermal;
 
 pub use electrical::{AmpHours, Amps, Coulombs, Farads, Ohms, Volts};
 pub use energy::{Joules, Kilowatts, Watts};
-pub use mechanics::{
-    Kilograms, Meters, MetersPerSecond, MetersPerSecondSquared, Newtons, Seconds,
-};
+pub use mechanics::{Kilograms, Meters, MetersPerSecond, MetersPerSecondSquared, Newtons, Seconds};
 pub use ratio::Ratio;
 pub use thermal::{Celsius, HeatCapacity, Kelvin, KelvinPerSecond, ThermalConductance};
 

@@ -62,10 +62,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let true_soc = truth.cell().soc().value();
-    println!("\nfinal: truth {:.1}%, EKF {:.1}%, coulomb-only {:.1}%",
+    println!(
+        "\nfinal: truth {:.1}%, EKF {:.1}%, coulomb-only {:.1}%",
         true_soc * 100.0,
         ekf.estimate().value() * 100.0,
-        dead_reckoning.soc().value() * 100.0);
+        dead_reckoning.soc().value() * 100.0
+    );
     println!("The EKF absorbs both the wrong boot guess and the sensor bias;");
     println!("dead reckoning keeps the boot error and accumulates the bias.");
     Ok(())

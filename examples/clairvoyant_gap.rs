@@ -30,8 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut solo = Otem::with_mpc(&config, mpc_off)?;
     let solo_energy = Simulator::new(&config).run(&mut solo, &trace).energy();
 
-    println!("US06, {:.1} km, energy to complete the route:", cycle.distance().value() / 1000.0);
-    println!("  battery-dominated (no lookahead) : {:.3} MJ", solo_energy.value() / 1e6);
+    println!(
+        "US06, {:.1} km, energy to complete the route:",
+        cycle.distance().value() / 1000.0
+    );
+    println!(
+        "  battery-dominated (no lookahead) : {:.3} MJ",
+        solo_energy.value() / 1e6
+    );
     for horizon in [4usize, 12, 24] {
         let mpc = MpcConfig {
             w2: 0.0, // energy-only, apples-to-apples with the DP
@@ -46,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.energy().value() / 1e6
         );
     }
-    println!("  clairvoyant DP (whole route)     : {:.3} MJ", plan.energy.value() / 1e6);
+    println!(
+        "  clairvoyant DP (whole route)     : {:.3} MJ",
+        plan.energy.value() / 1e6
+    );
     println!("\nEven a 4 s causal window lands within a few percent of the non-causal");
     println!("optimum on pure energy — longer windows buy *lifetime* (thermal");
     println!("preparation), not energy, which is why OTEM's joint objective matters.");

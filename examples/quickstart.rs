@@ -33,10 +33,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = Simulator::new(&config).run(&mut otem, &trace);
 
     // 5. The paper's Algorithm 1 outputs.
-    println!("capacity loss Q_loss : {:.4e} (fraction of rated)", result.capacity_loss());
-    println!("HEES energy          : {:.2} MJ", result.energy().value() / 1e6);
-    println!("average power        : {:.2} kW", result.average_power().value() / 1000.0);
-    println!("cooling energy       : {:.2} MJ", result.cooling_energy().value() / 1e6);
+    println!(
+        "capacity loss Q_loss : {:.4e} (fraction of rated)",
+        result.capacity_loss()
+    );
+    println!(
+        "HEES energy          : {:.2} MJ",
+        result.energy().value() / 1e6
+    );
+    println!(
+        "average power        : {:.2} kW",
+        result.average_power().value() / 1000.0
+    );
+    println!(
+        "cooling energy       : {:.2} MJ",
+        result.cooling_energy().value() / 1e6
+    );
     println!(
         "peak battery temp    : {:.1} °C (limit {:.1} °C, exceeded {:.0} s)",
         result.peak_battery_temp().to_celsius().value(),

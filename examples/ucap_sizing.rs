@@ -25,10 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for farads in [5_000.0, 10_000.0, 25_000.0] {
         let config = SystemConfig::with_capacitance(Farads::new(farads));
         let sim = Simulator::new(&config);
-        let mut controllers: Vec<Box<dyn Controller>> = vec![
-            Box::new(Dual::new(&config)?),
-            Box::new(Otem::new(&config)?),
-        ];
+        let mut controllers: Vec<Box<dyn Controller>> =
+            vec![Box::new(Dual::new(&config)?), Box::new(Otem::new(&config)?)];
         for controller in controllers.iter_mut() {
             let r = sim.run(controller.as_mut(), &trace);
             println!(

@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -15,5 +18,10 @@ cargo test -q --workspace
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Span-accounting gate: a short traced run must produce a balanced,
+# properly nested span stream (trace_report exits 1 otherwise).
+echo "==> trace_report --steps 20 (span accounting)"
+cargo run -q --release -p otem-bench --bin trace_report -- --steps 20
 
 echo "tier-1: all green"

@@ -1,0 +1,134 @@
+//! Acceptance test for the Chrome-trace exporter: a 120-step US06 OTEM
+//! run traced through `ChromeTraceSink` must produce a structurally
+//! valid Chrome Trace Event Format document — a JSON array of objects
+//! whose `ph:"B"` / `ph:"E"` pairs are balanced and properly nested
+//! per `tid` (lane), with per-lane monotone non-decreasing timestamps —
+//! directly loadable in `chrome://tracing` / Perfetto.
+//!
+//! The vendored serde is a derive stub, so validation uses the same
+//! hand-rolled field extraction the exporter's consumers would: every
+//! record the sink writes is one `{...}` object on its own line.
+
+use otem_repro::control::mpc::MpcConfig;
+use otem_repro::control::policy::Otem;
+use otem_repro::control::{Simulator, SystemConfig};
+use otem_repro::drivecycle::{standard, PowerTrace, Powertrain, StandardCycle, VehicleParams};
+use otem_repro::telemetry::ChromeTraceSink;
+use otem_repro::units::Seconds;
+use std::collections::BTreeMap;
+
+const STEPS: usize = 120;
+
+fn us06_trace() -> PowerTrace {
+    let cycle = standard(StandardCycle::Us06).expect("synthesis");
+    let trace = Powertrain::new(VehicleParams::compact_ev())
+        .expect("vehicle")
+        .power_trace(&cycle);
+    PowerTrace::new(Seconds::new(1.0), trace.window(0, STEPS))
+}
+
+/// Extracts `"key":"value"` from one record line.
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let at = line.find(&needle)? + needle.len();
+    let end = line[at..].find('"')?;
+    Some(&line[at..at + end])
+}
+
+/// Extracts a numeric field (`"key":123` or `"key":123.456`).
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn chrome_trace_of_a_us06_otem_run_is_balanced_and_monotone_per_lane() {
+    let config = SystemConfig::stress_rig();
+    let mut otem = Otem::with_mpc(
+        &config,
+        MpcConfig {
+            horizon: 6,
+            solver_iterations: 8,
+            ..MpcConfig::default()
+        },
+    )
+    .expect("valid");
+
+    let sink = ChromeTraceSink::new(Vec::<u8>::new());
+    let result = Simulator::new(&config).run_with(&mut otem, &us06_trace(), &sink);
+    assert_eq!(result.records.len(), STEPS);
+    let doc = String::from_utf8(sink.finish()).expect("UTF-8 trace");
+
+    // Document shape: a JSON array, one record object per line.
+    assert!(doc.starts_with("[\n"), "must open a JSON array");
+    assert!(doc.trim_end().ends_with(']'), "must close the array");
+    let body = doc
+        .trim_start_matches("[\n")
+        .trim_end()
+        .trim_end_matches(']')
+        .trim_end();
+
+    // Per-lane stack replay over the B/E record stream.
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut b_records = 0usize;
+    let mut names_seen: Vec<String> = Vec::new();
+    for line in body.lines() {
+        let line = line.trim_end_matches(',');
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "record is not one object per line: {line:?}"
+        );
+        let ph = str_field(line, "ph").expect("ph field");
+        let tid = num_field(line, "tid").unwrap_or_else(|| panic!("tid in {line:?}")) as u64;
+        let ts = num_field(line, "ts").unwrap_or_else(|| panic!("ts in {line:?}"));
+        assert!(ts.is_finite() && ts >= 0.0, "bad ts in {line:?}");
+        let prev = last_ts.entry(tid).or_insert(0.0);
+        assert!(
+            ts >= *prev,
+            "lane {tid}: ts went backwards ({ts} after {prev})"
+        );
+        *prev = ts;
+        assert_eq!(num_field(line, "pid"), Some(1.0), "single-process trace");
+
+        let name = str_field(line, "name").expect("name field").to_string();
+        match ph {
+            "B" => {
+                b_records += 1;
+                if !names_seen.contains(&name) {
+                    names_seen.push(name.clone());
+                }
+                stacks.entry(tid).or_default().push(name);
+            }
+            "E" => {
+                let open = stacks
+                    .entry(tid)
+                    .or_default()
+                    .pop()
+                    .unwrap_or_else(|| panic!("lane {tid}: E with no open B"));
+                assert_eq!(open, name, "lane {tid}: E closes the innermost B");
+            }
+            "i" => {} // instant marker (non-span event), no pairing
+            other => panic!("unexpected phase {other:?} in {line:?}"),
+        }
+    }
+
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "lane {tid} left spans open: {stack:?}");
+    }
+    assert!(
+        b_records >= STEPS * 3,
+        "expected at least sim_step+otem_step+mpc_solve per step, got {b_records}"
+    );
+    for expected in ["sim_step", "otem_step", "mpc_solve", "rollout", "iteration"] {
+        assert!(
+            names_seen.iter().any(|n| n == expected),
+            "phase {expected:?} missing from the trace (saw {names_seen:?})"
+        );
+    }
+}

@@ -28,16 +28,8 @@ fn internal_energy_covers_delivered_energy() {
     ];
     for controller in controllers.iter_mut() {
         let r = sim.run(controller.as_mut(), &trace);
-        let delivered: f64 = r
-            .records
-            .iter()
-            .map(|rec| rec.hees.delivered.value())
-            .sum();
-        let internal: f64 = r
-            .records
-            .iter()
-            .map(|rec| rec.total_power().value())
-            .sum();
+        let delivered: f64 = r.records.iter().map(|rec| rec.hees.delivered.value()).sum();
+        let internal: f64 = r.records.iter().map(|rec| rec.total_power().value()).sum();
         assert!(
             internal >= delivered - 1e-6,
             "{} created energy: internal {internal} < delivered {delivered}",

@@ -57,7 +57,6 @@ fn parallel_gradient_mode_matches_serial_closed_loop() {
         ..MpcConfig::default()
     };
     let mut serial = Otem::with_mpc(&config, mpc(GradientMode::Serial)).unwrap();
-    let mut parallel =
-        Otem::with_mpc(&config, mpc(GradientMode::Parallel { threads: 3 })).unwrap();
+    let mut parallel = Otem::with_mpc(&config, mpc(GradientMode::Parallel { threads: 3 })).unwrap();
     assert_eq!(sim.run(&mut serial, &trace), sim.run(&mut parallel, &trace));
 }

@@ -121,5 +121,8 @@ fn regen_heavy_route_recovers_energy() {
     let r = sim.run(&mut dual, &trace);
     let final_soc = r.records.last().unwrap().state.soc;
     let mid_soc = r.records[39].state.soc;
-    assert!(final_soc > mid_soc, "regen not stored: {final_soc:?} vs {mid_soc:?}");
+    assert!(
+        final_soc > mid_soc,
+        "regen not stored: {final_soc:?} vs {mid_soc:?}"
+    );
 }

@@ -18,9 +18,7 @@
 //! ```
 
 use otem_repro::control::policy::{ActiveCooling, Dual, Otem, Parallel};
-use otem_repro::control::{
-    Controller, SimulationResult, Simulator, SupervisedOtem, SystemConfig,
-};
+use otem_repro::control::{Controller, SimulationResult, Simulator, SupervisedOtem, SystemConfig};
 use otem_repro::drivecycle::{standard, PowerTrace, Powertrain, StandardCycle, VehicleParams};
 use otem_repro::units::Seconds;
 use std::fmt::Write as _;
@@ -231,8 +229,14 @@ fn golden_otem_supervised_is_bit_identical_on_nominal_route() {
             plain.state.battery_temp.value().to_bits(),
             "step {step}: supervised T_b drifted"
         );
-        assert_eq!(sup.state.soc.value().to_bits(), plain.state.soc.value().to_bits());
-        assert_eq!(sup.state.soe.value().to_bits(), plain.state.soe.value().to_bits());
+        assert_eq!(
+            sup.state.soc.value().to_bits(),
+            plain.state.soc.value().to_bits()
+        );
+        assert_eq!(
+            sup.state.soe.value().to_bits(),
+            plain.state.soe.value().to_bits()
+        );
         assert_eq!(
             sup.hees.delivered.value().to_bits(),
             plain.hees.delivered.value().to_bits()

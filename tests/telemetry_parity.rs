@@ -102,13 +102,30 @@ fn null_sink_is_bit_identical_and_allocation_free() {
 
     // 1. Bit-identity: telemetry is strictly observational.
     assert_eq!(plain, null, "NullSink run diverged from the plain run");
-    assert_eq!(plain, observed, "MemorySink run diverged from the plain run");
+    assert_eq!(
+        plain, observed,
+        "MemorySink run diverged from the plain run"
+    );
 
     // The observed run really did capture the stack's events.
     assert_eq!(memory_sink.count_kind("step_completed"), trace.len());
     assert!(memory_sink.count_kind("solver_iteration") > 0);
     assert!(memory_sink.count_kind("gradient_eval") > 0);
     assert!(memory_sink.count_kind("pool_hit") > 0);
+
+    // …including the hierarchical spans, balanced start-for-end. Every
+    // step opens at least sim_step → otem_step → mpc_solve.
+    let span_starts = memory_sink.count_kind("span_start");
+    assert_eq!(
+        span_starts,
+        memory_sink.count_kind("span_end"),
+        "span stream must be balanced"
+    );
+    assert!(
+        span_starts >= trace.len() * 3,
+        "expected ≥3 spans per step, got {span_starts} over {} steps",
+        trace.len()
+    );
 
     // 2. Allocation parity: the NullSink path may not touch the heap any
     // more than the uninstrumented path does.
