@@ -81,6 +81,31 @@ impl AgingParams {
         let t = temperature.value().max(200.0);
         self.l1 * (-self.l2 / (GAS_CONSTANT * t)).exp() * c_rate.abs().powf(self.l3)
     }
+
+    /// [`AgingParams::loss_rate`] together with its partial derivatives:
+    /// `(rate, ∂rate/∂T, ∂rate/∂|c|·sign(c))`. The rate is computed in
+    /// exactly the operation order of the plain path (bit-identical);
+    /// the shared Arrhenius exponential is evaluated once. Below the
+    /// 200 K evaluation floor the temperature partial is zero (clamp
+    /// active); at zero C-rate the stress partial is zero (the
+    /// `|c|^(l3−1)` factor vanishes for `l3 > 1`).
+    #[inline]
+    pub fn loss_rate_and_partials(&self, temperature: Kelvin, c_rate: f64) -> (f64, f64, f64) {
+        let t = temperature.value().max(200.0);
+        let arrhenius = (-self.l2 / (GAS_CONSTANT * t)).exp();
+        let rate = self.l1 * arrhenius * c_rate.abs().powf(self.l3);
+        let d_temp = if temperature.value() > 200.0 {
+            rate * self.l2 / (GAS_CONSTANT * t * t)
+        } else {
+            0.0
+        };
+        let d_c = if c_rate == 0.0 {
+            0.0
+        } else {
+            self.l1 * arrhenius * self.l3 * c_rate.abs().powf(self.l3 - 1.0) * c_rate.signum()
+        };
+        (rate, d_temp, d_c)
+    }
 }
 
 impl Default for AgingParams {
@@ -224,6 +249,39 @@ mod tests {
         // Constant conditions: lifetime = EOL budget / constant rate.
         let expected = AgingModel::END_OF_LIFE_LOSS / (total / 3600.0);
         assert!((life.value() - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn loss_rate_partials_match_finite_differences() {
+        let p = AgingParams::default();
+        for (celsius, c_rate) in [(10.0, 0.4), (25.0, 1.0), (45.0, 2.5), (35.0, -1.5)] {
+            let temp = t(celsius);
+            let (rate, d_temp, d_c) = p.loss_rate_and_partials(temp, c_rate);
+            assert_eq!(
+                rate.to_bits(),
+                p.loss_rate(temp, c_rate).to_bits(),
+                "fused rate diverged"
+            );
+            let h = 1e-5;
+            let fd_t = (p.loss_rate(Kelvin::new(temp.value() + h), c_rate)
+                - p.loss_rate(Kelvin::new(temp.value() - h), c_rate))
+                / (2.0 * h);
+            let fd_c = (p.loss_rate(temp, c_rate + h) - p.loss_rate(temp, c_rate - h)) / (2.0 * h);
+            assert!(
+                (d_temp - fd_t).abs() <= 1e-4 * fd_t.abs().max(1e-12),
+                "∂rate/∂T {d_temp} vs FD {fd_t}"
+            );
+            assert!(
+                (d_c - fd_c).abs() <= 1e-4 * fd_c.abs().max(1e-12),
+                "∂rate/∂c {d_c} vs FD {fd_c}"
+            );
+        }
+        // Degenerate points stay finite and zero where the model is flat.
+        let (_, d_cold, _) = p.loss_rate_and_partials(Kelvin::new(150.0), 1.0);
+        assert_eq!(d_cold, 0.0);
+        let (rate0, _, d_c0) = p.loss_rate_and_partials(t(25.0), 0.0);
+        assert_eq!(rate0, 0.0);
+        assert_eq!(d_c0, 0.0);
     }
 
     #[test]

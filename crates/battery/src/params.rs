@@ -61,6 +61,31 @@ impl OcvCurve {
                 + self.v7,
         )
     }
+
+    /// Evaluates `V_oc` and its slope `dV_oc/dSoC` in one pass, sharing
+    /// the single exponential between value and derivative. The voltage
+    /// term order matches [`OcvCurve::voltage`] exactly, so the value
+    /// component is bit-identical to the plain path — the adjoint
+    /// backward sweep differentiates precisely the voltage the forward
+    /// rollout produced.
+    #[inline]
+    pub fn voltage_and_slope(&self, soc: Ratio) -> (Volts, f64) {
+        let s = soc.value();
+        let s2 = s * s;
+        let e = (self.v2 * s).exp();
+        let v = self.v1 * e
+            + self.v3 * s2 * s2
+            + self.v4 * s2 * s
+            + self.v5 * s2
+            + self.v6 * s
+            + self.v7;
+        let slope = self.v1 * self.v2 * e
+            + 4.0 * self.v3 * s2 * s
+            + 3.0 * self.v4 * s2
+            + 2.0 * self.v5 * s
+            + self.v6;
+        (Volts::new(v), slope)
+    }
 }
 
 impl Default for OcvCurve {
@@ -115,11 +140,108 @@ impl ResistanceCurve {
         .exp();
         Ohms::new(base * factor)
     }
+
+    /// Resistance plus its partial derivatives `(R, ∂R/∂SoC, ∂R/∂T)` in
+    /// one pass, sharing the two exponentials between value and slopes.
+    /// The value is computed in exactly the operation order of
+    /// [`ResistanceCurve::resistance`], so it is bit-identical to the
+    /// plain path. Below the 200 K evaluation floor the temperature
+    /// partial is zero (the clamp is active).
+    #[inline]
+    pub fn resistance_and_slopes(&self, soc: Ratio, temperature: Kelvin) -> (Ohms, f64, f64) {
+        let s = soc.value();
+        let e = (self.r2 * s).exp();
+        let base = self.r1 * e + self.r3;
+        let t = temperature.value().max(200.0);
+        let factor = (self.temperature_sensitivity
+            * (1.0 / t - 1.0 / self.reference_temperature.value()))
+        .exp();
+        let d_soc = self.r1 * self.r2 * e * factor;
+        let d_temp = if temperature.value() > 200.0 {
+            base * factor * (-self.temperature_sensitivity / (t * t))
+        } else {
+            0.0
+        };
+        (Ohms::new(base * factor), d_soc, d_temp)
+    }
 }
 
 impl Default for ResistanceCurve {
     fn default() -> Self {
         Self::chen_rincon_mora()
+    }
+}
+
+/// A sampled one-dimensional curve with every segment's interpolation
+/// slope precomputed at construction: knot `i` stores `(x, y, dy/dx)`
+/// where `dy/dx` is the slope of the segment starting at that knot.
+///
+/// A lookup is then one fused multiply `y + dy/dx·(q − x)` instead of
+/// re-deriving `(y₁ − y₀)/(x₁ − x₀)` on every call — the form both the
+/// forward rollout and the adjoint backward pass want, since the adjoint
+/// needs exactly the segment slope the forward interpolation used.
+/// Tabulated `V_oc(SoC)` / `R(SoC, T)` curves (e.g. from datasheet
+/// points rather than the analytic fits) plug into the same fused-lookup
+/// discipline the analytic paths get from
+/// [`OcvCurve::voltage_and_slope`] / [`ResistanceCurve::resistance_and_slopes`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlopeTable {
+    /// First knot abscissa.
+    x0: f64,
+    /// Uniform knot spacing.
+    step: f64,
+    /// `(x, y, dy/dx)` per knot; the last knot's slope repeats the one
+    /// before it so clamped lookups past the end stay well-defined.
+    knots: Vec<(f64, f64, f64)>,
+}
+
+impl SlopeTable {
+    /// Tabulates `f` on `segments + 1` uniform knots over `[lo, hi]`,
+    /// precomputing each segment's slope. Panics on a degenerate range
+    /// or zero segments.
+    pub fn from_fn(lo: f64, hi: f64, segments: usize, f: impl Fn(f64) -> f64) -> Self {
+        assert!(segments > 0, "SlopeTable needs at least one segment");
+        assert!(hi > lo, "SlopeTable range must be non-empty");
+        let step = (hi - lo) / segments as f64;
+        let xs: Vec<f64> = (0..=segments).map(|i| lo + step * i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
+        let knots = (0..=segments)
+            .map(|i| {
+                let j = i.min(segments - 1); // last knot repeats prior slope
+                let slope = (ys[j + 1] - ys[j]) / (xs[j + 1] - xs[j]);
+                (xs[i], ys[i], slope)
+            })
+            .collect();
+        Self {
+            x0: lo,
+            step,
+            knots,
+        }
+    }
+
+    /// Interpolated value at `q` (clamped to the tabulated range): one
+    /// fused multiply off the precomputed knot.
+    #[inline]
+    pub fn eval(&self, q: f64) -> f64 {
+        let (x, y, slope) = self.knot_for(q);
+        y + slope * (q - x)
+    }
+
+    /// Interpolated value and the active segment's slope — the pair the
+    /// adjoint backward pass consumes.
+    #[inline]
+    pub fn eval_with_slope(&self, q: f64) -> (f64, f64) {
+        let (x, y, slope) = self.knot_for(q);
+        (y + slope * (q - x), slope)
+    }
+
+    #[inline]
+    fn knot_for(&self, q: f64) -> (f64, f64, f64) {
+        let segments = self.knots.len() - 1;
+        let idx = ((q - self.x0) / self.step)
+            .floor()
+            .clamp(0.0, (segments - 1) as f64) as usize;
+        self.knots[idx]
     }
 }
 
@@ -297,5 +419,120 @@ mod tests {
     fn default_matches_named_preset() {
         assert_eq!(CellParams::default(), CellParams::ncr18650a());
         assert_eq!(OcvCurve::default(), OcvCurve::chen_rincon_mora());
+    }
+
+    #[test]
+    fn fused_voltage_slope_is_bit_identical_and_matches_fd() {
+        let ocv = OcvCurve::default();
+        for i in 0..=200 {
+            let soc = Ratio::new(i as f64 / 200.0);
+            let (v, slope) = ocv.voltage_and_slope(soc);
+            assert_eq!(
+                v.value().to_bits(),
+                ocv.voltage(soc).value().to_bits(),
+                "fused voltage diverged at SoC {soc:?}"
+            );
+            let h = 1e-7;
+            let s = soc.value().clamp(h, 1.0 - h);
+            let fd = (ocv.voltage(Ratio::new(s + h)).value()
+                - ocv.voltage(Ratio::new(s - h)).value())
+                / (2.0 * h);
+            let (_, slope_mid) = ocv.voltage_and_slope(Ratio::new(s));
+            assert!(
+                (slope_mid - fd).abs() <= 1e-5 * fd.abs().max(1.0),
+                "slope {slope_mid} vs FD {fd} at SoC {s}; boundary slope {slope}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_resistance_slopes_are_bit_identical_and_match_fd() {
+        let r = ResistanceCurve::default();
+        for i in 0..=20 {
+            let soc = Ratio::new(0.02 + 0.96 * i as f64 / 20.0);
+            for celsius in [-10.0, 5.0, 25.0, 45.0] {
+                let t = Kelvin::from_celsius(celsius);
+                let (ohms, d_soc, d_temp) = r.resistance_and_slopes(soc, t);
+                assert_eq!(
+                    ohms.value().to_bits(),
+                    r.resistance(soc, t).value().to_bits(),
+                    "fused resistance diverged at SoC {soc:?}, T {t:?}"
+                );
+                let h = 1e-6;
+                let fd_soc = (r.resistance(Ratio::new(soc.value() + h), t).value()
+                    - r.resistance(Ratio::new(soc.value() - h), t).value())
+                    / (2.0 * h);
+                let fd_temp = (r.resistance(soc, Kelvin::new(t.value() + h)).value()
+                    - r.resistance(soc, Kelvin::new(t.value() - h)).value())
+                    / (2.0 * h);
+                assert!(
+                    (d_soc - fd_soc).abs() <= 1e-4 * fd_soc.abs().max(1e-6),
+                    "∂R/∂SoC {d_soc} vs FD {fd_soc}"
+                );
+                assert!(
+                    (d_temp - fd_temp).abs() <= 1e-4 * fd_temp.abs().max(1e-9),
+                    "∂R/∂T {d_temp} vs FD {fd_temp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resistance_temperature_slope_is_zero_below_evaluation_floor() {
+        let r = ResistanceCurve::default();
+        let (_, _, d_temp) = r.resistance_and_slopes(Ratio::HALF, Kelvin::new(150.0));
+        assert_eq!(d_temp, 0.0, "clamped Arrhenius floor must kill ∂R/∂T");
+    }
+
+    #[test]
+    fn slope_table_lookup_is_bit_identical_to_rederived_interpolation() {
+        let ocv = OcvCurve::default();
+        let segments = 64;
+        let table = SlopeTable::from_fn(0.0, 1.0, segments, |s| ocv.voltage(Ratio::new(s)).value());
+
+        // The "old path": re-derive the segment slope on every lookup.
+        let step = 1.0 / segments as f64;
+        let old_path = |q: f64| {
+            let idx = ((q / step).floor().clamp(0.0, (segments - 1) as f64)) as usize;
+            let x0 = step * idx as f64;
+            let x1 = step * (idx + 1) as f64;
+            let y0 = ocv.voltage(Ratio::new(x0)).value();
+            let y1 = ocv.voltage(Ratio::new(x1)).value();
+            y0 + (y1 - y0) / (x1 - x0) * (q - x0)
+        };
+
+        for i in 0..=1000 {
+            let q = i as f64 / 1000.0;
+            assert_eq!(
+                table.eval(q).to_bits(),
+                old_path(q).to_bits(),
+                "fused lookup diverged from slope re-derivation at {q}"
+            );
+            let (value, slope) = table.eval_with_slope(q);
+            assert_eq!(value.to_bits(), table.eval(q).to_bits());
+            assert!(slope.is_finite());
+        }
+        // Clamped lookups stay well-defined past both ends.
+        assert!(table.eval(-0.5).is_finite());
+        assert!(table.eval(1.5).is_finite());
+    }
+
+    #[test]
+    fn slope_table_tracks_the_analytic_curve() {
+        let ocv = OcvCurve::default();
+        let table = SlopeTable::from_fn(0.0, 1.0, 256, |s| ocv.voltage(Ratio::new(s)).value());
+        for i in 0..=500 {
+            let q = i as f64 / 500.0;
+            let exact = ocv.voltage(Ratio::new(q)).value();
+            // The exponential knee at low SoC has the strongest
+            // curvature; first-order extrapolation within a segment is a
+            // few mV off there and sub-0.2 mV over the usable range.
+            let tol = if q < 0.08 { 5e-3 } else { 2e-4 };
+            assert!(
+                (table.eval(q) - exact).abs() < tol,
+                "table {} vs analytic {exact} at SoC {q}",
+                table.eval(q)
+            );
+        }
     }
 }

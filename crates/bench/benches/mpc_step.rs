@@ -46,9 +46,12 @@ fn bench_mpc(c: &mut Criterion) {
     group.finish();
 }
 
-/// Serial vs parallel finite-difference gradients at a fixed horizon.
-/// The two modes produce bit-identical decisions (see the parity tests
-/// in `otem::mpc`), so the only difference is wall time.
+/// Serial vs parallel finite-difference gradients vs the reverse-mode
+/// adjoint at a fixed horizon. The two FD modes produce bit-identical
+/// decisions (see the parity tests in `otem::mpc`), so their difference
+/// is pure wall time; the adjoint replaces `4·horizon` FD rollouts per
+/// gradient with one taped rollout (DESIGN.md §8), which is where its
+/// order-of-magnitude gap comes from.
 fn bench_gradient_modes(c: &mut Criterion) {
     let config = SystemConfig::default();
     let p = plant(&config);
@@ -64,6 +67,7 @@ fn bench_gradient_modes(c: &mut Criterion) {
         for (label, mode) in [
             ("serial", GradientMode::Serial),
             ("parallel", GradientMode::Parallel { threads }),
+            ("adjoint", GradientMode::Adjoint),
         ] {
             group.bench_with_input(BenchmarkId::new(label, horizon), &horizon, |b, _| {
                 let mut mpc = Mpc::new(MpcConfig {

@@ -8,7 +8,7 @@
 //! ```
 
 use otem::SystemConfig;
-use otem_bench::{cycle_trace, run, Methodology};
+use otem_bench::{cycle_trace, fan_indexed, run, Methodology};
 use otem_drivecycle::StandardCycle;
 use otem_units::Kelvin;
 
@@ -19,20 +19,34 @@ fn main() {
         "{:>9} {:>14} {:>12} {:>10} {:>10} {:>10}",
         "T_amb", "methodology", "Q_loss", "avgP (kW)", "cool (MJ)", "Tpeak(°C)"
     );
-    for celsius in [10.0, 25.0, 35.0] {
+    // Every (ambient, methodology) cell is an independent closed-loop
+    // run; fan them across worker threads, keeping the table order.
+    let jobs: Vec<(f64, Methodology)> = [10.0, 25.0, 35.0]
+        .into_iter()
+        .flat_map(|celsius| Methodology::ALL.into_iter().map(move |m| (celsius, m)))
+        .collect();
+    let rows = fan_indexed(jobs, |_, (celsius, m)| {
         let config = SystemConfig::default().with_ambient(Kelvin::from_celsius(celsius));
-        for m in Methodology::ALL {
-            let r = run(m, &config, &trace).expect("run");
-            println!(
-                "{:>8.0}° {:>14} {:>12.4e} {:>10.2} {:>10.2} {:>10.2}",
-                celsius,
-                m.name(),
-                r.capacity_loss(),
-                r.average_power().value() / 1000.0,
-                r.cooling_energy().value() / 1e6,
-                r.peak_battery_temp().to_celsius().value()
-            );
-        }
+        let r = run(m, &config, &trace).expect("run");
+        (
+            celsius,
+            m,
+            r.capacity_loss(),
+            r.average_power().value() / 1000.0,
+            r.cooling_energy().value() / 1e6,
+            r.peak_battery_temp().to_celsius().value(),
+        )
+    });
+    for (celsius, m, loss, avg_kw, cool_mj, peak_c) in rows {
+        println!(
+            "{:>8.0}° {:>14} {:>12.4e} {:>10.2} {:>10.2} {:>10.2}",
+            celsius,
+            m.name(),
+            loss,
+            avg_kw,
+            cool_mj,
+            peak_c
+        );
     }
     println!("\nExpected: losses grow with ambient for every methodology (Arrhenius);");
     println!("OTEM's advantage over the baselines widens at hot ambient, where it");

@@ -15,7 +15,7 @@
 use otem::mpc::MpcConfig;
 use otem::policy::Otem;
 use otem::{Simulator, SupervisedOtem, SystemConfig};
-use otem_bench::{stress_config, stress_trace};
+use otem_bench::{fan_indexed, stress_config, stress_trace};
 use otem_drivecycle::StandardCycle;
 use otem_faults::{FaultKind, FaultPlan, FaultedController};
 use otem_telemetry::MemorySink;
@@ -139,9 +139,22 @@ fn main() {
         "rearm"
     );
 
-    for (name, plan) in campaigns() {
-        for supervised in [false, true] {
-            let o = run(&config, &trace, plan.clone(), supervised);
+    // Each (campaign, controller) run is independent and seeded; fan
+    // them across worker threads and emit rows in campaign order.
+    let jobs: Vec<(&'static str, FaultPlan, bool)> = campaigns()
+        .into_iter()
+        .flat_map(|(name, plan)| {
+            [false, true]
+                .into_iter()
+                .map(move |supervised| (name, plan.clone(), supervised))
+        })
+        .collect();
+    let outcomes = fan_indexed(jobs, |_, (name, plan, supervised)| {
+        (name, supervised, run(&config, &trace, plan, supervised))
+    });
+
+    for (name, supervised, o) in outcomes {
+        {
             let controller = if supervised { "supervised" } else { "plain" };
             println!(
                 "{:>18} {:>12} {:>10.3e} {:>10.2} {:>12.1} {:>7} {:>9} {:>9} {:>7}",

@@ -1,21 +1,32 @@
 //! Performance trajectory for the MPC hot path: serial vs parallel
-//! finite-difference gradients across horizon lengths.
+//! finite-difference gradients, and the reverse-mode adjoint gradient,
+//! across horizon lengths.
 //!
 //! Runs warm-started `Mpc::solve` repetitions at horizons {12, 24, 48}
-//! in [`GradientMode::Serial`] and [`GradientMode::Parallel`] and writes
-//! `BENCH_mpc.json` (per-solve latency, rollouts/second, speedup) so
-//! later changes have a baseline to compare against.
+//! in [`GradientMode::Serial`], [`GradientMode::Parallel`] and
+//! [`GradientMode::Adjoint`] and writes `BENCH_mpc.json` (per-solve
+//! latency, rollouts/second, rollouts/solve, speedups) so later changes
+//! have a baseline to compare against.
 //!
-//! Usage: `cargo run --release -p otem-bench --bin perf_report -- [threads]`
-//! (thread count defaults to the machine's available parallelism). The
-//! two modes produce bit-identical decisions — asserted here on every
-//! repetition — so the comparison is purely about wall time.
+//! Usage:
+//! `cargo run --release -p otem-bench --bin perf_report -- [threads] [--gradient adjoint]`
+//! (thread count defaults to the machine's available parallelism).
+//! `--gradient adjoint` runs a quick adjoint-only smoke — used by
+//! `scripts/tier1.sh` — that asserts the per-solve rollout count stays
+//! horizon-independent and does **not** rewrite `BENCH_mpc.json`.
+//!
+//! The two FD modes produce bit-identical decisions — asserted here on
+//! every repetition — so that comparison is purely about wall time. The
+//! adjoint differentiates the executed clamp branch exactly instead of
+//! sampling across it, so its decisions are *not* asserted bit-identical
+//! to FD; its correctness contract lives in `tests/gradient_parity.rs`
+//! and `tests/golden_traces.rs`.
 
 use otem::mpc::{Mpc, MpcConfig, MpcPlant};
 use otem::SystemConfig;
 use otem_hees::HybridHees;
 use otem_solver::GradientMode;
-use otem_telemetry::{JsonlSink, Sink};
+use otem_telemetry::{JsonlSink, NullSink, Sink};
 use otem_thermal::{CoolingPlant, ThermalModel, ThermalState};
 use otem_units::{Kelvin, Ratio, Seconds, Watts};
 use std::time::Instant;
@@ -43,6 +54,7 @@ struct ModeStats {
     mean_ms: f64,
     min_ms: f64,
     rollouts_per_sec: f64,
+    rollouts_per_solve: f64,
     /// First decision, for the cross-mode parity check.
     cap_bus: f64,
     cool_duty: f64,
@@ -81,27 +93,79 @@ fn run_mode(
         mean_ms: latencies_ms.iter().sum::<f64>() / REPS as f64,
         min_ms: latencies_ms.iter().copied().fold(f64::INFINITY, f64::min),
         rollouts_per_sec: rollouts as f64 / elapsed,
+        rollouts_per_solve: rollouts as f64 / REPS as f64,
         cap_bus: first.cap_bus.value(),
         cool_duty: first.cool_duty,
     }
+}
+
+/// Adjoint-only smoke (`--gradient adjoint`): a quick assertion that the
+/// tape gradient's per-solve rollout count is small and does not grow
+/// with the horizon — the property the adjoint exists for. FD needs
+/// `4·horizon` rollouts *per gradient* (≥ 1440/solve at horizon 12 with
+/// the 30-iteration default); the adjoint needs one taped rollout per
+/// gradient, so a generous `8·iterations` ceiling still separates the
+/// two by an order of magnitude.
+fn adjoint_smoke(config: &SystemConfig) {
+    let p = plant(config);
+    let iterations = MpcConfig::default().solver_iterations;
+    let ceiling = (8 * iterations) as f64;
+    println!(
+        "{:<8} {:>12} {:>14} {:>14}",
+        "horizon", "adjoint_ms", "adj_ro/s", "adj_ro/solve"
+    );
+    for horizon in HORIZONS {
+        let loads: Vec<Watts> = (0..horizon)
+            .map(|k| Watts::new(20_000.0 + 40_000.0 * ((k % 5) as f64 / 4.0)))
+            .collect();
+        let adj = run_mode(&p, &loads, horizon, GradientMode::Adjoint, &NullSink);
+        println!(
+            "{:<8} {:>12.3} {:>14.0} {:>14.1}",
+            horizon, adj.mean_ms, adj.rollouts_per_sec, adj.rollouts_per_solve
+        );
+        assert!(
+            adj.rollouts_per_solve < ceiling,
+            "horizon {horizon}: {} rollouts/solve — adjoint gradient is \
+             paying per-coordinate rollouts (FD would need ≥ {})",
+            adj.rollouts_per_solve,
+            4 * horizon * iterations
+        );
+    }
+    println!("\nadjoint smoke: rollouts/solve horizon-independent, all decisions finite");
 }
 
 fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let threads: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(cores);
+    let mut threads = cores;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--gradient" {
+            match args.next().as_deref() {
+                Some("adjoint") => smoke = true,
+                Some("fd") | Some("all") => smoke = false,
+                other => panic!("--gradient expects adjoint|fd|all, got {other:?}"),
+            }
+        } else if let Ok(n) = arg.parse::<usize>() {
+            threads = n;
+        } else {
+            panic!("unrecognised argument {arg:?}");
+        }
+    }
     let config = SystemConfig::default();
+    if smoke {
+        adjoint_smoke(&config);
+        return;
+    }
     let p = plant(&config);
     std::fs::create_dir_all("results").expect("results dir");
     let sink = JsonlSink::create("results/perf_report_telemetry.jsonl").expect("telemetry file");
 
     println!(
-        "{:<8} {:>12} {:>12} {:>14} {:>14} {:>9}",
-        "horizon", "serial_ms", "par_ms", "serial_ro/s", "par_ro/s", "speedup"
+        "{:<8} {:>11} {:>11} {:>11} {:>12} {:>12} {:>7} {:>7}",
+        "horizon", "serial_ms", "par_ms", "adj_ms", "fd_ro/solve", "adj_ro/solve", "par_x", "adj_x"
     );
     let mut rows = Vec::new();
     for horizon in HORIZONS {
@@ -116,46 +180,60 @@ fn main() {
             GradientMode::Parallel { threads },
             &sink,
         );
+        let adjoint = run_mode(&p, &loads, horizon, GradientMode::Adjoint, &sink);
         assert_eq!(
             serial.cap_bus.to_bits(),
             parallel.cap_bus.to_bits(),
             "horizon {horizon}: parallel decision diverged from serial"
         );
         assert_eq!(serial.cool_duty.to_bits(), parallel.cool_duty.to_bits());
+        assert!(adjoint.cap_bus.is_finite() && adjoint.cool_duty.is_finite());
         let speedup = serial.mean_ms / parallel.mean_ms;
+        let adj_speedup = serial.mean_ms / adjoint.mean_ms;
+        let rollout_reduction = serial.rollouts_per_solve / adjoint.rollouts_per_solve;
         println!(
-            "{:<8} {:>12.3} {:>12.3} {:>14.0} {:>14.0} {:>9.2}",
+            "{:<8} {:>11.3} {:>11.3} {:>11.3} {:>12.0} {:>12.1} {:>7.2} {:>7.2}",
             horizon,
             serial.mean_ms,
             parallel.mean_ms,
-            serial.rollouts_per_sec,
-            parallel.rollouts_per_sec,
-            speedup
+            adjoint.mean_ms,
+            serial.rollouts_per_solve,
+            adjoint.rollouts_per_solve,
+            speedup,
+            adj_speedup
         );
+        let mode_json = |s: &ModeStats| {
+            format!(
+                "{{ \"mean_ms\": {:.4}, \"min_ms\": {:.4}, \"rollouts_per_sec\": {:.0}, \"rollouts_per_solve\": {:.1} }}",
+                s.mean_ms, s.min_ms, s.rollouts_per_sec, s.rollouts_per_solve
+            )
+        };
         rows.push(format!(
             concat!(
                 "    {{\n",
                 "      \"horizon\": {},\n",
-                "      \"serial\": {{ \"mean_ms\": {:.4}, \"min_ms\": {:.4}, \"rollouts_per_sec\": {:.0} }},\n",
-                "      \"parallel\": {{ \"mean_ms\": {:.4}, \"min_ms\": {:.4}, \"rollouts_per_sec\": {:.0} }},\n",
-                "      \"speedup\": {:.3}\n",
+                "      \"serial\": {},\n",
+                "      \"parallel\": {},\n",
+                "      \"adjoint\": {},\n",
+                "      \"speedup\": {:.3},\n",
+                "      \"fd_vs_adjoint_speedup\": {:.3},\n",
+                "      \"rollout_reduction\": {:.1}\n",
                 "    }}"
             ),
             horizon,
-            serial.mean_ms,
-            serial.min_ms,
-            serial.rollouts_per_sec,
-            parallel.mean_ms,
-            parallel.min_ms,
-            parallel.rollouts_per_sec,
-            speedup
+            mode_json(&serial),
+            mode_json(&parallel),
+            mode_json(&adjoint),
+            speedup,
+            adj_speedup,
+            rollout_reduction
         ));
     }
 
     let json = format!(
         concat!(
             "{{\n",
-            "  \"bench\": \"mpc_solve_serial_vs_parallel\",\n",
+            "  \"bench\": \"mpc_solve_gradient_modes\",\n",
             "  \"solves_per_mode\": {},\n",
             "  \"cpu_cores\": {},\n",
             "  \"threads\": {},\n",

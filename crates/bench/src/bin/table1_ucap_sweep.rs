@@ -10,7 +10,7 @@
 //! cargo run --release -p otem-bench --bin table1_ucap_sweep
 //! ```
 
-use otem_bench::{run, stress_config_with_capacitance, stress_trace, Methodology};
+use otem_bench::{fan_indexed, run, stress_config_with_capacitance, stress_trace, Methodology};
 use otem_drivecycle::StandardCycle;
 
 fn main() {
@@ -18,14 +18,22 @@ fn main() {
     let methodologies = [Methodology::Parallel, Methodology::Dual, Methodology::Otem];
     let trace = stress_trace(StandardCycle::Us06, 3).expect("trace");
 
-    // Reference: Parallel at 25,000 F.
-    let reference = run(
-        Methodology::Parallel,
-        &stress_config_with_capacitance(25_000.0),
-        &trace,
-    )
-    .expect("reference")
-    .capacity_loss();
+    // The whole grid fans across worker threads; results are indexed
+    // size-major so the table prints in the paper's order. The
+    // reference cell (Parallel @ 25,000 F) is part of the grid.
+    let jobs: Vec<(f64, Methodology)> = sizes
+        .into_iter()
+        .flat_map(|farads| methodologies.into_iter().map(move |m| (farads, m)))
+        .collect();
+    let reference_at = jobs
+        .iter()
+        .position(|&(f, m)| f == 25_000.0 && m == Methodology::Parallel)
+        .expect("reference cell in grid");
+    let cells = fan_indexed(jobs, |_, (farads, m)| {
+        let r = run(m, &stress_config_with_capacitance(farads), &trace).expect("run");
+        (r.average_power().value(), r.capacity_loss())
+    });
+    let reference = cells[reference_at].1;
 
     println!("# Table I — ultracapacitor size sweep, US06 x3 (city-EV rig)");
     println!(
@@ -36,18 +44,12 @@ fn main() {
         "{:>9} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
         "size (F)", "Parallel", "Dual", "OTEM", "Parallel", "Dual", "OTEM"
     );
-    for &farads in &sizes {
-        let config = stress_config_with_capacitance(farads);
-        let mut powers = Vec::new();
-        let mut losses = Vec::new();
-        for &m in &methodologies {
-            let r = run(m, &config, &trace).expect("run");
-            powers.push(r.average_power().value());
-            losses.push(r.capacity_loss() / reference * 100.0);
-        }
+    for (row, &farads) in sizes.iter().enumerate() {
+        let row = &cells[row * methodologies.len()..(row + 1) * methodologies.len()];
+        let losses: Vec<f64> = row.iter().map(|c| c.1 / reference * 100.0).collect();
         println!(
             "{:>9.0} | {:>9.0} {:>9.0} {:>9.0} | {:>9.2} {:>9.2} {:>9.2}",
-            farads, powers[0], powers[1], powers[2], losses[0], losses[1], losses[2]
+            farads, row[0].0, row[1].0, row[2].0, losses[0], losses[1], losses[2]
         );
     }
     println!("\nShape check (paper Table I): OTEM has the lowest capacity loss at every");

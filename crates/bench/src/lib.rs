@@ -156,6 +156,58 @@ pub fn pct(x: f64) -> String {
     format!("{:+.1}%", x * 100.0)
 }
 
+/// Fans independent jobs across scoped worker threads and returns the
+/// results **in job order**.
+///
+/// Sized like the solver's `GradientMode::Parallel` fan:
+/// [`std::thread::available_parallelism`] clamped to `[1, jobs]`, plain
+/// [`std::thread::scope`] with no runtime dependency. Each worker owns a
+/// contiguous chunk of jobs and writes into the matching chunk of the
+/// result vector, so the output ordering is deterministic regardless of
+/// thread interleaving — the sweep binaries rely on that to keep their
+/// tables and JSONL streams stable across machines.
+pub fn fan_indexed<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = jobs.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .clamp(1, n.max(1));
+    if threads <= 1 {
+        return jobs.into_iter().enumerate().map(|(i, j)| f(i, j)).collect();
+    }
+    let mut slots: Vec<Option<T>> = jobs.into_iter().map(Some).collect();
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (idx, (job_chunk, result_chunk)) in slots
+            .chunks_mut(chunk)
+            .zip(results.chunks_mut(chunk))
+            .enumerate()
+        {
+            let f = &f;
+            scope.spawn(move || {
+                for (offset, (job, slot)) in job_chunk
+                    .iter_mut()
+                    .zip(result_chunk.iter_mut())
+                    .enumerate()
+                {
+                    let job = job.take().expect("each job is run exactly once");
+                    *slot = Some(f(idx * chunk + offset, job));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every worker fills its chunk"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +220,23 @@ mod tests {
             m.controller(&config)
                 .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
         }
+    }
+
+    #[test]
+    fn fan_indexed_preserves_job_order() {
+        let jobs: Vec<usize> = (0..17).collect();
+        let fanned = fan_indexed(jobs, |i, j| {
+            assert_eq!(i, j, "index matches the job's position");
+            3 * j + 1
+        });
+        let serial: Vec<usize> = (0..17).map(|j| 3 * j + 1).collect();
+        assert_eq!(fanned, serial);
+        // Degenerate sizes.
+        assert_eq!(fan_indexed(vec![5usize], |_, j| j * j), vec![25]);
+        assert_eq!(
+            fan_indexed(Vec::<usize>::new(), |_, j| j),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]

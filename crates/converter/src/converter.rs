@@ -103,6 +103,98 @@ impl DcDcConverter {
         Watts::new(quiescent + self.conduction_coefficient * i + self.ohmic_coefficient * i * i)
     }
 
+    /// Partial derivatives of [`DcDcConverter::loss`] in the transfer
+    /// magnitude and the storage voltage: `(∂loss/∂|P|, ∂loss/∂V)`.
+    ///
+    /// Matches the forward branches exactly: both partials are zero at
+    /// zero transfer (the forward path early-outs there), and the voltage
+    /// partial is zero below the 1 mV evaluation floor where the clamp
+    /// is active.
+    #[inline]
+    pub fn loss_partials(&self, storage_power: Watts, storage_voltage: Volts) -> (f64, f64) {
+        let p = storage_power.value().abs();
+        if p == 0.0 {
+            return (0.0, 0.0);
+        }
+        let v = storage_voltage.value().max(1e-3);
+        let ramp = p + Self::QUIESCENT_RAMP;
+        let d_p = self.quiescent_loss * Self::QUIESCENT_RAMP / (ramp * ramp)
+            + self.conduction_coefficient / v
+            + 2.0 * self.ohmic_coefficient * p / (v * v);
+        let d_v = if storage_voltage.value() > 1e-3 {
+            -self.conduction_coefficient * p / (v * v)
+                - 2.0 * self.ohmic_coefficient * p * p / (v * v * v)
+        } else {
+            0.0
+        };
+        (d_p, d_v)
+    }
+
+    /// Partial derivatives of [`DcDcConverter::input_for_output`] at an
+    /// already-solved operating point, by the implicit-function theorem
+    /// on `x = P_out + loss(x, V)`:
+    ///
+    /// `(∂P_storage/∂P_bus, ∂P_storage/∂V) = (1/(1−L_p), ±L_v/(1−L_p))`
+    ///
+    /// where `L_p`, `L_v` are the loss partials at the converged storage
+    /// power. Pass the value `input_for_output` returned (signed); signs
+    /// are handled internally. Returns `None` at the saturation boundary
+    /// `L_p ≥ 1`, where the inverse map is not differentiable.
+    pub fn input_for_output_partials(
+        &self,
+        storage_power: Watts,
+        storage_voltage: Volts,
+    ) -> Option<(f64, f64)> {
+        let x = storage_power.value();
+        if x == 0.0 {
+            return Some((1.0, 0.0));
+        }
+        let (l_p, l_v) = self.loss_partials(storage_power, storage_voltage);
+        let gain = 1.0 - l_p;
+        if gain <= 0.0 {
+            return None;
+        }
+        Some((1.0 / gain, (l_v / gain) * x.signum()))
+    }
+
+    /// Partial derivatives of [`DcDcConverter::output_for_input`]:
+    /// `(∂P_storage/∂P_bus, ∂P_storage/∂V) = (1−L_p, −L_v·sign(P))`.
+    ///
+    /// The power partial is direction-independent (both magnitudes and
+    /// signs flip together); zero transfer maps to the identity slope,
+    /// matching the forward early-out.
+    pub fn output_for_input_partials(&self, bus_in: Watts, storage_voltage: Volts) -> (f64, f64) {
+        let p = bus_in.value();
+        if p == 0.0 {
+            return (1.0, 0.0);
+        }
+        let (l_p, l_v) = self.loss_partials(bus_in, storage_voltage);
+        (1.0 - l_p, -l_v * p.signum())
+    }
+
+    /// One-sided derivative limits of the bus → storage power maps as
+    /// the transfer crosses zero: `(discharge, charge)` =
+    /// `(1/(1−L₀), 1−L₀)` with `L₀ = P₀/RAMP + k_i/V` the marginal loss
+    /// slope at idle.
+    ///
+    /// The loss model's `|P|` dependence makes zero transfer a genuine
+    /// kink: a central finite difference straddling it measures the
+    /// *mean* of these two limits, not either branch. Adjoint gradients
+    /// that must agree with central differences at idle (the convention
+    /// the MPC's golden traces were blessed with) need both limits to
+    /// reproduce that mean. Falls back to `(1, 1)` — the forward maps'
+    /// zero-transfer early-out slope — when the idle loss slope
+    /// saturates (`L₀ ≥ 1`, only reachable at extreme voltage sag).
+    pub fn zero_transfer_gain_limits(&self, storage_voltage: Volts) -> (f64, f64) {
+        let v = storage_voltage.value().max(1e-3);
+        let l0 = self.quiescent_loss / Self::QUIESCENT_RAMP + self.conduction_coefficient / v;
+        let gain = 1.0 - l0;
+        if gain <= 0.0 {
+            return (1.0, 1.0);
+        }
+        (1.0 / gain, gain)
+    }
+
     /// Discharge path: storage power that must be drawn so that `bus_out`
     /// is delivered to the bus. Solves
     /// `P_storage = P_bus + loss(P_storage, V)` for `P_storage`.
@@ -251,6 +343,29 @@ mod tests {
     }
 
     #[test]
+    fn zero_transfer_gain_limits_match_one_sided_differences() {
+        let v = Volts::new(350.0);
+        for dc in [
+            DcDcConverter::battery_side(),
+            DcDcConverter::ultracap_side(),
+        ] {
+            let (g_dis, g_chg) = dc.zero_transfer_gain_limits(v);
+            let h = 1e-2;
+            let fd_dis = dc.input_for_output(Watts::new(h), v).unwrap().value() / h;
+            let fd_chg = dc.output_for_input(Watts::new(-h), v).unwrap().value() / -h;
+            assert!((g_dis - fd_dis).abs() < 1e-3 * g_dis, "{g_dis} vs {fd_dis}");
+            assert!((g_chg - fd_chg).abs() < 1e-3 * g_chg, "{g_chg} vs {fd_chg}");
+            // The limits bracket the forward early-out slope of 1.
+            assert!(g_chg < 1.0 && g_dis > 1.0);
+        }
+        // Lossless: no kink, both limits are the identity.
+        assert_eq!(
+            DcDcConverter::lossless().zero_transfer_gain_limits(v),
+            (1.0, 1.0)
+        );
+    }
+
+    #[test]
     fn efficiency_reasonable_at_rated_voltage() {
         let dc = DcDcConverter::ultracap_side();
         let eta = dc
@@ -364,6 +479,92 @@ mod tests {
             Watts::ZERO
         );
         assert_eq!(dc.efficiency(Watts::ZERO, Volts::new(16.0)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn loss_partials_match_finite_differences() {
+        let dc = DcDcConverter::ultracap_side();
+        for (p, v) in [(8_000.0, 14.0), (300.0, 9.0), (-5_000.0, 12.0)] {
+            let (d_p, d_v) = dc.loss_partials(Watts::new(p), Volts::new(v));
+            let h = 1e-3;
+            let mag = p.abs();
+            let fd_p = (dc.loss(Watts::new(mag + h), Volts::new(v)).value()
+                - dc.loss(Watts::new(mag - h), Volts::new(v)).value())
+                / (2.0 * h);
+            let fd_v = (dc.loss(Watts::new(p), Volts::new(v + h)).value()
+                - dc.loss(Watts::new(p), Volts::new(v - h)).value())
+                / (2.0 * h);
+            assert!((d_p - fd_p).abs() <= 1e-5 * fd_p.abs(), "{d_p} vs {fd_p}");
+            assert!((d_v - fd_v).abs() <= 1e-5 * fd_v.abs(), "{d_v} vs {fd_v}");
+        }
+        assert_eq!(dc.loss_partials(Watts::ZERO, Volts::new(16.0)), (0.0, 0.0));
+    }
+
+    #[test]
+    fn inverse_map_partials_match_finite_differences() {
+        let dc = DcDcConverter::ultracap_side();
+        for (bus, v) in [(8_000.0, 14.0), (-6_000.0, 12.0), (400.0, 16.0)] {
+            let storage = dc.input_for_output(Watts::new(bus), Volts::new(v)).unwrap();
+            let (d_bus, d_v) = dc
+                .input_for_output_partials(storage, Volts::new(v))
+                .expect("away from saturation");
+            let h = 1e-2;
+            let at = |bus: f64, v: f64| {
+                dc.input_for_output(Watts::new(bus), Volts::new(v))
+                    .unwrap()
+                    .value()
+            };
+            let fd_bus = (at(bus + h, v) - at(bus - h, v)) / (2.0 * h);
+            let fd_v = (at(bus, v + h) - at(bus, v - h)) / (2.0 * h);
+            // The fixed point is solved to 1e-9 relative tolerance; hold
+            // the IFT slopes to a slightly looser bar.
+            assert!(
+                (d_bus - fd_bus).abs() <= 1e-4 * fd_bus.abs(),
+                "∂x/∂bus {d_bus} vs FD {fd_bus}"
+            );
+            assert!(
+                (d_v - fd_v).abs() <= 1e-3 * fd_v.abs().max(1e-6),
+                "∂x/∂V {d_v} vs FD {fd_v}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_map_partials_match_finite_differences() {
+        let dc = DcDcConverter::ultracap_side();
+        for (bus, v) in [(5_000.0, 14.0), (-7_000.0, 10.0)] {
+            let (d_bus, d_v) = dc.output_for_input_partials(Watts::new(bus), Volts::new(v));
+            let h = 1e-2;
+            let at = |bus: f64, v: f64| {
+                dc.output_for_input(Watts::new(bus), Volts::new(v))
+                    .unwrap()
+                    .value()
+            };
+            let fd_bus = (at(bus + h, v) - at(bus - h, v)) / (2.0 * h);
+            let fd_v = (at(bus, v + h) - at(bus, v - h)) / (2.0 * h);
+            assert!(
+                (d_bus - fd_bus).abs() <= 1e-5 * fd_bus.abs(),
+                "∂out/∂bus {d_bus} vs FD {fd_bus}"
+            );
+            assert!(
+                (d_v - fd_v).abs() <= 1e-5 * fd_v.abs().max(1e-9),
+                "∂out/∂V {d_v} vs FD {fd_v}"
+            );
+        }
+        assert_eq!(
+            dc.output_for_input_partials(Watts::ZERO, Volts::new(16.0)),
+            (1.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn inverse_partials_none_at_saturation() {
+        // At a deeply sagged voltage the marginal loss exceeds unity and
+        // the inverse map folds back; the IFT slope must refuse there.
+        let dc = DcDcConverter::ultracap_side();
+        // L_p = k_i/v̄ + … > 1 when v̄ < k_i (= 0.12 V).
+        let result = dc.input_for_output_partials(Watts::new(100.0), Volts::new(0.05));
+        assert!(result.is_none());
     }
 
     #[test]

@@ -45,6 +45,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod adjoint;
 pub mod analysis;
 mod config;
 mod controller;

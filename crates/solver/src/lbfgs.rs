@@ -96,6 +96,19 @@ impl Lbfgs {
         // Step length accepted by the previous iteration's line search
         // (reported by the iteration telemetry; 0 before any search).
         let mut last_step = 0.0;
+        // Solver workspace, allocated once: the direction and two-loop
+        // coefficients plus the line search's trial point and gradient.
+        // Re-allocating these per iteration dominated the solver's heap
+        // traffic when the gradient itself stopped allocating.
+        let mut d = vec![0.0; n];
+        let mut alphas: Vec<f64> = Vec::with_capacity(self.history);
+        let mut trial = vec![0.0; n];
+        let mut new_grad = vec![0.0; n];
+        // Curvature-pair scratch: the accepted (s, y) is staged here and
+        // then copied into buffers recycled from the evicted history
+        // entry, so a full window updates without touching the heap.
+        let mut s_new = vec![0.0; n];
+        let mut y_new = vec![0.0; n];
 
         for iter in 0..self.max_iterations {
             let _iter_span = span(sink, "iteration");
@@ -111,8 +124,10 @@ impl Lbfgs {
             }
 
             // Two-loop recursion for d = −H·g.
-            let mut d: Vec<f64> = grad.iter().map(|g| -g).collect();
-            let mut alphas = Vec::with_capacity(pairs.len());
+            for i in 0..n {
+                d[i] = -grad[i];
+            }
+            alphas.clear();
             for (s, y, rho) in pairs.iter().rev() {
                 let a = rho * dot(s, &d);
                 for i in 0..n {
@@ -126,7 +141,7 @@ impl Lbfgs {
                     *di *= scale;
                 }
             }
-            for ((s, y, rho), a) in pairs.iter().zip(alphas.into_iter().rev()) {
+            for ((s, y, rho), a) in pairs.iter().zip(alphas.iter().copied().rev()) {
                 let b = rho * dot(y, &d);
                 for i in 0..n {
                     d[i] += (a - b) * s[i];
@@ -149,8 +164,6 @@ impl Lbfgs {
             let mut t = 1.0;
             let mut lo = 0.0;
             let mut hi = f64::INFINITY;
-            let mut trial = vec![0.0; n];
-            let mut new_grad = vec![0.0; n];
             let mut accepted = false;
             // Covers the bisection and the salvage evaluation below —
             // both are line-search work; closes at iteration end or on
@@ -176,13 +189,23 @@ impl Lbfgs {
                     };
                     continue;
                 }
-                let s: Vec<f64> = (0..n).map(|i| trial[i] - x[i]).collect();
-                let y: Vec<f64> = (0..n).map(|i| new_grad[i] - grad[i]).collect();
-                let sy = dot(&s, &y);
+                for i in 0..n {
+                    s_new[i] = trial[i] - x[i];
+                    y_new[i] = new_grad[i] - grad[i];
+                }
+                let sy = dot(&s_new, &y_new);
                 if sy > 1e-300 {
-                    if pairs.len() == self.history {
-                        pairs.pop_front();
-                    }
+                    // Recycle the evicted entry's buffers: once the
+                    // history window is full, curvature updates stop
+                    // touching the heap. Eviction only happens when a
+                    // pair is actually pushed, as before.
+                    let (mut s, mut y, _) = if pairs.len() == self.history {
+                        pairs.pop_front().expect("window is full")
+                    } else {
+                        (vec![0.0; n], vec![0.0; n], 0.0)
+                    };
+                    s.copy_from_slice(&s_new);
+                    y.copy_from_slice(&y_new);
                     pairs.push_back((s, y, 1.0 / sy));
                 }
                 x.copy_from_slice(&trial);

@@ -24,6 +24,15 @@ pub enum GradientMode {
         /// Worker-thread count for the coordinate fan-out.
         threads: usize,
     },
+    /// Reverse-mode (adjoint) analytic gradient: one taped forward
+    /// rollout plus one backward sweep, independent of the decision
+    /// dimension — `O(1)` objective evaluations per gradient instead of
+    /// the `O(n)` a finite-difference fan-out needs.
+    ///
+    /// Objectives without an adjoint implementation treat this as
+    /// [`GradientMode::Serial`] (the trait default falls back to
+    /// [`Objective::gradient`]).
+    Adjoint,
 }
 
 impl GradientMode {
@@ -32,7 +41,7 @@ impl GradientMode {
     /// [`GradientEval`](otem_telemetry::Event::GradientEval).
     pub fn worker_threads(&self) -> usize {
         match self {
-            GradientMode::Serial => 1,
+            GradientMode::Serial | GradientMode::Adjoint => 1,
             GradientMode::Parallel { threads } => (*threads).max(1),
         }
     }
@@ -70,7 +79,7 @@ pub trait Objective {
         Self: Sized + Sync,
     {
         match mode {
-            GradientMode::Serial => self.gradient(x, grad),
+            GradientMode::Serial | GradientMode::Adjoint => self.gradient(x, grad),
             GradientMode::Parallel { threads } => {
                 NumericalGradient::central_parallel(self, x, grad, threads);
             }
@@ -349,6 +358,15 @@ mod tests {
         f.gradient_with(&x, &mut serial, GradientMode::Serial);
         f.gradient_with(&x, &mut parallel, GradientMode::Parallel { threads: 2 });
         assert_eq!(serial, parallel);
+        // Without an adjoint implementation, Adjoint falls back to the
+        // (possibly analytic) serial gradient.
+        let mut adjoint = [0.0; 3];
+        f.gradient_with(&x, &mut adjoint, GradientMode::Adjoint);
+        assert_eq!(
+            serial.map(f64::to_bits),
+            adjoint.map(f64::to_bits),
+            "adjoint fallback must reuse the serial path"
+        );
     }
 
     #[test]

@@ -135,6 +135,9 @@ impl ProjectedGradient {
         let mut step = 1.0 / grad.iter().map(|g| g.abs()).fold(1e-12, f64::max);
         let mut x_prev = x.clone();
         let mut grad_prev = grad.clone();
+        // Line-search trial point, allocated once for the whole solve —
+        // the backtracking loop below runs up to 40 times per iteration.
+        let mut trial = vec![0.0; n];
 
         for iter in 0..self.max_iterations {
             let _iter_span = span(sink, "iteration");
@@ -162,7 +165,6 @@ impl ProjectedGradient {
             let mut accepted = false;
             let line_search = span(sink, "line_search");
             for _ in 0..40 {
-                let mut trial = vec![0.0; n];
                 for i in 0..n {
                     trial[i] = x[i] - alpha * grad[i];
                 }
@@ -172,7 +174,7 @@ impl ProjectedGradient {
                 if f_trial <= f_ref - self.armijo * decrease.max(0.0) {
                     x_prev.copy_from_slice(&x);
                     grad_prev.copy_from_slice(&grad);
-                    x = trial;
+                    x.copy_from_slice(&trial);
                     value = f_trial;
                     accepted = true;
                     break;

@@ -165,6 +165,25 @@ impl CoolingPlant {
         Kelvin::new((outlet.value() - max_drop).max(floor))
     }
 
+    /// Slope of [`CoolingPlant::coldest_inlet`] in the outlet
+    /// temperature — a branch indicator for the adjoint backward sweep:
+    ///
+    /// * `1.0` when the cooler is power-limited (`outlet − max_drop`
+    ///   wins) or when the pass-through floor binds (`floor = outlet`),
+    /// * `0.0` when the fixed `min_inlet` floor binds.
+    pub fn coldest_inlet_slope(&self, outlet: Kelvin) -> f64 {
+        let max_drop = self.params.max_cooler_power.value() * self.params.efficiency.value()
+            / self.params.flow_capacity.value();
+        let floor = self.params.min_inlet.value().min(outlet.value());
+        if outlet.value() - max_drop >= floor {
+            1.0
+        } else if self.params.min_inlet.value() < outlet.value() {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
     /// Realises a requested inlet temperature: clamps it into
     /// `[coldest_inlet, outlet]` and prices the result. The pump runs
     /// whenever the loop is active.
@@ -254,6 +273,22 @@ mod tests {
         let expected = 1_050.0 / 1.0 * 3.0;
         assert!((action.cooler_power.value() - expected).abs() < 1e-9);
         assert!((action.total_power().value() - expected - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coldest_inlet_slope_matches_finite_differences_per_branch() {
+        let p = plant();
+        // Hot outlet: power-limited branch, slope 1. Warm outlet: the
+        // 18 °C floor binds, slope 0. Cold outlet: pass-through, slope 1.
+        for (celsius, expected) in [(35.0, 1.0), (19.0, 0.0), (11.0, 1.0)] {
+            let slope = p.coldest_inlet_slope(c(celsius));
+            assert_eq!(slope, expected, "branch at {celsius} °C");
+            let h = 1e-5;
+            let fd = (p.coldest_inlet(c(celsius + h)).value()
+                - p.coldest_inlet(c(celsius - h)).value())
+                / (2.0 * h);
+            assert!((slope - fd).abs() < 1e-6, "slope {slope} vs FD {fd}");
+        }
     }
 
     #[test]

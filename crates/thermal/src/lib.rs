@@ -52,6 +52,6 @@ mod pump;
 
 pub use cooler::{CoolerAction, CoolingPlant, PlantParams};
 pub use error::ThermalError;
-pub use model::{ThermalModel, ThermalParams, ThermalState};
+pub use model::{CrankNicolsonJacobian, ThermalModel, ThermalParams, ThermalState};
 pub use multi_node::{MultiNodeModel, MultiNodeState};
 pub use pump::VariableFlowPump;

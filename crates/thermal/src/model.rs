@@ -166,6 +166,30 @@ impl ThermalState {
     }
 }
 
+/// Exact sensitivities of one Crank–Nicolson step. Because the two-node
+/// model is linear in its state and inputs, these depend only on the
+/// parameters and the step length — constants reused across a whole MPC
+/// horizon by the adjoint backward sweep.
+///
+/// Produced by [`ThermalModel::crank_nicolson_jacobian`]. Row arrays are
+/// ordered `[∂·/∂T_b, ∂·/∂T_c]` (state rows) or `[∂T_b⁺/∂u, ∂T_c⁺/∂u]`
+/// (input rows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrankNicolsonJacobian {
+    /// `[∂T_b⁺/∂T_b, ∂T_b⁺/∂T_c]` — next battery temperature in the
+    /// prior state.
+    pub d_battery: [f64; 2],
+    /// `[∂T_c⁺/∂T_b, ∂T_c⁺/∂T_c]` — next coolant temperature in the
+    /// prior state.
+    pub d_coolant: [f64; 2],
+    /// `[∂T_b⁺/∂Q, ∂T_c⁺/∂Q]` — both next temperatures in the battery
+    /// heat input.
+    pub d_battery_heat: [f64; 2],
+    /// `[∂T_b⁺/∂T_in, ∂T_c⁺/∂T_in]` — both next temperatures in the
+    /// coolant inlet temperature.
+    pub d_inlet: [f64; 2],
+}
+
 /// The thermal model: derivative evaluation plus two integrators.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ThermalModel {
@@ -271,6 +295,46 @@ impl ThermalModel {
         ThermalState {
             battery: Kelvin::new((b1 * m22 - b2 * m12) / det),
             coolant: Kelvin::new((b2 * m11 - b1 * m21) / det),
+        }
+    }
+
+    /// The exact Jacobian of [`ThermalModel::step_crank_nicolson`] for a
+    /// fixed step length. The two-node system is linear, so these
+    /// sensitivities are constants of the solve — compute once per MPC
+    /// horizon and reuse at every step of the adjoint backward sweep.
+    pub fn crank_nicolson_jacobian(&self, dt: Seconds) -> CrankNicolsonJacobian {
+        let p = &self.params;
+        let cb = p.battery_heat_capacity.value();
+        let cc = p.coolant_heat_capacity.value();
+        let h = p.battery_coolant_conductance.value();
+        let f = p.coolant_flow_capacity.value();
+        let ha = p.ambient_conductance.value();
+        let dtv = dt.value();
+
+        let a11 = -(h + ha) / cb;
+        let a12 = h / cb;
+        let a21 = h / cc;
+        let a22 = -(h + f) / cc;
+        let k = dtv / 2.0;
+        let m11 = 1.0 - k * a11;
+        let m12 = -k * a12;
+        let m21 = -k * a21;
+        let m22 = 1.0 - k * a22;
+        let det = m11 * m22 - m12 * m21;
+        // x⁺ = M⁻¹·((I + k·A)·x + dt·r): differentiate the solved linear
+        // map in the prior state, the heat source (enters r1) and the
+        // inlet temperature (enters r2).
+        CrankNicolsonJacobian {
+            d_battery: [
+                ((1.0 + k * a11) * m22 - k * a21 * m12) / det,
+                (k * a12 * m22 - (1.0 + k * a22) * m12) / det,
+            ],
+            d_coolant: [
+                (k * a21 * m11 - (1.0 + k * a11) * m21) / det,
+                ((1.0 + k * a22) * m11 - k * a12 * m21) / det,
+            ],
+            d_battery_heat: [(dtv / cb) * m22 / det, -(dtv / cb) * m21 / det],
+            d_inlet: [-(dtv * f / cc) * m12 / det, (dtv * f / cc) * m11 / det],
         }
     }
 
@@ -463,5 +527,72 @@ mod tests {
     fn with_ambient_overrides_environment() {
         let p = ThermalParams::ev_pack().with_ambient(c(35.0));
         assert_eq!(p.ambient_temperature, c(35.0));
+    }
+
+    #[test]
+    fn crank_nicolson_jacobian_matches_finite_differences() {
+        for params in [ThermalParams::ev_pack(), ThermalParams::city_pack()] {
+            let m = ThermalModel::new(params).unwrap();
+            let dt = Seconds::new(1.0);
+            let jac = m.crank_nicolson_jacobian(dt);
+            let base = ThermalState {
+                battery: c(33.0),
+                coolant: c(29.0),
+            };
+            let q = Watts::new(2_200.0);
+            let inlet = c(21.0);
+            let step = |s: ThermalState, q: Watts, inlet: Kelvin| -> (f64, f64) {
+                let next = m.step_crank_nicolson(s, q, inlet, dt);
+                (next.battery.value(), next.coolant.value())
+            };
+            // The CN step is affine in state and inputs, so a unit
+            // central difference is exact up to rounding — no truncation
+            // error, no cancellation on the small heat-input slopes.
+            let h = 1.0;
+            let check = |analytic: [f64; 2], plus: (f64, f64), minus: (f64, f64), what: &str| {
+                let fd = [
+                    (plus.0 - minus.0) / (2.0 * h),
+                    (plus.1 - minus.1) / (2.0 * h),
+                ];
+                for (a, f) in analytic.iter().zip(fd) {
+                    assert!(
+                        (a - f).abs() <= 1e-6 * f.abs().max(1e-9),
+                        "{what}: analytic {a} vs FD {f}"
+                    );
+                }
+            };
+            let bump_b = |d: f64| ThermalState {
+                battery: Kelvin::new(base.battery.value() + d),
+                ..base
+            };
+            let bump_c = |d: f64| ThermalState {
+                coolant: Kelvin::new(base.coolant.value() + d),
+                ..base
+            };
+            check(
+                [jac.d_battery[0], jac.d_coolant[0]],
+                step(bump_b(h), q, inlet),
+                step(bump_b(-h), q, inlet),
+                "∂/∂T_b",
+            );
+            check(
+                [jac.d_battery[1], jac.d_coolant[1]],
+                step(bump_c(h), q, inlet),
+                step(bump_c(-h), q, inlet),
+                "∂/∂T_c",
+            );
+            check(
+                jac.d_battery_heat,
+                step(base, Watts::new(q.value() + h), inlet),
+                step(base, Watts::new(q.value() - h), inlet),
+                "∂/∂Q",
+            );
+            check(
+                jac.d_inlet,
+                step(base, q, Kelvin::new(inlet.value() + h)),
+                step(base, q, Kelvin::new(inlet.value() - h)),
+                "∂/∂T_in",
+            );
+        }
     }
 }

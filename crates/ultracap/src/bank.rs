@@ -37,6 +37,19 @@ impl CapDraw {
     }
 }
 
+/// Partial derivatives of a resolved [`CapDraw`], row per output,
+/// columns over the inputs `[∂/∂power, ∂/∂SoE]`.
+///
+/// Produced by [`UltracapBank::draw_partials`] for the adjoint
+/// gradient's backward sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapDrawPartials {
+    /// Energy-store power `V·I` sensitivities (what the SoE integral sees).
+    pub internal_power: [f64; 2],
+    /// Bank current sensitivities.
+    pub current: [f64; 2],
+}
+
 /// An ultracapacitor bank with its state of energy.
 ///
 /// Sign convention: positive power/current **discharges** the bank.
@@ -178,6 +191,88 @@ impl UltracapBank {
             current: Amps::new(i),
             voltage: Volts::new(v),
         })
+    }
+
+    /// Slope of the open-circuit voltage in the state of energy,
+    /// `dV/dSoE = V_r/(2·√SoE)`. Guarded to zero on a fully depleted
+    /// bank, where the square root is not differentiable — the adjoint
+    /// must stay finite even at the saturation boundary.
+    pub fn voltage_slope(&self) -> f64 {
+        let soe = self.soe.value();
+        if soe > 0.0 {
+            self.params.rated_voltage.value() / (2.0 * soe.sqrt())
+        } else {
+            0.0
+        }
+    }
+
+    /// Slope of [`UltracapBank::max_discharge_power`] in the state of
+    /// energy: `E_cap` when the depletion guard binds, zero when the
+    /// interface power rating does.
+    pub fn discharge_limit_slope(&self) -> f64 {
+        if self.stored_energy().value() < self.params.max_power.value() {
+            self.params.energy_capacity().value()
+        } else {
+            0.0
+        }
+    }
+
+    /// Slope of [`UltracapBank::max_charge_power`] in the state of
+    /// energy: `−E_cap` when the headroom guard binds, zero when the
+    /// interface power rating does.
+    pub fn charge_limit_slope(&self) -> f64 {
+        let headroom = self.params.energy_capacity().value() - self.stored_energy().value();
+        if headroom < self.params.max_power.value() {
+            -self.params.energy_capacity().value()
+        } else {
+            0.0
+        }
+    }
+
+    /// Partial derivatives of the operating point
+    /// [`UltracapBank::draw_power`] resolves, columns over
+    /// `[∂/∂power, ∂/∂SoE]`. Differentiates exactly the branch the
+    /// forward call executes (including the depleted-bank voltage floor
+    /// of the zero-resistance model). Returns `None` where the forward
+    /// call errors or sits on a non-differentiable boundary.
+    pub fn draw_partials(&self, power: Watts) -> Option<CapDrawPartials> {
+        let p = power.value();
+        let v = self.voltage().value();
+        let dv = self.voltage_slope();
+        if v <= 0.0 && p > 0.0 {
+            return None;
+        }
+        let r = self.params.series_resistance;
+        if r == 0.0 {
+            let floor = 0.05 * self.params.rated_voltage.value();
+            if v > floor {
+                // i = p/v, internal = v·(p/v): unit power sensitivity,
+                // flat in SoE.
+                Some(CapDrawPartials {
+                    internal_power: [1.0, 0.0],
+                    current: [1.0 / v, -p / (v * v) * dv],
+                })
+            } else {
+                // Below the voltage floor: i = p/floor, internal = v·p/floor.
+                Some(CapDrawPartials {
+                    internal_power: [v / floor, p / floor * dv],
+                    current: [1.0 / floor, 0.0],
+                })
+            }
+        } else {
+            let disc = v * v - 4.0 * r * p;
+            if disc <= 0.0 {
+                return None;
+            }
+            let sqrt_d = disc.sqrt();
+            let i = (v - sqrt_d) / (2.0 * r);
+            let di_dp = 1.0 / sqrt_d;
+            let di_dv = (1.0 - v / sqrt_d) / (2.0 * r);
+            Some(CapDrawPartials {
+                internal_power: [v * di_dp, (i + v * di_dv) * dv],
+                current: [di_dp, di_dv * dv],
+            })
+        }
     }
 
     /// Applies a resolved operating point for one time step: advances the
@@ -341,5 +436,157 @@ mod tests {
         b.set_soe(Ratio::new(0.3));
         let expected = 0.3 * b.params().energy_capacity().value();
         assert!((b.stored_energy().value() - expected).abs() < 1e-9);
+    }
+
+    fn fd_columns(b: &UltracapBank, p: f64) -> ([f64; 2], [f64; 2]) {
+        let h_p = 1.0e-2;
+        let h_s = 1.0e-8;
+        let at = |bank: &UltracapBank, power: f64| -> (f64, f64) {
+            let d = bank.draw_power(Watts::new(power)).expect("feasible");
+            (d.internal_power.value(), d.current.value())
+        };
+        let (ip_hi, i_hi) = at(b, p + h_p);
+        let (ip_lo, i_lo) = at(b, p - h_p);
+        let mut hi = b.clone();
+        hi.set_soe(Ratio::new(b.soe().value() + h_s));
+        let mut lo = b.clone();
+        lo.set_soe(Ratio::new(b.soe().value() - h_s));
+        let (ip_sh, i_sh) = at(&hi, p);
+        let (ip_sl, i_sl) = at(&lo, p);
+        (
+            [(ip_hi - ip_lo) / (2.0 * h_p), (ip_sh - ip_sl) / (2.0 * h_s)],
+            [(i_hi - i_lo) / (2.0 * h_p), (i_sh - i_sl) / (2.0 * h_s)],
+        )
+    }
+
+    fn assert_close(analytic: f64, fd: f64, what: &str) {
+        // Absolute floor: the SoE column differences ~1e4 W values over
+        // a 2e-8 step, so one ulp of roundoff already shows up as ~1e-4
+        // of spurious FD "slope" — below that, FD noise is not signal.
+        let tol = 1e-4 * fd.abs() + 2.0e-4;
+        assert!(
+            (analytic - fd).abs() <= tol,
+            "{what}: analytic {analytic} vs FD {fd}"
+        );
+    }
+
+    #[test]
+    fn draw_partials_match_finite_differences_zero_resistance() {
+        for (soe, p) in [(0.6, 12_000.0), (0.6, -9_000.0), (0.2, 4_000.0)] {
+            let mut b = bank();
+            b.set_soe(Ratio::new(soe));
+            let partials = b.draw_partials(Watts::new(p)).expect("differentiable");
+            let (fd_ip, fd_i) = fd_columns(&b, p);
+            assert_close(partials.internal_power[0], fd_ip[0], "∂internal/∂p");
+            assert_close(partials.internal_power[1], fd_ip[1], "∂internal/∂soe");
+            assert_close(partials.current[0], fd_i[0], "∂i/∂p");
+            assert_close(partials.current[1], fd_i[1], "∂i/∂soe");
+        }
+    }
+
+    #[test]
+    fn draw_partials_follow_the_voltage_floor_branch() {
+        // Below 5 % of rated voltage (SoE < 0.0025) the zero-resistance
+        // model pins the current denominator to the floor; only charging
+        // is feasible there.
+        let mut b = bank();
+        b.set_soe(Ratio::new(1.0e-3));
+        let p = -1_000.0;
+        let partials = b.draw_partials(Watts::new(p)).expect("differentiable");
+        let floor = 0.05 * b.params().rated_voltage.value();
+        let v = b.voltage().value();
+        assert!(v < floor, "test must exercise the floor branch");
+        assert!((partials.internal_power[0] - v / floor).abs() < 1e-12);
+        let (fd_ip, fd_i) = fd_columns(&b, p);
+        assert_close(partials.internal_power[0], fd_ip[0], "∂internal/∂p");
+        assert_close(partials.internal_power[1], fd_ip[1], "∂internal/∂soe");
+        assert_close(partials.current[0], fd_i[0], "∂i/∂p");
+        assert_close(partials.current[1], fd_i[1], "∂i/∂soe");
+    }
+
+    #[test]
+    fn draw_partials_match_finite_differences_with_resistance() {
+        let params = UltracapParams {
+            series_resistance: 2.0e-4,
+            ..UltracapParams::default()
+        };
+        for (soe, p) in [(0.8, 10_000.0), (0.5, -15_000.0)] {
+            let mut b = UltracapBank::new(params).unwrap();
+            b.set_soe(Ratio::new(soe));
+            let partials = b.draw_partials(Watts::new(p)).expect("differentiable");
+            let (fd_ip, fd_i) = fd_columns(&b, p);
+            assert_close(partials.internal_power[0], fd_ip[0], "∂internal/∂p");
+            assert_close(partials.internal_power[1], fd_ip[1], "∂internal/∂soe");
+            assert_close(partials.current[0], fd_i[0], "∂i/∂p");
+            assert_close(partials.current[1], fd_i[1], "∂i/∂soe");
+        }
+    }
+
+    #[test]
+    fn draw_partials_none_on_infeasible_branches() {
+        let mut b = bank();
+        b.set_soe(Ratio::ZERO);
+        assert!(b.draw_partials(Watts::new(1_000.0)).is_none());
+        let params = UltracapParams {
+            series_resistance: 0.1,
+            ..UltracapParams::default()
+        };
+        let mut r = UltracapBank::new(params).unwrap();
+        r.set_soe(Ratio::new(0.5));
+        // Past the quadratic's vertex the forward solve errors too.
+        let v = r.voltage().value();
+        let over = v * v / (4.0 * 0.1) * 1.5;
+        assert!(r.draw_partials(Watts::new(over)).is_none());
+    }
+
+    #[test]
+    fn envelope_limit_slopes_track_the_active_constraint() {
+        let e_cap = bank().params().energy_capacity().value();
+        let max_p = bank().params().max_power.value();
+
+        // Nearly depleted: discharge is energy-limited, charge power-limited.
+        let mut low = bank();
+        low.set_soe(Ratio::new(0.5 * max_p / e_cap));
+        assert_eq!(low.discharge_limit_slope(), e_cap);
+        assert_eq!(low.charge_limit_slope(), 0.0);
+
+        // Nearly full: charge is headroom-limited, discharge power-limited.
+        let mut high = bank();
+        high.set_soe(Ratio::new(1.0 - 0.5 * max_p / e_cap));
+        assert_eq!(high.discharge_limit_slope(), 0.0);
+        assert_eq!(high.charge_limit_slope(), -e_cap);
+
+        // FD check on the energy-limited sides.
+        let h = 1e-7;
+        let at = |soe: f64| {
+            let mut b = bank();
+            b.set_soe(Ratio::new(soe));
+            (
+                b.max_discharge_power().value(),
+                b.max_charge_power().value(),
+            )
+        };
+        let s = low.soe().value();
+        let fd_dis = (at(s + h).0 - at(s - h).0) / (2.0 * h);
+        assert!((low.discharge_limit_slope() - fd_dis).abs() <= 1e-3 * e_cap);
+        let s = high.soe().value();
+        let fd_chg = (at(s + h).1 - at(s - h).1) / (2.0 * h);
+        assert!((high.charge_limit_slope() - fd_chg).abs() <= 1e-3 * e_cap);
+    }
+
+    #[test]
+    fn voltage_slope_matches_finite_difference_and_is_finite_when_empty() {
+        let mut b = bank();
+        b.set_soe(Ratio::new(0.36));
+        let h = 1e-8;
+        let at = |soe: f64| {
+            let mut c = bank();
+            c.set_soe(Ratio::new(soe));
+            c.voltage().value()
+        };
+        let fd = (at(0.36 + h) - at(0.36 - h)) / (2.0 * h);
+        assert!((b.voltage_slope() - fd).abs() <= 1e-4 * fd.abs());
+        b.set_soe(Ratio::ZERO);
+        assert_eq!(b.voltage_slope(), 0.0);
     }
 }

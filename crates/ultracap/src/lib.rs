@@ -34,6 +34,6 @@ mod bank;
 mod error;
 mod params;
 
-pub use bank::{CapDraw, UltracapBank};
+pub use bank::{CapDraw, CapDrawPartials, UltracapBank};
 pub use error::UltracapError;
 pub use params::UltracapParams;

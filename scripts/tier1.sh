@@ -24,4 +24,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> trace_report --steps 20 (span accounting)"
 cargo run -q --release -p otem-bench --bin trace_report -- --steps 20
 
+# Adjoint-gradient gates: FD-vs-adjoint parity on the rollout objective
+# (proptest, ≤1e-6 relative error), then a release smoke asserting the
+# tape gradient's rollouts/solve stays horizon-independent.
+echo "==> gradient parity (FD vs adjoint)"
+cargo test -q --test gradient_parity
+
+echo "==> perf_report --gradient adjoint (rollout-count smoke)"
+cargo run -q --release -p otem-bench --bin perf_report -- --gradient adjoint
+
 echo "tier-1: all green"

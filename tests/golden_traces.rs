@@ -203,6 +203,86 @@ fn golden_otem() {
     check("otem", &mut c);
 }
 
+fn adjoint_otem() -> Otem {
+    use otem_repro::control::mpc::MpcConfig;
+    use otem_repro::solver::GradientMode;
+
+    let config = SystemConfig::stress_rig();
+    Otem::with_mpc(
+        &config,
+        MpcConfig {
+            gradient_mode: GradientMode::Adjoint,
+            ..MpcConfig::default()
+        },
+    )
+    .expect("valid")
+}
+
+/// The adjoint gradient's own closed-loop pin: the reverse-mode sweep
+/// drives the same rig and its trace is frozen against
+/// `tests/golden/otem_adjoint.csv` with the full golden tolerances, so
+/// any behavioural drift in the tape or backward recursion fails here
+/// exactly like a solver change fails `golden_otem`.
+#[test]
+fn golden_otem_adjoint() {
+    check("otem_adjoint", &mut adjoint_otem());
+}
+
+/// Cross-mode contract: the adjoint and finite-difference gradients must
+/// land on the *same physical behaviour*. Bit-level trajectory identity
+/// is not achievable — the solver stops on an iteration budget, warm
+/// starts carry each solve's endpoint into the next, and wherever an
+/// evaluation sits within a finite-difference step of a clamp branch the
+/// FD stencil straddles branches while the adjoint differentiates the
+/// executed one, so the iterate paths are free to split at kinks. (At
+/// smooth points the gradients agree to ≤ 1e-6 — see
+/// `tests/gradient_parity.rs` — and the adjoint adopts central-
+/// difference subgradient conventions *on* the kink set.) What must
+/// hold is physical agreement over the whole route: battery temperature
+/// within 0.2 °C, states of charge/energy within 5e-4 / 5e-3, and
+/// cumulative delivered energy within 0.5 %. Measured slack is ≥ 3× on
+/// every bound.
+#[test]
+fn adjoint_gradient_agrees_with_the_fd_golden_physically() {
+    let result = run(&mut adjoint_otem());
+    let rows = rows_of(&result);
+    assert_eq!(rows.len(), STEPS, "route truncated for adjoint otem");
+
+    let path = golden_path("otem");
+    let text = std::fs::read_to_string(&path).expect("otem golden present");
+    let expected = decode(&text, &path);
+    let mut energy_got = 0.0;
+    let mut energy_want = 0.0;
+    for (got, want) in rows.iter().zip(&expected) {
+        let t = got.step;
+        assert!(
+            (got.t_battery_c - want.t_battery_c).abs() <= 0.2,
+            "adjoint otem step {t}: T_b {} vs FD golden {}",
+            got.t_battery_c,
+            want.t_battery_c
+        );
+        assert!(
+            (got.soc - want.soc).abs() <= 5e-4,
+            "adjoint otem step {t}: SoC {} vs FD golden {}",
+            got.soc,
+            want.soc
+        );
+        assert!(
+            (got.soe - want.soe).abs() <= 5e-3,
+            "adjoint otem step {t}: SoE {} vs FD golden {}",
+            got.soe,
+            want.soe
+        );
+        energy_got += got.delivered_w;
+        energy_want += want.delivered_w;
+    }
+    let rel = (energy_got - energy_want).abs() / energy_want.abs().max(1.0);
+    assert!(
+        rel <= 5e-3,
+        "delivered energy drift {rel:.3e} ({energy_got:.4e} vs {energy_want:.4e} W·s)"
+    );
+}
+
 /// The supervisor's zero-cost contract: on the nominal rig it must be
 /// invisible — bit-identical records to unsupervised OTEM (same golden
 /// trace, no new CSV) and a silent degradation ladder. This is checked

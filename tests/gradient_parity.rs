@@ -1,0 +1,220 @@
+//! FD-vs-adjoint parity: the hand-derived reverse-mode gradient of the
+//! MPC rollout objective must reproduce finite differences to ≤ 1e-6
+//! relative error across random plant states, horizons, and move-block
+//! sizes — and stay finite on the degenerate corners where finite
+//! differences themselves become ill-conditioned.
+//!
+//! The FD reference is O(h⁴) Richardson-extrapolated central
+//! differences: the `w2` aging term's Arrhenius curvature gives plain
+//! central differences at `h ≈ cbrt(ε)` a truncation error of the same
+//! order as the tolerance being asserted, which would test the FD
+//! scheme, not the adjoint. Decision points are drawn away from the
+//! objective's measure-zero kink set (converter no-load ramp at zero
+//! cap share, the duty box bounds), where one-sided derivatives differ
+//! and neither FD nor the adjoint is canonical.
+
+use otem_repro::control::mpc::{rollout_cost, rollout_gradient_adjoint, MpcConfig, MpcPlant};
+use otem_repro::control::SystemConfig;
+use otem_repro::hees::HybridHees;
+use otem_repro::thermal::{CoolingPlant, ThermalModel, ThermalState};
+use otem_repro::units::{Farads, Kelvin, Ratio, Seconds, Watts};
+use proptest::prelude::*;
+
+fn plant(config: &SystemConfig, soc: f64, soe: f64, celsius: f64) -> MpcPlant {
+    let mut hees = HybridHees::ev_default(Farads::new(25_000.0)).expect("valid preset");
+    hees.set_state(Ratio::new(soc), Ratio::new(soe));
+    MpcPlant {
+        hees,
+        thermal: ThermalModel::new(config.thermal_active).expect("valid thermal"),
+        plant: CoolingPlant::new(config.plant).expect("valid plant"),
+        state: ThermalState::uniform(Kelvin::from_celsius(celsius)),
+        aging: config.aging,
+        soc_min: config.soc_min,
+        soe_min: config.soe_min,
+        battery_power_max: config.battery_power_max,
+        cap_power_max: config.cap_power_max,
+    }
+}
+
+/// Deterministic splitmix64 — fills load forecasts and decision vectors
+/// from one seed so every proptest case is reproducible on its own.
+struct Mix(u64);
+
+impl Mix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+}
+
+/// A decision vector with every coordinate away from the kink set: cap
+/// shares with magnitude in `[0.03, 0.9]` (the converter's no-load-loss
+/// ramp has a genuine kink at zero power), duties in `[0.05, 0.95]`
+/// (inside the clamp).
+fn interior_decisions(n: usize, mix: &mut Mix) -> Vec<f64> {
+    let mut z = vec![0.0; 2 * n];
+    for zi in z.iter_mut().take(n) {
+        let magnitude = mix.range(0.03, 0.9);
+        *zi = if mix.unit() < 0.5 {
+            magnitude
+        } else {
+            -magnitude
+        };
+    }
+    for zi in z.iter_mut().skip(n) {
+        *zi = mix.range(0.05, 0.95);
+    }
+    z
+}
+
+/// O(h⁴) Richardson-extrapolated central differences.
+fn richardson_gradient(z: &[f64], mut f: impl FnMut(&[f64]) -> f64) -> Vec<f64> {
+    let h = 1e-4;
+    let mut zp = z.to_vec();
+    let mut grad = vec![0.0; z.len()];
+    for (i, g) in grad.iter_mut().enumerate() {
+        let orig = zp[i];
+        let mut central = |step: f64| {
+            zp[i] = orig + step;
+            let fp = f(&zp);
+            zp[i] = orig - step;
+            let fm = f(&zp);
+            zp[i] = orig;
+            (fp - fm) / (2.0 * step)
+        };
+        let coarse = central(h);
+        let fine = central(h / 2.0);
+        *g = (4.0 * fine - coarse) / 3.0;
+    }
+    grad
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn adjoint_matches_fd_across_random_states_and_horizons(
+        soc in 0.35..0.95f64,
+        soe in 0.15..0.9f64,
+        celsius in 15.0..41.0f64,
+        horizon in 1usize..41,
+        block in prop_oneof![Just(1usize), Just(5usize)],
+        seed in 0u64..1_000_000,
+    ) {
+        let config = SystemConfig::default();
+        let p = plant(&config, soc, soe, celsius);
+        let cfg = MpcConfig {
+            horizon,
+            block_size: block,
+            ..MpcConfig::default()
+        };
+        // Move blocking stretches each decision over `block` control
+        // periods; the rollout sees that as a longer step.
+        let dt = Seconds::new(block as f64);
+        let mut mix = Mix(seed);
+        let loads: Vec<Watts> = (0..horizon)
+            .map(|_| Watts::new(mix.range(-20_000.0, 70_000.0)))
+            .collect();
+        let z = interior_decisions(horizon, &mut mix);
+
+        let mut adjoint = vec![0.0; 2 * horizon];
+        let cost = rollout_gradient_adjoint(&p, &loads, dt, &cfg, &z, &mut adjoint);
+        // Taped forward pass must be bit-identical to the objective.
+        prop_assert_eq!(
+            cost.to_bits(),
+            rollout_cost(&p, &loads, dt, &cfg, &z).to_bits()
+        );
+
+        let fd = richardson_gradient(&z, |zz| rollout_cost(&p, &loads, dt, &cfg, zz));
+        let scale = fd.iter().fold(1.0_f64, |m, g| m.max(g.abs()));
+        for (i, (a, f)) in adjoint.iter().zip(fd.iter()).enumerate() {
+            prop_assert!(
+                (a - f).abs() <= 1e-6 * scale,
+                "coordinate {} (horizon {}, block {}): adjoint {:.9e} vs FD {:.9e}",
+                i, horizon, block, a, f
+            );
+        }
+    }
+}
+
+/// A zero-length forecast leaves every stage load at zero and the
+/// terminal C-rate at its floor; central differences still work here,
+/// but the division-heavy terminal term makes it the classic corner for
+/// sign mistakes. The adjoint must stay finite and keep matching.
+#[test]
+fn zero_length_forecast_stays_finite_and_matches_fd() {
+    let config = SystemConfig::default();
+    let p = plant(&config, 0.7, 0.5, 36.0);
+    let n = 6;
+    let cfg = MpcConfig {
+        horizon: n,
+        ..MpcConfig::default()
+    };
+    let loads: [Watts; 0] = [];
+    let dt = Seconds::new(1.0);
+    let mut mix = Mix(7);
+    let z = interior_decisions(n, &mut mix);
+
+    let mut adjoint = vec![0.0; 2 * n];
+    let cost = rollout_gradient_adjoint(&p, &loads, dt, &cfg, &z, &mut adjoint);
+    assert!(cost.is_finite());
+    assert!(adjoint.iter().all(|g| g.is_finite()), "{adjoint:?}");
+
+    let fd = richardson_gradient(&z, |zz| rollout_cost(&p, &loads, dt, &cfg, zz));
+    let scale = fd.iter().fold(1.0_f64, |m, g| m.max(g.abs()));
+    for (i, (a, f)) in adjoint.iter().zip(fd.iter()).enumerate() {
+        assert!(
+            (a - f).abs() <= 1e-6 * scale,
+            "coordinate {i}: adjoint {a:.9e} vs FD {f:.9e}"
+        );
+    }
+}
+
+/// A saturated ultracapacitor pins the bank on its feasibility clamp:
+/// the objective is only piecewise-smooth there and finite differences
+/// straddle the clamp branches (step size comparable to the distance to
+/// the branch boundary), so parity is not defined — but the adjoint
+/// must differentiate the executed branch and return finite numbers.
+#[test]
+fn saturated_ultracap_keeps_the_adjoint_finite() {
+    let config = SystemConfig::default();
+    for (soe, share) in [(0.0, 0.95), (1.0, -0.95), (0.02, 0.99)] {
+        let p = plant(&config, 0.8, soe, 34.0);
+        let n = 8;
+        let cfg = MpcConfig {
+            horizon: n,
+            ..MpcConfig::default()
+        };
+        let loads = vec![Watts::new(45_000.0); n];
+        let dt = Seconds::new(1.0);
+        let mut z = vec![0.0; 2 * n];
+        z[..n].fill(share); // slam the bank against its clamp
+        z[n..].fill(0.4);
+
+        let mut adjoint = vec![0.0; 2 * n];
+        let cost = rollout_gradient_adjoint(&p, &loads, dt, &cfg, &z, &mut adjoint);
+        assert!(cost.is_finite(), "soe {soe}, share {share}");
+        assert!(
+            adjoint.iter().all(|g| g.is_finite()),
+            "soe {soe}, share {share}: {adjoint:?}"
+        );
+        // And the taped forward pass is still the exact objective.
+        assert_eq!(
+            cost.to_bits(),
+            rollout_cost(&p, &loads, dt, &cfg, &z).to_bits()
+        );
+    }
+}

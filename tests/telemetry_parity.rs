@@ -17,6 +17,7 @@ use otem_repro::control::mpc::MpcConfig;
 use otem_repro::control::policy::Otem;
 use otem_repro::control::{Simulator, SystemConfig};
 use otem_repro::drivecycle::PowerTrace;
+use otem_repro::solver::GradientMode;
 use otem_repro::telemetry::{MemorySink, NullSink};
 use otem_repro::units::{Seconds, Watts};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -134,4 +135,37 @@ fn null_sink_is_bit_identical_and_allocation_free() {
         "NullSink instrumentation allocated ({null_allocs} vs {plain_allocs})"
     );
     assert!(plain_allocs > 0, "counting allocator not engaged");
+
+    // 3. Steady-state solver work is allocation-free: with the workspace
+    // pool warm (second run on the same controller) and the adjoint tape
+    // gradient (no per-gradient thread spawns, unlike the parallel-FD
+    // fan), quadrupling the per-solve iteration budget — each iteration
+    // doing a gradient, projections, and up to 40 backtracking trials —
+    // must not change the run's allocation count at all. Anything the
+    // solver loop heap-allocated per iteration would scale with the
+    // budget and break the equality.
+    let budget_allocs = |iterations: usize| {
+        let mut otem = Otem::with_mpc(
+            &config,
+            MpcConfig {
+                horizon: 4,
+                solver_iterations: iterations,
+                gradient_mode: GradientMode::Adjoint,
+                ..MpcConfig::default()
+            },
+        )
+        .expect("valid");
+        let _ = sim.run(&mut otem, &trace); // warm the pool + tape
+        let before = allocations();
+        let _ = sim.run(&mut otem, &trace);
+        allocations() - before
+    };
+    let lean = budget_allocs(2);
+    let heavy = budget_allocs(8);
+    assert_eq!(
+        lean, heavy,
+        "per-iteration solver work hit the heap ({lean} allocs at 2 \
+         iterations vs {heavy} at 8)"
+    );
+    assert!(lean > 0, "counting allocator not engaged for the MPC runs");
 }
