@@ -1,0 +1,303 @@
+//! Fleet-scale throughput benchmark: batched campaigns through the
+//! sharded engine, plus a loopback round-trip section against the
+//! serving layer. Writes `BENCH_fleet.json`.
+//!
+//! Usage:
+//! `cargo run --release -p otem-bench --bin fleet_bench -- [flags]`
+//!
+//! | flag | effect |
+//! |------|--------|
+//! | `--smoke` | quick gate for `scripts/tier1.sh`: determinism across schedules/shards + a server round trip; writes nothing |
+//! | `--vehicles N` | campaign size for `--smoke` (default 64) |
+//! | `--full` | adds the 100k-vehicle campaign to the report |
+//! | `--seed S` | campaign family (default 42) |
+//! | `--shards K` | worker count (default: available parallelism) |
+//!
+//! Every campaign row records vehicles/sec, steps/sec and the
+//! per-vehicle latency tail (p50/p95/p99) under the work-stealing
+//! scheduler; the smallest campaign also compares serial vs static vs
+//! work-stealing wall time, and every row pins the fleet checksum so a
+//! future change that alters any vehicle's record stream shows up as a
+//! checksum diff in the committed report.
+
+use otem_fleet::{Campaign, FleetEngine, FleetServer, Schedule, ServerConfig, ServerHandle};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Instant;
+
+const SERVER_REQUESTS: usize = 24;
+const SERVER_VEHICLES: usize = 32;
+
+struct Args {
+    smoke: bool,
+    full: bool,
+    vehicles: usize,
+    seed: u64,
+    shards: usize,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        smoke: false,
+        full: false,
+        vehicles: 64,
+        seed: 42,
+        shards: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs an integer value"))
+        };
+        match arg.as_str() {
+            "--smoke" => out.smoke = true,
+            "--full" => out.full = true,
+            "--vehicles" => out.vehicles = value("--vehicles") as usize,
+            "--seed" => out.seed = value("--seed"),
+            "--shards" => out.shards = (value("--shards") as usize).max(1),
+            other => panic!("unrecognised argument {other:?}"),
+        }
+    }
+    out
+}
+
+fn quantiles_json(latency: &otem_telemetry::Histogram) -> String {
+    format!(
+        "{{ \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }}",
+        latency.quantile(0.50),
+        latency.quantile(0.95),
+        latency.quantile(0.99)
+    )
+}
+
+/// One loopback HTTP exchange; returns the response body lines.
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect to fleet server");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("request written");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response read");
+    let (head, payload) = response.split_once("\r\n\r\n").expect("http response");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "{method} {path} failed: {head}"
+    );
+    payload.lines().map(str::to_owned).collect()
+}
+
+fn spawn_server(shards: usize) -> ServerHandle {
+    FleetServer::new(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards,
+        max_vehicles: 100_000,
+    })
+    .spawn()
+    .expect("bind loopback server")
+}
+
+/// The tier-1 gate: schedules and shard counts must not change a single
+/// bit of any vehicle's summary, and the serving layer must round-trip.
+fn smoke(args: &Args) {
+    let campaign = Campaign::synthetic(args.vehicles, args.seed);
+    let reference = FleetEngine::new(Schedule::Serial)
+        .run(&campaign)
+        .expect("serial campaign");
+    println!(
+        "smoke: {} vehicles, {} steps, serial {:.2}s ({:.0} steps/s)",
+        args.vehicles,
+        reference.total_steps,
+        reference.wall_s,
+        reference.steps_per_sec()
+    );
+    for shards in [1usize, 4, 16] {
+        for schedule in [
+            Schedule::Static { shards },
+            Schedule::WorkStealing { shards },
+        ] {
+            let report = FleetEngine::new(schedule).run(&campaign).expect("campaign");
+            assert_eq!(
+                report.summaries, reference.summaries,
+                "{schedule:?} diverged from the serial reference"
+            );
+            println!(
+                "smoke: {:>7}x{:<2} OK  {:.2}s  checksum {:016x}",
+                schedule.wire_name(),
+                shards,
+                report.wall_s,
+                report.fleet_checksum()
+            );
+        }
+    }
+
+    // Loopback server round trip: simulate a small fleet and check the
+    // served checksum against the in-process engine.
+    let mut handle = spawn_server(2);
+    let lines = http(handle.addr(), "GET", "/healthz", "");
+    assert_eq!(lines, ["{\"status\":\"ok\"}"], "healthz");
+    let body = format!("{{\"vehicles\":16,\"seed\":{}}}", args.seed);
+    let lines = http(handle.addr(), "POST", "/simulate", &body);
+    assert_eq!(lines.len(), 17, "16 summaries + fleet trailer");
+    let local = FleetEngine::new(Schedule::Serial)
+        .run(&Campaign::synthetic(16, args.seed))
+        .expect("local 16-vehicle campaign");
+    let want = format!("\"fleet_checksum\":\"{:016x}\"", local.fleet_checksum());
+    assert!(
+        lines[16].contains(&want),
+        "served checksum diverges from the engine: {}",
+        lines[16]
+    );
+    let lines = http(handle.addr(), "POST", "/shutdown", "");
+    assert_eq!(lines, ["{\"event\":\"shutdown\"}"], "shutdown ack");
+    handle.shutdown();
+    println!("smoke: server round trip OK (checksum matched, clean shutdown)");
+    println!("fleet smoke PASS");
+}
+
+fn bench(args: &Args) {
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut sizes = vec![1_000usize, 10_000];
+    if args.full {
+        sizes.push(100_000);
+    }
+
+    println!(
+        "{:<9} {:>10} {:>9} {:>11} {:>11} {:>9} {:>9} {:>9}",
+        "vehicles", "steps", "wall_s", "veh/s", "steps/s", "p50_ms", "p95_ms", "p99_ms"
+    );
+    let mut rows = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let campaign = Campaign::synthetic(n, args.seed);
+        let report = FleetEngine::new(Schedule::WorkStealing {
+            shards: args.shards,
+        })
+        .run(&campaign)
+        .expect("campaign runs");
+        println!(
+            "{:<9} {:>10} {:>9.2} {:>11.1} {:>11.0} {:>9.3} {:>9.3} {:>9.3}",
+            n,
+            report.total_steps,
+            report.wall_s,
+            report.vehicles_per_sec(),
+            report.steps_per_sec(),
+            report.latency_ms.quantile(0.50),
+            report.latency_ms.quantile(0.95),
+            report.latency_ms.quantile(0.99)
+        );
+        // Schedule comparison on the smallest campaign only: the point
+        // is the *relative* cost of static chunking vs stealing on a
+        // heterogeneous fleet, which doesn't need the big runs.
+        let comparison = if i == 0 {
+            let serial = FleetEngine::new(Schedule::Serial)
+                .run(&campaign)
+                .expect("serial");
+            let fixed = FleetEngine::new(Schedule::Static {
+                shards: args.shards,
+            })
+            .run(&campaign)
+            .expect("static");
+            assert_eq!(serial.summaries, report.summaries, "steal diverged");
+            assert_eq!(fixed.summaries, report.summaries, "static diverged");
+            println!(
+                "          schedules @ {n}: serial {:.2}s, static {:.2}s, steal {:.2}s",
+                serial.wall_s, fixed.wall_s, report.wall_s
+            );
+            format!(
+                ",\n      \"schedule_wall_s\": {{ \"serial\": {:.4}, \"static\": {:.4}, \"steal\": {:.4} }}",
+                serial.wall_s, fixed.wall_s, report.wall_s
+            )
+        } else {
+            String::new()
+        };
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"vehicles\": {},\n",
+                "      \"total_steps\": {},\n",
+                "      \"schedule\": \"steal\",\n",
+                "      \"wall_s\": {:.4},\n",
+                "      \"vehicles_per_sec\": {:.2},\n",
+                "      \"steps_per_sec\": {:.1},\n",
+                "      \"latency_ms\": {},\n",
+                "      \"fleet_checksum\": \"{:016x}\"{}\n",
+                "    }}"
+            ),
+            n,
+            report.total_steps,
+            report.wall_s,
+            report.vehicles_per_sec(),
+            report.steps_per_sec(),
+            quantiles_json(&report.latency_ms),
+            report.fleet_checksum(),
+            comparison
+        ));
+    }
+
+    // Serving-layer tail latency: loopback requests against a live
+    // server, timed end-to-end from the client side.
+    let mut handle = spawn_server(args.shards);
+    let request_latency = otem_telemetry::Histogram::exponential(0.01, 2.0, 23);
+    let body = format!("{{\"vehicles\":{SERVER_VEHICLES},\"seed\":{}}}", args.seed);
+    for _ in 0..SERVER_REQUESTS {
+        let t0 = Instant::now();
+        let lines = http(handle.addr(), "POST", "/simulate", &body);
+        request_latency.observe(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(lines.len(), SERVER_VEHICLES + 1);
+    }
+    let metrics = http(handle.addr(), "GET", "/metrics", "");
+    println!(
+        "server: {SERVER_REQUESTS} x {SERVER_VEHICLES}-vehicle requests, \
+         p50 {:.2} ms, p99 {:.2} ms",
+        request_latency.quantile(0.50),
+        request_latency.quantile(0.99)
+    );
+    println!("server: {}", metrics[0]);
+    handle.shutdown();
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fleet_engine\",\n",
+            "  \"seed\": {},\n",
+            "  \"cpu_cores\": {},\n",
+            "  \"shards\": {},\n",
+            "  \"campaigns\": [\n{}\n  ],\n",
+            "  \"server\": {{\n",
+            "    \"requests\": {},\n",
+            "    \"vehicles_per_request\": {},\n",
+            "    \"request_latency_ms\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        args.seed,
+        cores,
+        args.shards,
+        rows.join(",\n"),
+        SERVER_REQUESTS,
+        SERVER_VEHICLES,
+        quantiles_json(&request_latency)
+    );
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!(
+        "\nwrote BENCH_fleet.json ({} shards on {cores} cores)",
+        args.shards
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    if args.smoke {
+        smoke(&args);
+    } else {
+        bench(&args);
+    }
+}

@@ -156,57 +156,10 @@ pub fn pct(x: f64) -> String {
     format!("{:+.1}%", x * 100.0)
 }
 
-/// Fans independent jobs across scoped worker threads and returns the
-/// results **in job order**.
-///
-/// Sized like the solver's `GradientMode::Parallel` fan:
-/// [`std::thread::available_parallelism`] clamped to `[1, jobs]`, plain
-/// [`std::thread::scope`] with no runtime dependency. Each worker owns a
-/// contiguous chunk of jobs and writes into the matching chunk of the
-/// result vector, so the output ordering is deterministic regardless of
-/// thread interleaving — the sweep binaries rely on that to keep their
-/// tables and JSONL streams stable across machines.
-pub fn fan_indexed<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(usize, T) -> R + Sync,
-{
-    let n = jobs.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .clamp(1, n.max(1));
-    if threads <= 1 {
-        return jobs.into_iter().enumerate().map(|(i, j)| f(i, j)).collect();
-    }
-    let mut slots: Vec<Option<T>> = jobs.into_iter().map(Some).collect();
-    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (idx, (job_chunk, result_chunk)) in slots
-            .chunks_mut(chunk)
-            .zip(results.chunks_mut(chunk))
-            .enumerate()
-        {
-            let f = &f;
-            scope.spawn(move || {
-                for (offset, (job, slot)) in job_chunk
-                    .iter_mut()
-                    .zip(result_chunk.iter_mut())
-                    .enumerate()
-                {
-                    let job = job.take().expect("each job is run exactly once");
-                    *slot = Some(f(idx * chunk + offset, job));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every worker fills its chunk"))
-        .collect()
-}
+// The worker-pool fans moved to `otem_fleet::pool` (PR 6) so the fleet
+// engine and the sweep binaries share one implementation; re-exported
+// here to keep the sweep binaries' call sites unchanged.
+pub use otem_fleet::pool::{fan_indexed, fan_indexed_capped, fan_stealing};
 
 #[cfg(test)]
 mod tests {

@@ -61,5 +61,5 @@ pub use config::SystemConfig;
 pub use controller::{Controller, PlantFault, StepRecord, SystemState};
 pub use error::OtemError;
 pub use metrics::SimulationResult;
-pub use sim::Simulator;
+pub use sim::{RunTotals, Simulator};
 pub use supervisor::{SupervisedOtem, SupervisorConfig};

@@ -9,6 +9,18 @@ use otem_drivecycle::PowerTrace;
 use otem_telemetry::{span, Event, NullSink, Sink};
 use serde::{Deserialize, Serialize};
 
+/// Scalar outcome of a streamed run (see [`Simulator::run_each`]):
+/// what the closed loop accumulated without retaining per-step records.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunTotals {
+    /// Steps executed (equals the trace length).
+    pub steps: usize,
+    /// Accumulated battery capacity loss (fraction of rated capacity) —
+    /// the paper's `Q_loss` output, bit-identical to
+    /// [`crate::SimulationResult::capacity_loss`] for the same run.
+    pub capacity_loss: f64,
+}
+
 /// Drives a [`Controller`] over a [`PowerTrace`], accumulating the
 /// paper's outputs (`Q_loss`, `Energy`) and the full step records.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,9 +68,37 @@ impl Simulator {
         trace: &PowerTrace,
         sink: &dyn Sink,
     ) -> SimulationResult {
+        let mut records = Vec::with_capacity(trace.len());
+        let totals = self.run_each(controller, trace, sink, |_, record| records.push(*record));
+        SimulationResult {
+            methodology: controller.name(),
+            dt: self.config.dt,
+            records,
+            capacity_loss: totals.capacity_loss,
+        }
+    }
+
+    /// The streaming core of [`Simulator::run_with`]: identical step
+    /// loop, but each [`StepRecord`](crate::StepRecord) is handed to
+    /// `observe` instead of retained. This is the entry point for
+    /// fleet-scale batch runs, where keeping every vehicle's full record
+    /// vector would dominate memory (100k vehicles × hundreds of steps)
+    /// — the observer folds whatever summary it needs and the records
+    /// are gone.
+    ///
+    /// [`Simulator::run_with`] is implemented on top of this method
+    /// (its observer pushes into a `Vec`), so the records a streaming
+    /// observer sees are bit-identical to a retained run's — the
+    /// contract the fleet determinism tests pin across shard counts.
+    pub fn run_each(
+        &self,
+        controller: &mut dyn Controller,
+        trace: &PowerTrace,
+        sink: &dyn Sink,
+        mut observe: impl FnMut(usize, &crate::StepRecord),
+    ) -> RunTotals {
         let dt = self.config.dt;
         let mut aging = AgingModel::new(self.config.aging);
-        let mut records = Vec::with_capacity(trace.len());
 
         for t in 0..trace.len() {
             let _step_span = span(sink, "sim_step");
@@ -76,14 +116,12 @@ impl Simulator {
                 soc: record.state.soc.value(),
                 soe: record.state.soe.value(),
             });
-            records.push(record);
+            observe(t, &record);
         }
         sink.flush();
 
-        SimulationResult {
-            methodology: controller.name(),
-            dt,
-            records,
+        RunTotals {
+            steps: trace.len(),
             capacity_loss: aging.cumulative_loss(),
         }
     }
@@ -224,6 +262,29 @@ mod tests {
             ]
         );
         assert_eq!(probe.forecasts[1], vec![Watts::ZERO; 5]);
+    }
+
+    #[test]
+    fn run_each_streams_the_records_run_collects() {
+        let config = SystemConfig::default();
+        let trace = PowerTrace::new(Seconds::new(1.0), vec![Watts::new(12_000.0); 15]);
+
+        let mut retained = Parallel::new(&config).expect("valid");
+        let result = Simulator::new(&config).run(&mut retained, &trace);
+
+        let mut streamed = Parallel::new(&config).expect("valid");
+        let mut seen = Vec::new();
+        let totals = Simulator::new(&config).run_each(&mut streamed, &trace, &NullSink, |t, r| {
+            assert_eq!(t, seen.len(), "records arrive in step order");
+            seen.push(*r);
+        });
+
+        assert_eq!(seen, result.records, "streamed records are bit-identical");
+        assert_eq!(totals.steps, result.records.len());
+        assert_eq!(
+            totals.capacity_loss.to_bits(),
+            result.capacity_loss.to_bits()
+        );
     }
 
     #[test]

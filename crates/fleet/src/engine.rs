@@ -1,0 +1,188 @@
+//! The batched multi-vehicle execution engine.
+
+use crate::campaign::{Campaign, SummaryBuilder, TraceCache, VehicleSpec, VehicleSummary};
+use crate::pool::{fan_indexed_capped, fan_stealing};
+use otem::{OtemError, Simulator};
+use otem_telemetry::{Histogram, NullSink};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How a campaign's vehicles are dispatched across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// One worker, in campaign order — the reference path.
+    Serial,
+    /// Static contiguous chunking across `shards` workers
+    /// ([`fan_indexed_capped`]).
+    Static {
+        /// Worker count (clamped to the campaign size).
+        shards: usize,
+    },
+    /// Work-stealing atomic-cursor queue across `shards` workers
+    /// ([`fan_stealing`]) — the default for heterogeneous fleets.
+    WorkStealing {
+        /// Worker count (clamped to the campaign size).
+        shards: usize,
+    },
+}
+
+impl Schedule {
+    /// Wire name for reports and the serving layer.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Self::Serial => "serial",
+            Self::Static { .. } => "static",
+            Self::WorkStealing { .. } => "steal",
+        }
+    }
+}
+
+/// The outcome of one campaign run.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Per-vehicle summaries, in campaign (id) order — identical bits
+    /// for every [`Schedule`].
+    pub summaries: Vec<VehicleSummary>,
+    /// Wall-clock duration of the batched run, seconds.
+    pub wall_s: f64,
+    /// Total control periods simulated across all vehicles.
+    pub total_steps: u64,
+    /// Per-vehicle simulation latency (milliseconds).
+    pub latency_ms: Histogram,
+}
+
+impl FleetReport {
+    /// Vehicles simulated per wall-clock second.
+    pub fn vehicles_per_sec(&self) -> f64 {
+        self.summaries.len() as f64 / self.wall_s
+    }
+
+    /// Control periods simulated per wall-clock second.
+    pub fn steps_per_sec(&self) -> f64 {
+        self.total_steps as f64 / self.wall_s
+    }
+
+    /// XOR-fold of all per-vehicle checksums — one number that pins the
+    /// whole campaign's record streams.
+    pub fn fleet_checksum(&self) -> u64 {
+        self.summaries.iter().fold(0, |acc, s| acc ^ s.checksum)
+    }
+}
+
+/// Latency histogram shape shared by the engine and the server:
+/// exponential edges from 10 µs to ≈ 84 s.
+pub(crate) fn latency_histogram_ms() -> Histogram {
+    Histogram::exponential(0.01, 2.0, 23)
+}
+
+/// Runs [`Campaign`]s through long-lived scoped worker pools.
+#[derive(Debug)]
+pub struct FleetEngine {
+    /// Dispatch discipline.
+    pub schedule: Schedule,
+    /// Base-trace cache shared by all workers (synthesise each standard
+    /// cycle once per vehicle class, not once per vehicle). `Arc` so the
+    /// serving layer can reuse one warm cache across requests.
+    cache: Arc<TraceCache>,
+}
+
+impl FleetEngine {
+    /// An engine with the given schedule and a fresh trace cache.
+    pub fn new(schedule: Schedule) -> Self {
+        Self::with_cache(schedule, Arc::new(TraceCache::new()))
+    }
+
+    /// An engine sharing an existing (possibly warm) trace cache.
+    pub fn with_cache(schedule: Schedule, cache: Arc<TraceCache>) -> Self {
+        Self { schedule, cache }
+    }
+
+    /// Simulates one vehicle exactly as the single-vehicle path would:
+    /// same config, same trace, same controller, same step loop — the
+    /// records are folded into a [`VehicleSummary`] instead of retained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component validation and cycle-synthesis errors.
+    pub fn run_vehicle(&self, spec: &VehicleSpec) -> Result<VehicleSummary, OtemError> {
+        let config = spec.config();
+        let trace = self.cache.trace_for(spec)?;
+        let mut controller = spec.controller(&config)?;
+        let sim = Simulator::new(&config);
+        let mut builder = SummaryBuilder::new(config.dt);
+        let totals = sim.run_each(controller.as_mut(), &trace, &NullSink, |_, r| {
+            builder.push(r);
+        });
+        Ok(builder.finish(spec.id, totals))
+    }
+
+    /// Runs the whole campaign, returning summaries in campaign order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first vehicle error encountered (specs from
+    /// [`Campaign::synthetic`] never fail; hand-built specs can).
+    pub fn run(&self, campaign: &Campaign) -> Result<FleetReport, OtemError> {
+        let latency = latency_histogram_ms();
+        let started = Instant::now();
+        let job = |_i: usize, spec: &VehicleSpec| {
+            let t0 = Instant::now();
+            let summary = self.run_vehicle(spec);
+            latency.observe(t0.elapsed().as_secs_f64() * 1e3);
+            summary
+        };
+        let specs: Vec<&VehicleSpec> = campaign.vehicles.iter().collect();
+        let outcomes: Vec<Result<VehicleSummary, OtemError>> = match self.schedule {
+            Schedule::Serial => specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| job(i, s))
+                .collect(),
+            Schedule::Static { shards } => fan_indexed_capped(specs, shards, job),
+            Schedule::WorkStealing { shards } => fan_stealing(specs, shards, job),
+        };
+        let wall_s = started.elapsed().as_secs_f64();
+        let summaries = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let total_steps = summaries.iter().map(|s| s.steps as u64).sum();
+        Ok(FleetReport {
+            summaries,
+            wall_s,
+            total_steps,
+            latency_ms: latency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_rates_are_consistent() {
+        let engine = FleetEngine::new(Schedule::Serial);
+        let campaign = Campaign::synthetic(3, 42);
+        let report = engine.run(&campaign).expect("runs");
+        assert_eq!(report.summaries.len(), 3);
+        assert_eq!(report.total_steps, campaign.total_steps());
+        assert!(report.vehicles_per_sec() > 0.0);
+        assert!(report.steps_per_sec() > report.vehicles_per_sec());
+        assert_eq!(report.latency_ms.count(), 3);
+        for (i, s) in report.summaries.iter().enumerate() {
+            assert_eq!(s.id, i as u64, "campaign order preserved");
+            assert!(s.energy_j > 0.0, "vehicle {i} consumed energy");
+        }
+    }
+
+    #[test]
+    fn schedules_agree_bit_for_bit() {
+        let campaign = Campaign::synthetic(6, 7);
+        let serial = FleetEngine::new(Schedule::Serial)
+            .run(&campaign)
+            .expect("runs");
+        let stealing = FleetEngine::new(Schedule::WorkStealing { shards: 3 })
+            .run(&campaign)
+            .expect("runs");
+        assert_eq!(serial.summaries, stealing.summaries);
+        assert_eq!(serial.fleet_checksum(), stealing.fleet_checksum());
+    }
+}

@@ -1,0 +1,345 @@
+//! Wire protocol of the fleet server: minimal JSON field extraction for
+//! requests (the vendored `serde` is a no-op stub, so parsing is
+//! hand-rolled, mirroring `otem-bench`'s span-stream reader) and JSONL
+//! rendering for responses.
+
+use crate::campaign::{Methodology, VehicleSpec, VehicleSummary};
+use crate::engine::Schedule;
+use otem_drivecycle::StandardCycle;
+use std::fmt::Write as _;
+
+/// The text immediately after `"key":`, if present.
+fn field_value<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)?;
+    Some(body[at + needle.len()..].trim_start())
+}
+
+/// Extracts an unsigned integer field (`"key":123`).
+pub fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let rest = field_value(body, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts a float field (`"key":-12.5`).
+pub fn json_f64(body: &str, key: &str) -> Option<f64> {
+    let rest = field_value(body, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts a string field (`"key":"value"`). Values are wire-name
+/// identifiers, so escapes are treated as malformed (`None`).
+pub fn json_str<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let rest = field_value(body, key)?.strip_prefix('"')?;
+    let end = rest.find(['"', '\\'])?;
+    if rest[end..].starts_with('\\') {
+        return None;
+    }
+    Some(&rest[..end])
+}
+
+/// Extracts a boolean field (`"key":true`).
+pub fn json_bool(body: &str, key: &str) -> Option<bool> {
+    let rest = field_value(body, key)?;
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Parses a cycle wire name (lower-case spec name).
+pub fn cycle_from_wire(name: &str) -> Option<StandardCycle> {
+    Some(match name {
+        "udds" => StandardCycle::Udds,
+        "hwfet" => StandardCycle::Hwfet,
+        "us06" => StandardCycle::Us06,
+        "sc03" => StandardCycle::Sc03,
+        "nycc" => StandardCycle::Nycc,
+        "la92" => StandardCycle::La92,
+        "wltc" => StandardCycle::Wltc,
+        "jc08" => StandardCycle::Jc08,
+        "artemis_urban" => StandardCycle::ArtemisUrban,
+        _ => return None,
+    })
+}
+
+/// Lower-case wire name of a cycle.
+pub fn cycle_wire_name(cycle: StandardCycle) -> &'static str {
+    match cycle {
+        StandardCycle::Udds => "udds",
+        StandardCycle::Hwfet => "hwfet",
+        StandardCycle::Us06 => "us06",
+        StandardCycle::Sc03 => "sc03",
+        StandardCycle::Nycc => "nycc",
+        StandardCycle::La92 => "la92",
+        StandardCycle::Wltc => "wltc",
+        StandardCycle::Jc08 => "jc08",
+        StandardCycle::ArtemisUrban => "artemis_urban",
+        // `StandardCycle` is non_exhaustive; new cycles must get a wire
+        // name here before the server can accept them.
+        _ => "unknown",
+    }
+}
+
+/// Per-step telemetry format of a single-vehicle request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Telemetry {
+    /// Summary line only.
+    None,
+    /// Stream `otem-telemetry` events as JSON lines ([`otem_telemetry::JsonlSink`]).
+    Jsonl,
+    /// Stream a Chrome Trace Event array ([`otem_telemetry::ChromeTraceSink`]).
+    Chrome,
+}
+
+/// A parsed `POST /simulate` or `POST /plan` body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimulateRequest {
+    /// Batched campaign: `{"vehicles":1000,"seed":42,"shards":4,
+    /// "schedule":"steal"}`.
+    Fleet {
+        /// Campaign size.
+        vehicles: usize,
+        /// Campaign seed (default 42).
+        seed: u64,
+        /// Requested worker count (`0` → server default).
+        shards: usize,
+        /// `"steal"` (default), `"static"`, or `"serial"`.
+        schedule: &'static str,
+    },
+    /// One explicit vehicle: `{"cycle":"us06","methodology":"otem",
+    /// "steps":120,"ambient_c":30,"capacitance_f":20000,
+    /// "telemetry":"jsonl"}`.
+    Vehicle {
+        /// The vehicle to simulate.
+        spec: VehicleSpec,
+        /// Per-step streaming mode.
+        telemetry: Telemetry,
+    },
+}
+
+/// Parse failure: human-readable reason, returned as a 400.
+pub type ParseError = String;
+
+impl SimulateRequest {
+    /// Parses a request body. A body with a `"vehicles"` count is a
+    /// fleet request; anything else is a single vehicle with defaults
+    /// for every omitted field.
+    pub fn parse(body: &str) -> Result<Self, ParseError> {
+        if let Some(vehicles) = json_u64(body, "vehicles") {
+            if vehicles == 0 {
+                return Err("\"vehicles\" must be ≥ 1".into());
+            }
+            let schedule = match json_str(body, "schedule") {
+                None | Some("steal") => "steal",
+                Some("static") => "static",
+                Some("serial") => "serial",
+                Some(other) => return Err(format!("unknown schedule {other:?}")),
+            };
+            return Ok(Self::Fleet {
+                vehicles: vehicles as usize,
+                seed: json_u64(body, "seed").unwrap_or(42),
+                shards: json_u64(body, "shards").unwrap_or(0) as usize,
+                schedule,
+            });
+        }
+
+        let cycle = match json_str(body, "cycle") {
+            None => StandardCycle::Us06,
+            Some(name) => cycle_from_wire(name).ok_or_else(|| format!("unknown cycle {name:?}"))?,
+        };
+        let methodology = match json_str(body, "methodology") {
+            None => Methodology::Otem,
+            Some(name) => Methodology::from_wire(name)
+                .ok_or_else(|| format!("unknown methodology {name:?}"))?,
+        };
+        let telemetry = match json_str(body, "telemetry") {
+            None | Some("none") => Telemetry::None,
+            Some("jsonl") => Telemetry::Jsonl,
+            Some("chrome") => Telemetry::Chrome,
+            Some(other) => return Err(format!("unknown telemetry mode {other:?}")),
+        };
+        let steps = json_u64(body, "steps").unwrap_or(120) as usize;
+        if steps == 0 || steps > 100_000 {
+            return Err("\"steps\" must be in 1..=100000".into());
+        }
+        let ambient_c = json_f64(body, "ambient_c").unwrap_or(25.0);
+        if !(-10.0..=39.0).contains(&ambient_c) {
+            return Err("\"ambient_c\" must be in -10..=39".into());
+        }
+        let capacitance_f = json_f64(body, "capacitance_f").unwrap_or(25_000.0);
+        if !(1_000.0..=100_000.0).contains(&capacitance_f) {
+            return Err("\"capacitance_f\" must be in 1000..=100000".into());
+        }
+        Ok(Self::Vehicle {
+            spec: VehicleSpec {
+                id: json_u64(body, "id").unwrap_or(0),
+                cycle,
+                steps,
+                compact: json_bool(body, "compact").unwrap_or(false),
+                ambient_c,
+                capacitance_f,
+                methodology,
+                mpc_horizon: json_u64(body, "mpc_horizon").unwrap_or(8) as usize,
+                mpc_iterations: json_u64(body, "mpc_iterations").unwrap_or(12) as usize,
+            },
+            telemetry,
+        })
+    }
+
+    /// The [`Schedule`] a fleet request resolves to, given the server's
+    /// configured default shard width.
+    pub fn schedule(&self, default_shards: usize) -> Schedule {
+        match self {
+            Self::Fleet {
+                shards, schedule, ..
+            } => {
+                let width = if *shards == 0 {
+                    default_shards
+                } else {
+                    *shards
+                };
+                match *schedule {
+                    "serial" => Schedule::Serial,
+                    "static" => Schedule::Static { shards: width },
+                    _ => Schedule::WorkStealing { shards: width },
+                }
+            }
+            Self::Vehicle { .. } => Schedule::Serial,
+        }
+    }
+}
+
+/// Renders one vehicle summary as a JSONL line (no trailing newline).
+pub fn summary_line(s: &VehicleSummary) -> String {
+    let mut out = String::with_capacity(192);
+    let _ = write!(
+        out,
+        "{{\"event\":\"vehicle\",\"id\":{},\"steps\":{},\"energy_j\":{:.6},\
+         \"cooling_j\":{:.6},\"capacity_loss\":{:.6e},\"peak_temp_c\":{:.4},\
+         \"shortfall_j\":{:.6},\"checksum\":\"{:016x}\"}}",
+        s.id,
+        s.steps,
+        s.energy_j,
+        s.cooling_j,
+        s.capacity_loss,
+        s.peak_temp_k - 273.15,
+        s.shortfall_j,
+        s.checksum
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_body_parses_with_defaults() {
+        let r = SimulateRequest::parse("{\"vehicles\":100}").expect("parses");
+        assert_eq!(
+            r,
+            SimulateRequest::Fleet {
+                vehicles: 100,
+                seed: 42,
+                shards: 0,
+                schedule: "steal",
+            }
+        );
+        assert_eq!(r.schedule(4), Schedule::WorkStealing { shards: 4 });
+    }
+
+    #[test]
+    fn fleet_body_honours_explicit_fields() {
+        let r = SimulateRequest::parse(
+            "{\"vehicles\":8,\"seed\":7,\"shards\":2,\"schedule\":\"static\"}",
+        )
+        .expect("parses");
+        assert_eq!(r.schedule(16), Schedule::Static { shards: 2 });
+        match r {
+            SimulateRequest::Fleet { vehicles, seed, .. } => {
+                assert_eq!((vehicles, seed), (8, 7));
+            }
+            other => panic!("expected fleet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vehicle_body_parses_with_defaults() {
+        let r = SimulateRequest::parse("{}").expect("parses");
+        match r {
+            SimulateRequest::Vehicle { spec, telemetry } => {
+                assert_eq!(spec.cycle, StandardCycle::Us06);
+                assert_eq!(spec.methodology, Methodology::Otem);
+                assert_eq!(spec.steps, 120);
+                assert_eq!(telemetry, Telemetry::None);
+            }
+            other => panic!("expected vehicle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vehicle_body_honours_explicit_fields() {
+        let r = SimulateRequest::parse(
+            "{\"cycle\":\"nycc\",\"methodology\":\"dual\",\"steps\":50,\
+             \"ambient_c\":32.5,\"capacitance_f\":9000,\"telemetry\":\"jsonl\",\
+             \"compact\":true}",
+        )
+        .expect("parses");
+        match r {
+            SimulateRequest::Vehicle { spec, telemetry } => {
+                assert_eq!(spec.cycle, StandardCycle::Nycc);
+                assert_eq!(spec.methodology, Methodology::Dual);
+                assert_eq!(spec.steps, 50);
+                assert_eq!(spec.ambient_c, 32.5);
+                assert_eq!(spec.capacitance_f, 9000.0);
+                assert!(spec.compact);
+                assert_eq!(telemetry, Telemetry::Jsonl);
+            }
+            other => panic!("expected vehicle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_bodies_are_rejected() {
+        assert!(SimulateRequest::parse("{\"vehicles\":0}").is_err());
+        assert!(SimulateRequest::parse("{\"cycle\":\"warp9\"}").is_err());
+        assert!(SimulateRequest::parse("{\"methodology\":\"psychic\"}").is_err());
+        assert!(SimulateRequest::parse("{\"steps\":0}").is_err());
+        assert!(SimulateRequest::parse("{\"ambient_c\":95}").is_err());
+        assert!(SimulateRequest::parse("{\"vehicles\":4,\"schedule\":\"chaos\"}").is_err());
+    }
+
+    #[test]
+    fn cycle_wire_names_round_trip() {
+        for c in StandardCycle::EXTENDED {
+            assert_eq!(cycle_from_wire(cycle_wire_name(c)), Some(c));
+        }
+    }
+
+    #[test]
+    fn summary_line_is_one_json_object() {
+        let line = summary_line(&VehicleSummary {
+            id: 3,
+            steps: 10,
+            energy_j: 1234.5,
+            cooling_j: 56.25,
+            capacity_loss: 1.5e-7,
+            peak_temp_k: 300.15,
+            shortfall_j: 0.0,
+            checksum: 0xdead_beef,
+        });
+        assert!(line.starts_with("{\"event\":\"vehicle\",\"id\":3,"));
+        assert!(line.contains("\"checksum\":\"00000000deadbeef\""));
+        assert!(!line.contains('\n'));
+    }
+}

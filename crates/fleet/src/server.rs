@@ -1,0 +1,430 @@
+//! The serving layer: hand-rolled HTTP/1.1 + JSONL over
+//! [`std::net::TcpListener`].
+//!
+//! The vendored-deps constraint rules out an async runtime, so the
+//! server is a plain blocking accept loop on one thread; parallelism
+//! lives *inside* a request (the fleet engine's sharded worker pools),
+//! not across requests. That keeps request handling deterministic and
+//! makes shutdown trivial: a flag checked between connections plus a
+//! self-connect to wake the blocking `accept`.
+//!
+//! # Routes
+//!
+//! | route | body | response |
+//! |-------|------|----------|
+//! | `GET /healthz` | — | one status line |
+//! | `GET /metrics` | — | request counters + latency quantiles |
+//! | `POST /simulate` | [`SimulateRequest`] JSON | JSONL summaries (fleet) or telemetry stream + summary (vehicle) |
+//! | `POST /plan` | single-vehicle JSON | clairvoyant DP split, one line per step |
+//! | `POST /shutdown` | — | ack line, then the server exits |
+//!
+//! Responses are `application/x-ndjson`, close-delimited
+//! (`Connection: close`), so clients just read lines until EOF.
+
+use crate::campaign::{Campaign, SummaryBuilder, TraceCache, VehicleSpec};
+use crate::engine::{latency_histogram_ms, FleetEngine};
+use crate::protocol::{summary_line, SimulateRequest, Telemetry};
+use otem::planner::{plan_split, PlannerConfig};
+use otem::{OtemError, Simulator};
+use otem_telemetry::{ChromeTraceSink, Counter, Histogram, JsonlSink, NullSink, Sink};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Upper bound on `/plan` route length: the clairvoyant DP is
+/// `O(steps × soe_levels × actions)` plant evaluations, so unbounded
+/// requests could pin the serving thread for minutes.
+const PLAN_STEP_CAP: usize = 2_000;
+
+/// Largest accepted request body (requests are small JSON objects; a
+/// huge Content-Length is a malformed or hostile client).
+const BODY_CAP: u64 = 1 << 20;
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (the tests' loopback mode).
+    pub addr: String,
+    /// Default shard width for fleet requests that don't pin one.
+    pub shards: usize,
+    /// Per-request campaign size cap.
+    pub max_vehicles: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            shards: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            max_vehicles: 100_000,
+        }
+    }
+}
+
+/// Shared mutable server state (metrics + shutdown flag).
+#[derive(Debug)]
+struct ServerState {
+    config: ServerConfig,
+    cache: Arc<TraceCache>,
+    requests: Counter,
+    errors: Counter,
+    latency_ms: Histogram,
+    shutdown: AtomicBool,
+}
+
+/// The fleet serving layer. Construct with a [`ServerConfig`], then
+/// either [`FleetServer::spawn`] a background handle (tests, embedding)
+/// or [`FleetServer::run`] the accept loop on the current thread (the
+/// `fleet_server` binary).
+#[derive(Debug)]
+pub struct FleetServer {
+    state: Arc<ServerState>,
+}
+
+impl FleetServer {
+    /// A server with the given tuning.
+    pub fn new(config: ServerConfig) -> Self {
+        Self {
+            state: Arc::new(ServerState {
+                config,
+                cache: Arc::new(TraceCache::new()),
+                requests: Counter::new(),
+                errors: Counter::new(),
+                latency_ms: latency_histogram_ms(),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Binds the listener and runs the accept loop on the current
+    /// thread until a shutdown request arrives. `on_bind` receives the
+    /// bound address (port 0 resolves here).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error; per-connection I/O errors are counted
+    /// and survived.
+    pub fn run(self, on_bind: impl FnOnce(SocketAddr)) -> io::Result<()> {
+        let listener = TcpListener::bind(&self.state.config.addr)?;
+        on_bind(listener.local_addr()?);
+        self.accept_loop(&listener);
+        Ok(())
+    }
+
+    /// Binds the listener and serves from a background thread, returning
+    /// a handle that resolves the bound address and can shut the server
+    /// down.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&self.state.config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::clone(&self.state);
+        let thread = std::thread::spawn(move || self.accept_loop(&listener));
+        Ok(ServerHandle {
+            addr,
+            state,
+            thread: Some(thread),
+        })
+    }
+
+    fn accept_loop(&self, listener: &TcpListener) {
+        for conn in listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else {
+                self.state.errors.inc();
+                continue;
+            };
+            let started = Instant::now();
+            self.state.requests.inc();
+            if let Err(err) = handle_connection(&self.state, stream) {
+                // Client went away mid-stream or sent garbage: count it,
+                // keep serving.
+                self.state.errors.inc();
+                let _ = err;
+            }
+            self.state
+                .latency_ms
+                .observe(started.elapsed().as_secs_f64() * 1e3);
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+    }
+}
+
+/// Handle to a [spawned](FleetServer::spawn) server.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (port 0 in the config resolves to a real port
+    /// here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.state.requests.get()
+    }
+
+    /// Signals shutdown, wakes the accept loop and joins the serving
+    /// thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop may be parked in `accept`; a throwaway
+        // connection wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reads the request head + body, dispatches the route, writes the
+/// response. Any error here aborts only this connection.
+fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_owned(), p.to_owned()),
+        _ => return respond_error(stream, 400, "malformed request line"),
+    };
+
+    let mut content_length: u64 = 0;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    if content_length > BODY_CAP {
+        return respond_error(stream, 413, "request body too large");
+    }
+    let mut body = String::new();
+    reader.take(content_length).read_to_string(&mut body)?;
+
+    match (method.as_str(), path.as_str()) {
+        ("GET", "/healthz") => respond_line(stream, "{\"status\":\"ok\"}"),
+        ("GET", "/metrics") => respond_line(stream, &metrics_line(state)),
+        ("POST", "/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            respond_line(stream, "{\"event\":\"shutdown\"}")
+        }
+        ("POST", "/simulate") => match SimulateRequest::parse(&body) {
+            Ok(request) => simulate(state, stream, &request),
+            Err(reason) => respond_error(stream, 400, &reason),
+        },
+        ("POST", "/plan") => match SimulateRequest::parse(&body) {
+            Ok(SimulateRequest::Vehicle { spec, .. }) => plan(state, stream, &spec),
+            Ok(SimulateRequest::Fleet { .. }) => {
+                respond_error(stream, 400, "/plan takes a single-vehicle body")
+            }
+            Err(reason) => respond_error(stream, 400, &reason),
+        },
+        _ => respond_error(stream, 404, "no such route"),
+    }
+}
+
+fn metrics_line(state: &ServerState) -> String {
+    format!(
+        "{{\"event\":\"metrics\",\"requests\":{},\"errors\":{},\
+         \"latency_ms\":{{\"count\":{},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}}}}",
+        state.requests.get(),
+        state.errors.get(),
+        state.latency_ms.count(),
+        state.latency_ms.quantile(0.50),
+        state.latency_ms.quantile(0.95),
+        state.latency_ms.quantile(0.99),
+    )
+}
+
+fn write_head(stream: &mut TcpStream, status: u16, reason: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
+    )
+}
+
+fn respond_line(mut stream: TcpStream, line: &str) -> io::Result<()> {
+    write_head(&mut stream, 200, "OK")?;
+    writeln!(stream, "{line}")?;
+    stream.flush()
+}
+
+fn respond_error(mut stream: TcpStream, status: u16, reason: &str) -> io::Result<()> {
+    let text = match status {
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    };
+    write_head(&mut stream, status, text)?;
+    writeln!(stream, "{{\"error\":{:?}}}", reason)?;
+    stream.flush()
+}
+
+fn respond_otem_error(stream: TcpStream, err: &OtemError) -> io::Result<()> {
+    respond_error(stream, 500, &err.to_string())
+}
+
+fn simulate(state: &ServerState, stream: TcpStream, request: &SimulateRequest) -> io::Result<()> {
+    match request {
+        SimulateRequest::Fleet { vehicles, seed, .. } => {
+            if *vehicles > state.config.max_vehicles {
+                let cap = state.config.max_vehicles;
+                return respond_error(stream, 400, &format!("\"vehicles\" capped at {cap}"));
+            }
+            let schedule = request.schedule(state.config.shards);
+            let engine = FleetEngine::with_cache(schedule, Arc::clone(&state.cache));
+            let campaign = Campaign::synthetic(*vehicles, *seed);
+            match engine.run(&campaign) {
+                Ok(report) => {
+                    let mut stream = stream;
+                    write_head(&mut stream, 200, "OK")?;
+                    for s in &report.summaries {
+                        writeln!(stream, "{}", summary_line(s))?;
+                    }
+                    writeln!(
+                        stream,
+                        "{{\"event\":\"fleet\",\"vehicles\":{},\"seed\":{},\
+                         \"schedule\":\"{}\",\"total_steps\":{},\"wall_s\":{:.6},\
+                         \"vehicles_per_sec\":{:.3},\"steps_per_sec\":{:.1},\
+                         \"latency_ms\":{{\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}},\
+                         \"fleet_checksum\":\"{:016x}\"}}",
+                        report.summaries.len(),
+                        seed,
+                        schedule.wire_name(),
+                        report.total_steps,
+                        report.wall_s,
+                        report.vehicles_per_sec(),
+                        report.steps_per_sec(),
+                        report.latency_ms.quantile(0.50),
+                        report.latency_ms.quantile(0.95),
+                        report.latency_ms.quantile(0.99),
+                        report.fleet_checksum(),
+                    )?;
+                    stream.flush()
+                }
+                Err(err) => respond_otem_error(stream, &err),
+            }
+        }
+        SimulateRequest::Vehicle { spec, telemetry } => {
+            simulate_vehicle(state, stream, spec, *telemetry)
+        }
+    }
+}
+
+/// Runs one vehicle, optionally streaming its per-step telemetry
+/// through the existing sink stack straight onto the socket, then
+/// writes the summary line.
+fn simulate_vehicle(
+    state: &ServerState,
+    mut stream: TcpStream,
+    spec: &VehicleSpec,
+    telemetry: Telemetry,
+) -> io::Result<()> {
+    let config = spec.config();
+    let trace = match state.cache.trace_for(spec) {
+        Ok(t) => t,
+        Err(err) => return respond_otem_error(stream, &err),
+    };
+    let mut controller = match spec.controller(&config) {
+        Ok(c) => c,
+        Err(err) => return respond_otem_error(stream, &err),
+    };
+    let sim = Simulator::new(&config);
+    let mut builder = SummaryBuilder::new(config.dt);
+    write_head(&mut stream, 200, "OK")?;
+
+    let mut run = |sink: &dyn Sink, builder: &mut SummaryBuilder| {
+        sim.run_each(controller.as_mut(), &trace, sink, |_, r| builder.push(r))
+    };
+    let totals = match telemetry {
+        Telemetry::None => run(&NullSink, &mut builder),
+        Telemetry::Jsonl => {
+            let sink = JsonlSink::new(stream.try_clone()?);
+            let totals = run(&sink, &mut builder);
+            sink.into_inner().flush()?;
+            totals
+        }
+        Telemetry::Chrome => {
+            let sink = ChromeTraceSink::new(stream.try_clone()?);
+            let totals = run(&sink, &mut builder);
+            let mut w = sink.finish();
+            // Chrome traces are a JSON array; terminate the line so the
+            // summary below stays one-object-per-line.
+            writeln!(w)?;
+            totals
+        }
+    };
+    writeln!(stream, "{}", summary_line(&builder.finish(spec.id, totals)))?;
+    stream.flush()
+}
+
+/// The clairvoyant DP benchmark as a service: one line per step with the
+/// planned ultracapacitor bus power, then the plan total.
+fn plan(state: &ServerState, stream: TcpStream, spec: &VehicleSpec) -> io::Result<()> {
+    if spec.steps > PLAN_STEP_CAP {
+        return respond_error(
+            stream,
+            400,
+            &format!("/plan \"steps\" capped at {PLAN_STEP_CAP} (DP cost is per-step)"),
+        );
+    }
+    let config = spec.config();
+    let trace = match state.cache.trace_for(spec) {
+        Ok(t) => t,
+        Err(err) => return respond_otem_error(stream, &err),
+    };
+    match plan_split(&config, &trace, &PlannerConfig::default()) {
+        Ok(p) => {
+            let mut stream = stream;
+            write_head(&mut stream, 200, "OK")?;
+            for (t, cap_bus) in p.cap_bus.iter().enumerate() {
+                writeln!(
+                    stream,
+                    "{{\"event\":\"plan_step\",\"t\":{t},\"cap_bus_w\":{:.3}}}",
+                    cap_bus.value()
+                )?;
+            }
+            writeln!(
+                stream,
+                "{{\"event\":\"plan\",\"steps\":{},\"energy_j\":{:.6}}}",
+                p.cap_bus.len(),
+                p.energy.value()
+            )?;
+            stream.flush()
+        }
+        Err(err) => respond_otem_error(stream, &err),
+    }
+}

@@ -1,0 +1,161 @@
+//! Loopback round-trips against a spawned [`FleetServer`]: raw
+//! `TcpStream` HTTP/1.1 requests, close-delimited `x-ndjson` responses,
+//! clean shutdown.
+
+use otem_fleet::{Campaign, FleetEngine, FleetServer, Schedule, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// One HTTP exchange: returns (status line, body lines).
+fn roundtrip(handle: &ServerHandle, method: &str, path: &str, body: &str) -> (String, Vec<String>) {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("request written");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response read");
+    let (head, payload) = response.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().expect("status line").to_owned();
+    let lines = payload.lines().map(str::to_owned).collect();
+    (status, lines)
+}
+
+fn spawn_server() -> ServerHandle {
+    FleetServer::new(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards: 2,
+        max_vehicles: 100,
+    })
+    .spawn()
+    .expect("bind loopback")
+}
+
+#[test]
+fn serves_health_fleet_vehicle_plan_metrics_and_shuts_down() {
+    let mut handle = spawn_server();
+
+    let (status, lines) = roundtrip(&handle, "GET", "/healthz", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(lines, ["{\"status\":\"ok\"}"]);
+
+    // Fleet simulate: one summary line per vehicle plus the fleet
+    // trailer, and the trailer's checksum matches an in-process run of
+    // the same campaign.
+    let (status, lines) = roundtrip(
+        &handle,
+        "POST",
+        "/simulate",
+        "{\"vehicles\":8,\"seed\":42,\"shards\":2,\"schedule\":\"steal\"}",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(lines.len(), 9, "8 vehicles + fleet trailer: {lines:?}");
+    for (i, line) in lines[..8].iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"event\":\"vehicle\",\"id\":{i},")),
+            "line {i} malformed: {line}"
+        );
+    }
+    let trailer = &lines[8];
+    assert!(
+        trailer.starts_with("{\"event\":\"fleet\","),
+        "trailer: {trailer}"
+    );
+    let local = FleetEngine::new(Schedule::Serial)
+        .run(&Campaign::synthetic(8, 42))
+        .expect("local campaign");
+    let expected = format!("\"fleet_checksum\":\"{:016x}\"", local.fleet_checksum());
+    assert!(
+        trailer.contains(&expected),
+        "served checksum diverges from the in-process engine: {trailer}"
+    );
+
+    // Single vehicle with JSONL telemetry: per-step events stream ahead
+    // of the final summary line.
+    let (status, lines) = roundtrip(
+        &handle,
+        "POST",
+        "/simulate",
+        "{\"cycle\":\"nycc\",\"methodology\":\"dual\",\"steps\":40,\"telemetry\":\"jsonl\"}",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let steps = lines
+        .iter()
+        .filter(|l| l.starts_with("{\"event\":\"step_completed\""))
+        .count();
+    assert_eq!(steps, 40, "one step event per control period: {lines:?}");
+    assert!(
+        lines
+            .last()
+            .expect("non-empty")
+            .starts_with("{\"event\":\"vehicle\","),
+        "summary line terminates the stream"
+    );
+
+    // Clairvoyant plan: one line per step plus the plan trailer.
+    let (status, lines) = roundtrip(
+        &handle,
+        "POST",
+        "/plan",
+        "{\"cycle\":\"nycc\",\"steps\":25}",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(lines.len(), 26, "25 plan steps + trailer: {lines:?}");
+    assert!(lines[0].starts_with("{\"event\":\"plan_step\",\"t\":0,"));
+    assert!(lines[25].starts_with("{\"event\":\"plan\",\"steps\":25,"));
+
+    // Bad requests are 400s, unknown routes 404s — and neither kills
+    // the server.
+    let (status, _) = roundtrip(&handle, "POST", "/simulate", "{\"vehicles\":0}");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    let (status, _) = roundtrip(&handle, "POST", "/simulate", "{\"vehicles\":101}");
+    assert_eq!(
+        status, "HTTP/1.1 400 Bad Request",
+        "max_vehicles cap enforced"
+    );
+    let (status, _) = roundtrip(&handle, "GET", "/nope", "");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    // Metrics reflect the traffic above.
+    let (status, lines) = roundtrip(&handle, "GET", "/metrics", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let metrics = &lines[0];
+    assert!(metrics.starts_with("{\"event\":\"metrics\","), "{metrics}");
+    assert!(
+        metrics.contains("\"p50\":"),
+        "latency quantiles present: {metrics}"
+    );
+    assert!(handle.requests() >= 7);
+
+    // HTTP-level shutdown: ack line, then the accept loop exits (the
+    // handle's join below would hang forever if it didn't).
+    let (status, lines) = roundtrip(&handle, "POST", "/shutdown", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(lines, ["{\"event\":\"shutdown\"}"]);
+    handle.shutdown();
+}
+
+#[test]
+fn chrome_telemetry_streams_a_trace_array() {
+    let mut handle = spawn_server();
+    let (status, lines) = roundtrip(
+        &handle,
+        "POST",
+        "/simulate",
+        "{\"methodology\":\"parallel\",\"steps\":10,\"telemetry\":\"chrome\"}",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let joined = lines.join("\n");
+    assert!(joined.starts_with('['), "chrome trace opens an array");
+    assert!(joined.contains("\"ph\":"), "trace events present");
+    assert!(
+        lines
+            .last()
+            .expect("non-empty")
+            .starts_with("{\"event\":\"vehicle\","),
+        "summary follows the trace: {lines:?}"
+    );
+    handle.shutdown();
+}

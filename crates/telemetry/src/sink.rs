@@ -1,6 +1,7 @@
 //! Sinks: where emitted events go.
 
 use crate::event::{write_json_string, Event};
+use crate::metrics::Counter;
 use crate::ring::RingBuffer;
 use crate::span;
 use std::fmt::Write as _;
@@ -123,14 +124,25 @@ impl Sink for MemorySink {
 ///
 /// The encode buffer is reused across records, so steady-state
 /// recording performs no allocation beyond what the writer itself does.
+///
+/// Telemetry must never abort the computation it observes, so write
+/// errors do not propagate — but they are not invisible either: every
+/// record the writer refuses increments [`JsonlSink::dropped_records`],
+/// and dropping the sink flushes whatever the writer buffered, so a
+/// sink that goes out of scope (a per-request sink on a closed
+/// connection, say) leaves neither silent loss nor unflushed tail.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write + Send> {
     inner: Mutex<JsonlState<W>>,
+    dropped: Counter,
 }
 
 #[derive(Debug)]
 struct JsonlState<W> {
-    writer: W,
+    /// `None` only after [`JsonlSink::into_inner`] surrendered the
+    /// writer (the sink records nothing further and its `Drop` is a
+    /// no-op).
+    writer: Option<W>,
     buf: String,
 }
 
@@ -151,17 +163,29 @@ impl<W: Write + Send> JsonlSink<W> {
     pub fn new(writer: W) -> Self {
         Self {
             inner: Mutex::new(JsonlState {
-                writer,
+                writer: Some(writer),
                 buf: String::with_capacity(256),
             }),
+            dropped: Counter::new(),
         }
+    }
+
+    /// Records the writer refused (write errors). Lossy telemetry is
+    /// observable here instead of silently absorbed.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped.get()
     }
 
     /// Flushes and returns the writer.
     pub fn into_inner(self) -> W {
-        let mut state = self.inner.into_inner().expect("jsonl sink poisoned");
-        let _ = state.writer.flush();
-        state.writer
+        let mut state = self.inner.lock().expect("jsonl sink poisoned");
+        let mut writer = state
+            .writer
+            .take()
+            .expect("writer only leaves through into_inner");
+        let _ = writer.flush();
+        drop(state);
+        writer
     }
 }
 
@@ -171,19 +195,40 @@ impl<W: Write + Send> Sink for JsonlSink<W> {
         state.buf.clear();
         event.write_json(&mut state.buf);
         state.buf.push('\n');
-        // I/O errors are swallowed: telemetry must never abort the
-        // simulation it observes. flush() surfaces nothing either; a
-        // caller that needs hard guarantees can use into_inner().
-        let _ = state.writer.write_all(state.buf.as_bytes());
+        // I/O errors don't propagate (telemetry must never abort the
+        // simulation it observes) but each refused record is counted —
+        // see `dropped_records`.
+        let Some(writer) = state.writer.as_mut() else {
+            self.dropped.inc();
+            return;
+        };
+        if writer.write_all(state.buf.as_bytes()).is_err() {
+            self.dropped.inc();
+        }
     }
 
     fn flush(&self) {
-        let _ = self
+        if let Some(writer) = self
             .inner
             .lock()
             .expect("jsonl sink poisoned")
             .writer
-            .flush();
+            .as_mut()
+        {
+            let _ = writer.flush();
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    /// Best-effort flush, so a sink dropped mid-stream (per-request
+    /// sinks, panicking callers) does not strand buffered lines in the
+    /// writer.
+    fn drop(&mut self) {
+        let mut state = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(writer) = state.writer.as_mut() {
+            let _ = writer.flush();
+        }
     }
 }
 
@@ -353,6 +398,74 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(lines[0], "{\"event\":\"pool_hit\"}");
         assert!(lines[1].starts_with("{\"event\":\"gradient_eval\""));
+    }
+
+    /// A writer whose writes always fail, and whose flushes flip a
+    /// shared flag — lets the tests observe both the dropped-record
+    /// accounting and the flush-on-drop contract.
+    struct Probe {
+        fail_writes: bool,
+        flushed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl Write for Probe {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.fail_writes {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "probe"))
+            } else {
+                Ok(buf.len())
+            }
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.flushed
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_counts_dropped_records() {
+        let flushed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let sink = JsonlSink::new(Probe {
+            fail_writes: true,
+            flushed: flushed.clone(),
+        });
+        assert_eq!(sink.dropped_records(), 0);
+        sink.record(Event::PoolHit);
+        sink.record(Event::PoolMiss);
+        assert_eq!(sink.dropped_records(), 2, "both writes failed");
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        let flushed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let sink = JsonlSink::new(Probe {
+            fail_writes: false,
+            flushed: flushed.clone(),
+        });
+        sink.record(Event::PoolHit);
+        assert!(!flushed.load(std::sync::atomic::Ordering::Relaxed));
+        drop(sink);
+        assert!(
+            flushed.load(std::sync::atomic::Ordering::Relaxed),
+            "drop must flush the writer"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_into_inner_disarms_the_drop_flush() {
+        let flushed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let sink = JsonlSink::new(Probe {
+            fail_writes: false,
+            flushed: flushed.clone(),
+        });
+        sink.record(Event::PoolHit);
+        let _writer = sink.into_inner();
+        assert!(
+            flushed.load(std::sync::atomic::Ordering::Relaxed),
+            "into_inner flushes before surrendering the writer"
+        );
     }
 
     #[test]

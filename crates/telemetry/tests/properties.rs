@@ -138,6 +138,27 @@ proptest! {
     }
 
     #[test]
+    fn extreme_quantiles_bracket_every_estimate(
+        values in prop::collection::vec(-50.0..50.0f64, 1..300),
+        q in 0.0..=1.0f64,
+    ) {
+        // q = 0 is the lower edge of the first occupied bucket and
+        // q = 1 the upper edge of the last (or saturation): together
+        // they bound every interior estimate.
+        let h = Histogram::with_bounds(&EDGES);
+        for &v in &values {
+            h.observe(v);
+        }
+        let (lo, hi) = (h.quantile(0.0), h.quantile(1.0));
+        prop_assert!(lo <= h.quantile(q), "quantile(0) = {lo} is the floor");
+        prop_assert!(h.quantile(q) <= hi, "quantile(1) = {hi} is the ceiling");
+        // Out-of-range and NaN q clamp rather than extrapolate.
+        prop_assert_eq!(h.quantile(-3.0), lo);
+        prop_assert_eq!(h.quantile(7.5), hi);
+        prop_assert_eq!(h.quantile(f64::NAN), lo);
+    }
+
+    #[test]
     fn quantile_is_monotone_in_q(
         values in prop::collection::vec(-50.0..50.0f64, 1..300),
         q1 in 0.0..=1.0f64,
@@ -181,5 +202,20 @@ proptest! {
 #[test]
 fn quantile_of_an_empty_histogram_is_nan() {
     let h = Histogram::with_bounds(&EDGES);
-    assert!(h.quantile(0.5).is_nan());
+    for q in [0.0, 0.5, 1.0, -1.0, 2.0, f64::NAN] {
+        assert!(h.quantile(q).is_nan(), "empty histogram at q = {q}");
+    }
+}
+
+#[test]
+fn single_observation_pins_all_quantiles_to_its_bucket() {
+    let h = Histogram::with_bounds(&EDGES);
+    h.observe(0.5); // lands in (0, 1]
+    assert_eq!(h.quantile(0.0), 0.0, "q=0 is the bucket's lower edge");
+    assert_eq!(h.quantile(1.0), 1.0, "q=1 is the bucket's upper edge");
+    let mid = h.quantile(0.5);
+    assert!(
+        (0.0..=1.0).contains(&mid),
+        "interior quantiles interpolate: {mid}"
+    );
 }

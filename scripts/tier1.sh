@@ -33,4 +33,12 @@ cargo test -q --test gradient_parity
 echo "==> perf_report --gradient adjoint (rollout-count smoke)"
 cargo run -q --release -p otem-bench --bin perf_report -- --gradient adjoint
 
+# Fleet gates: (1) a 64-vehicle campaign must be bit-identical across
+# serial/static/work-stealing schedules and shard counts, and (2) the
+# JSONL-over-TCP serving layer must round-trip a simulate request on
+# loopback and shut down cleanly (fleet_bench --smoke does both and
+# exits non-zero otherwise).
+echo "==> fleet_bench --vehicles 64 --smoke (determinism + server round trip)"
+cargo run -q --release -p otem-bench --bin fleet_bench -- --vehicles 64 --smoke
+
 echo "tier-1: all green"

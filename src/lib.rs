@@ -20,6 +20,7 @@
 //! | [`telemetry`] | `otem-telemetry` | structured events, metrics, sinks |
 //! | [`control`] | `otem` | OTEM MPC, baselines, simulator, supervisor |
 //! | [`faults`] | `otem-faults` | deterministic fault-injection harness |
+//! | [`fleet`] | `otem-fleet` | batched fleet engine + JSONL-over-TCP server |
 //!
 //! # Examples
 //!
@@ -45,6 +46,7 @@ pub use otem_battery as battery;
 pub use otem_converter as converter;
 pub use otem_drivecycle as drivecycle;
 pub use otem_faults as faults;
+pub use otem_fleet as fleet;
 pub use otem_hees as hees;
 pub use otem_solver as solver;
 pub use otem_telemetry as telemetry;
