@@ -20,9 +20,15 @@
 //! future change that alters any vehicle's record stream shows up as a
 //! checksum diff in the committed report.
 
-use otem_fleet::{Campaign, FleetEngine, FleetServer, Schedule, ServerConfig, ServerHandle};
+use otem::mpc::{Clock, VirtualClock};
+use otem_fleet::protocol::outcomes_json;
+use otem_fleet::{
+    Campaign, FleetEngine, FleetServer, Methodology, Schedule, ServerConfig, ServerHandle,
+    VehicleSpec,
+};
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Instant;
 
 const SERVER_REQUESTS: usize = 24;
@@ -158,7 +164,54 @@ fn smoke(args: &Args) {
     assert_eq!(lines, ["{\"event\":\"shutdown\"}"], "shutdown ack");
     handle.shutdown();
     println!("smoke: server round trip OK (checksum matched, clean shutdown)");
+
+    // Virtual-clock deadline smoke: deadline-constrained OTEM vehicles
+    // on a deterministic clock must reproduce bit-for-bit across
+    // schedules and actually exercise the anytime path.
+    deadline_smoke(args.seed);
     println!("fleet smoke PASS");
+}
+
+/// Each clock read advances 40 µs of virtual time against a 100 µs
+/// per-solve budget, so every vehicle hits the deadline path after a
+/// couple of solver iterations — deterministically, regardless of host
+/// load.
+fn deadline_clock(_spec: &VehicleSpec) -> Arc<dyn Clock> {
+    Arc::new(VirtualClock::with_tick(40_000))
+}
+
+fn deadline_smoke(seed: u64) {
+    let mut campaign = Campaign::synthetic(4, seed);
+    for spec in &mut campaign.vehicles {
+        spec.methodology = Methodology::Otem;
+        spec.mpc_deadline_us = 100;
+    }
+    let reference = FleetEngine::new(Schedule::Serial)
+        .with_clock_factory(deadline_clock)
+        .run(&campaign)
+        .expect("serial deadline campaign");
+    assert!(
+        reference.solve_outcomes.deadline_reached > 0,
+        "virtual clock never tripped the 100 µs deadline: {:?}",
+        reference.solve_outcomes
+    );
+    let stealing = FleetEngine::new(Schedule::WorkStealing { shards: 4 })
+        .with_clock_factory(deadline_clock)
+        .run(&campaign)
+        .expect("stealing deadline campaign");
+    assert_eq!(
+        stealing.summaries, reference.summaries,
+        "deadline-constrained summaries diverged across schedules"
+    );
+    assert_eq!(
+        stealing.solve_outcomes, reference.solve_outcomes,
+        "deadline-constrained outcome counts diverged across schedules"
+    );
+    println!(
+        "smoke: virtual-clock deadline OK ({} of {} solves deadline-limited, bit-identical)",
+        reference.solve_outcomes.deadline_reached,
+        reference.solve_outcomes.total()
+    );
 }
 
 fn bench(args: &Args) {
@@ -171,8 +224,8 @@ fn bench(args: &Args) {
     }
 
     println!(
-        "{:<9} {:>10} {:>9} {:>11} {:>11} {:>9} {:>9} {:>9}",
-        "vehicles", "steps", "wall_s", "veh/s", "steps/s", "p50_ms", "p95_ms", "p99_ms"
+        "{:<9} {:>10} {:>9} {:>11} {:>11} {:>9} {:>9} {:>9} {:>9}",
+        "vehicles", "steps", "wall_s", "veh/s", "steps/s", "p50_ms", "p95_ms", "p99_ms", "solves"
     );
     let mut rows = Vec::new();
     for (i, &n) in sizes.iter().enumerate() {
@@ -183,7 +236,7 @@ fn bench(args: &Args) {
         .run(&campaign)
         .expect("campaign runs");
         println!(
-            "{:<9} {:>10} {:>9.2} {:>11.1} {:>11.0} {:>9.3} {:>9.3} {:>9.3}",
+            "{:<9} {:>10} {:>9.2} {:>11.1} {:>11.0} {:>9.3} {:>9.3} {:>9.3} {:>9}",
             n,
             report.total_steps,
             report.wall_s,
@@ -191,7 +244,8 @@ fn bench(args: &Args) {
             report.steps_per_sec(),
             report.latency_ms.quantile(0.50),
             report.latency_ms.quantile(0.95),
-            report.latency_ms.quantile(0.99)
+            report.latency_ms.quantile(0.99),
+            report.solve_outcomes.total()
         );
         // Schedule comparison on the smallest campaign only: the point
         // is the *relative* cost of static chunking vs stealing on a
@@ -228,6 +282,7 @@ fn bench(args: &Args) {
                 "      \"vehicles_per_sec\": {:.2},\n",
                 "      \"steps_per_sec\": {:.1},\n",
                 "      \"latency_ms\": {},\n",
+                "      \"solve_outcomes\": {},\n",
                 "      \"fleet_checksum\": \"{:016x}\"{}\n",
                 "    }}"
             ),
@@ -237,6 +292,7 @@ fn bench(args: &Args) {
             report.vehicles_per_sec(),
             report.steps_per_sec(),
             quantiles_json(&report.latency_ms),
+            outcomes_json(&report.solve_outcomes),
             report.fleet_checksum(),
             comparison
         ));

@@ -1,19 +1,24 @@
 //! Performance trajectory for the MPC hot path: serial vs parallel
-//! finite-difference gradients, and the reverse-mode adjoint gradient,
-//! across horizon lengths.
+//! finite-difference gradients, the reverse-mode adjoint gradient, and
+//! Gauss-Newton on the adjoint tape, across horizon lengths.
 //!
 //! Runs warm-started `Mpc::solve` repetitions at horizons {12, 24, 48}
 //! in [`GradientMode::Serial`], [`GradientMode::Parallel`] and
-//! [`GradientMode::Adjoint`] and writes `BENCH_mpc.json` (per-solve
-//! latency, rollouts/second, rollouts/solve, speedups) so later changes
-//! have a baseline to compare against.
+//! [`GradientMode::Adjoint`] for the latency table, then re-runs
+//! Adjoint vs [`GradientMode::GaussNewton`] under a raised iteration
+//! budget to measure *iterations to tolerance*, and writes
+//! `BENCH_mpc.json` (per-solve latency, rollouts/second, solves/second,
+//! iteration counts, solver-outcome distributions, speedups) so later
+//! changes have a baseline to compare against.
 //!
 //! Usage:
-//! `cargo run --release -p otem-bench --bin perf_report -- [threads] [--gradient adjoint]`
+//! `cargo run --release -p otem-bench --bin perf_report -- [threads] [--gradient adjoint|gauss-newton]`
 //! (thread count defaults to the machine's available parallelism).
 //! `--gradient adjoint` runs a quick adjoint-only smoke — used by
 //! `scripts/tier1.sh` — that asserts the per-solve rollout count stays
-//! horizon-independent and does **not** rewrite `BENCH_mpc.json`.
+//! horizon-independent; `--gradient gauss-newton` runs a second-order
+//! smoke asserting certified convergence in strictly fewer iterations
+//! than first-order descent. Neither smoke rewrites `BENCH_mpc.json`.
 //!
 //! The two FD modes produce bit-identical decisions — asserted here on
 //! every repetition — so that comparison is purely about wall time. The
@@ -25,7 +30,7 @@
 use otem::mpc::{Mpc, MpcConfig, MpcPlant};
 use otem::SystemConfig;
 use otem_hees::HybridHees;
-use otem_solver::GradientMode;
+use otem_solver::{GradientMode, SolverOutcome};
 use otem_telemetry::{JsonlSink, NullSink, Sink};
 use otem_thermal::{CoolingPlant, ThermalModel, ThermalState};
 use otem_units::{Kelvin, Ratio, Seconds, Watts};
@@ -33,6 +38,10 @@ use std::time::Instant;
 
 const HORIZONS: [usize; 3] = [12, 24, 48];
 const REPS: usize = 8;
+
+/// Iteration budget for the iterations-to-tolerance comparison: high
+/// enough that termination is decided by convergence, not the cap.
+const TOL_BUDGET: usize = 400;
 
 fn plant(config: &SystemConfig) -> MpcPlant {
     let mut hees = HybridHees::ev_default(config.capacitance).unwrap();
@@ -50,11 +59,51 @@ fn plant(config: &SystemConfig) -> MpcPlant {
     }
 }
 
+/// Count of timed solves by solver outcome — the full termination
+/// distribution, recorded per mode per horizon.
+#[derive(Default)]
+struct OutcomeCounts {
+    converged: u64,
+    budget_exhausted: u64,
+    stalled: u64,
+    non_finite: u64,
+    deadline_reached: u64,
+}
+
+impl OutcomeCounts {
+    fn record(&mut self, outcome: SolverOutcome) {
+        match outcome {
+            SolverOutcome::Converged => self.converged += 1,
+            SolverOutcome::BudgetExhausted => self.budget_exhausted += 1,
+            SolverOutcome::Stalled => self.stalled += 1,
+            SolverOutcome::NonFinite => self.non_finite += 1,
+            SolverOutcome::DeadlineReached => self.deadline_reached += 1,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{ \"converged\": {}, \"budget_exhausted\": {}, \"stalled\": {}, \
+             \"non_finite\": {}, \"deadline_reached\": {} }}",
+            self.converged,
+            self.budget_exhausted,
+            self.stalled,
+            self.non_finite,
+            self.deadline_reached
+        )
+    }
+}
+
 struct ModeStats {
     mean_ms: f64,
     min_ms: f64,
     rollouts_per_sec: f64,
     rollouts_per_solve: f64,
+    solves_per_sec: f64,
+    mean_iterations: f64,
+    outcomes: OutcomeCounts,
+    /// Outcome of the last timed solve (the fully warm-started one).
+    last_outcome: SolverOutcome,
     /// First decision, for the cross-mode parity check.
     cap_bus: f64,
     cool_duty: f64,
@@ -65,11 +114,13 @@ fn run_mode(
     loads: &[Watts],
     horizon: usize,
     mode: GradientMode,
+    iterations: usize,
     sink: &dyn Sink,
 ) -> ModeStats {
     let mut mpc = Mpc::new(MpcConfig {
         horizon,
         gradient_mode: mode,
+        solver_iterations: iterations,
         ..MpcConfig::default()
     });
     let dt = Seconds::new(1.0);
@@ -80,12 +131,18 @@ fn run_mode(
     let first = mpc.solve_with(p, loads, dt, sink);
     let rollouts_before = mpc.rollouts();
     let mut latencies_ms = Vec::with_capacity(REPS);
+    let mut outcomes = OutcomeCounts::default();
+    let mut iters_total = 0usize;
+    let mut last_outcome = first.outcome;
     let started = Instant::now();
     for _ in 0..REPS {
         let t0 = Instant::now();
         let d = mpc.solve(p, loads, dt);
         latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         assert!(d.cap_bus.is_finite(), "solve produced a non-finite command");
+        outcomes.record(d.outcome);
+        iters_total += d.iterations;
+        last_outcome = d.outcome;
     }
     let elapsed = started.elapsed().as_secs_f64();
     let rollouts = mpc.rollouts() - rollouts_before;
@@ -94,6 +151,10 @@ fn run_mode(
         min_ms: latencies_ms.iter().copied().fold(f64::INFINITY, f64::min),
         rollouts_per_sec: rollouts as f64 / elapsed,
         rollouts_per_solve: rollouts as f64 / REPS as f64,
+        solves_per_sec: REPS as f64 / elapsed,
+        mean_iterations: iters_total as f64 / REPS as f64,
+        outcomes,
+        last_outcome,
         cap_bus: first.cap_bus.value(),
         cool_duty: first.cool_duty,
     }
@@ -118,7 +179,14 @@ fn adjoint_smoke(config: &SystemConfig) {
         let loads: Vec<Watts> = (0..horizon)
             .map(|k| Watts::new(20_000.0 + 40_000.0 * ((k % 5) as f64 / 4.0)))
             .collect();
-        let adj = run_mode(&p, &loads, horizon, GradientMode::Adjoint, &NullSink);
+        let adj = run_mode(
+            &p,
+            &loads,
+            horizon,
+            GradientMode::Adjoint,
+            iterations,
+            &NullSink,
+        );
         println!(
             "{:<8} {:>12.3} {:>14.0} {:>14.1}",
             horizon, adj.mean_ms, adj.rollouts_per_sec, adj.rollouts_per_solve
@@ -134,19 +202,71 @@ fn adjoint_smoke(config: &SystemConfig) {
     println!("\nadjoint smoke: rollouts/solve horizon-independent, all decisions finite");
 }
 
+/// Gauss-Newton smoke (`--gradient gauss-newton`): under a raised
+/// iteration budget at horizon 12, the tape-curvature mode must reach
+/// *certified* convergence once warm-started, in strictly fewer
+/// iterations than first-order adjoint descent spends on the same
+/// problem — the property the mode exists for.
+fn gauss_newton_smoke(config: &SystemConfig) {
+    let p = plant(config);
+    let horizon = 12;
+    let loads: Vec<Watts> = (0..horizon)
+        .map(|k| Watts::new(20_000.0 + 40_000.0 * ((k % 5) as f64 / 4.0)))
+        .collect();
+    let adj = run_mode(
+        &p,
+        &loads,
+        horizon,
+        GradientMode::Adjoint,
+        TOL_BUDGET,
+        &NullSink,
+    );
+    let gn = run_mode(
+        &p,
+        &loads,
+        horizon,
+        GradientMode::GaussNewton,
+        TOL_BUDGET,
+        &NullSink,
+    );
+    println!(
+        "horizon {horizon}: adjoint {:.1} it/solve ({}), gauss-newton {:.1} it/solve ({})",
+        adj.mean_iterations,
+        adj.outcomes.json(),
+        gn.mean_iterations,
+        gn.outcomes.json()
+    );
+    assert_eq!(
+        gn.last_outcome,
+        SolverOutcome::Converged,
+        "warm-started Gauss-Newton must certify convergence"
+    );
+    assert!(
+        gn.mean_iterations < adj.mean_iterations,
+        "Gauss-Newton used {:.1} iterations/solve vs adjoint's {:.1} — \
+         the tape curvature bought nothing",
+        gn.mean_iterations,
+        adj.mean_iterations
+    );
+    println!("\ngauss-newton smoke: converged in fewer iterations than first-order descent");
+}
+
 fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let mut threads = cores;
-    let mut smoke = false;
+    let mut smoke: Option<&str> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--gradient" {
             match args.next().as_deref() {
-                Some("adjoint") => smoke = true,
-                Some("fd") | Some("all") => smoke = false,
-                other => panic!("--gradient expects adjoint|fd|all, got {other:?}"),
+                Some("adjoint") => smoke = Some("adjoint"),
+                Some("gauss-newton") => smoke = Some("gauss-newton"),
+                Some("fd") | Some("all") => smoke = None,
+                other => {
+                    panic!("--gradient expects adjoint|gauss-newton|fd|all, got {other:?}")
+                }
             }
         } else if let Ok(n) = arg.parse::<usize>() {
             threads = n;
@@ -155,32 +275,73 @@ fn main() {
         }
     }
     let config = SystemConfig::default();
-    if smoke {
-        adjoint_smoke(&config);
-        return;
+    match smoke {
+        Some("adjoint") => {
+            adjoint_smoke(&config);
+            return;
+        }
+        Some(_) => {
+            gauss_newton_smoke(&config);
+            return;
+        }
+        None => {}
     }
     let p = plant(&config);
     std::fs::create_dir_all("results").expect("results dir");
     let sink = JsonlSink::create("results/perf_report_telemetry.jsonl").expect("telemetry file");
 
+    let default_iters = MpcConfig::default().solver_iterations;
     println!(
-        "{:<8} {:>11} {:>11} {:>11} {:>12} {:>12} {:>7} {:>7}",
-        "horizon", "serial_ms", "par_ms", "adj_ms", "fd_ro/solve", "adj_ro/solve", "par_x", "adj_x"
+        "{:<8} {:>11} {:>11} {:>11} {:>11} {:>8} {:>8} {:>7} {:>7}",
+        "horizon", "serial_ms", "par_ms", "adj_ms", "gn_ms", "adj_it", "gn_it", "par_x", "adj_x"
     );
     let mut rows = Vec::new();
     for horizon in HORIZONS {
         let loads: Vec<Watts> = (0..horizon)
             .map(|k| Watts::new(20_000.0 + 40_000.0 * ((k % 5) as f64 / 4.0)))
             .collect();
-        let serial = run_mode(&p, &loads, horizon, GradientMode::Serial, &sink);
+        let serial = run_mode(
+            &p,
+            &loads,
+            horizon,
+            GradientMode::Serial,
+            default_iters,
+            &sink,
+        );
         let parallel = run_mode(
             &p,
             &loads,
             horizon,
             GradientMode::Parallel { threads },
+            default_iters,
             &sink,
         );
-        let adjoint = run_mode(&p, &loads, horizon, GradientMode::Adjoint, &sink);
+        let adjoint = run_mode(
+            &p,
+            &loads,
+            horizon,
+            GradientMode::Adjoint,
+            default_iters,
+            &sink,
+        );
+        // Iterations-to-tolerance: same problem, raised budget, so the
+        // iteration count — not the cap — decides termination.
+        let adjoint_tol = run_mode(
+            &p,
+            &loads,
+            horizon,
+            GradientMode::Adjoint,
+            TOL_BUDGET,
+            &sink,
+        );
+        let gauss_newton = run_mode(
+            &p,
+            &loads,
+            horizon,
+            GradientMode::GaussNewton,
+            TOL_BUDGET,
+            &sink,
+        );
         assert_eq!(
             serial.cap_bus.to_bits(),
             parallel.cap_bus.to_bits(),
@@ -188,24 +349,42 @@ fn main() {
         );
         assert_eq!(serial.cool_duty.to_bits(), parallel.cool_duty.to_bits());
         assert!(adjoint.cap_bus.is_finite() && adjoint.cool_duty.is_finite());
+        assert!(gauss_newton.cap_bus.is_finite() && gauss_newton.cool_duty.is_finite());
+        assert!(
+            gauss_newton.mean_iterations < adjoint_tol.mean_iterations,
+            "horizon {horizon}: Gauss-Newton used {:.1} iterations/solve vs \
+             first-order adjoint's {:.1} under the same {TOL_BUDGET}-iteration budget",
+            gauss_newton.mean_iterations,
+            adjoint_tol.mean_iterations
+        );
         let speedup = serial.mean_ms / parallel.mean_ms;
         let adj_speedup = serial.mean_ms / adjoint.mean_ms;
         let rollout_reduction = serial.rollouts_per_solve / adjoint.rollouts_per_solve;
+        let iteration_reduction = adjoint_tol.mean_iterations / gauss_newton.mean_iterations;
         println!(
-            "{:<8} {:>11.3} {:>11.3} {:>11.3} {:>12.0} {:>12.1} {:>7.2} {:>7.2}",
+            "{:<8} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>8.1} {:>8.1} {:>7.2} {:>7.2}",
             horizon,
             serial.mean_ms,
             parallel.mean_ms,
             adjoint.mean_ms,
-            serial.rollouts_per_solve,
-            adjoint.rollouts_per_solve,
+            gauss_newton.mean_ms,
+            adjoint_tol.mean_iterations,
+            gauss_newton.mean_iterations,
             speedup,
             adj_speedup
         );
         let mode_json = |s: &ModeStats| {
             format!(
-                "{{ \"mean_ms\": {:.4}, \"min_ms\": {:.4}, \"rollouts_per_sec\": {:.0}, \"rollouts_per_solve\": {:.1} }}",
-                s.mean_ms, s.min_ms, s.rollouts_per_sec, s.rollouts_per_solve
+                "{{ \"mean_ms\": {:.4}, \"min_ms\": {:.4}, \"rollouts_per_sec\": {:.0}, \
+                 \"rollouts_per_solve\": {:.1}, \"solves_per_sec\": {:.1}, \
+                 \"mean_iterations\": {:.1}, \"outcomes\": {} }}",
+                s.mean_ms,
+                s.min_ms,
+                s.rollouts_per_sec,
+                s.rollouts_per_solve,
+                s.solves_per_sec,
+                s.mean_iterations,
+                s.outcomes.json()
             )
         };
         rows.push(format!(
@@ -215,18 +394,24 @@ fn main() {
                 "      \"serial\": {},\n",
                 "      \"parallel\": {},\n",
                 "      \"adjoint\": {},\n",
+                "      \"adjoint_tol_budget\": {},\n",
+                "      \"gauss_newton\": {},\n",
                 "      \"speedup\": {:.3},\n",
                 "      \"fd_vs_adjoint_speedup\": {:.3},\n",
-                "      \"rollout_reduction\": {:.1}\n",
+                "      \"rollout_reduction\": {:.1},\n",
+                "      \"gn_iteration_reduction\": {:.2}\n",
                 "    }}"
             ),
             horizon,
             mode_json(&serial),
             mode_json(&parallel),
             mode_json(&adjoint),
+            mode_json(&adjoint_tol),
+            mode_json(&gauss_newton),
             speedup,
             adj_speedup,
-            rollout_reduction
+            rollout_reduction,
+            iteration_reduction
         ));
     }
 
@@ -235,12 +420,14 @@ fn main() {
             "{{\n",
             "  \"bench\": \"mpc_solve_gradient_modes\",\n",
             "  \"solves_per_mode\": {},\n",
+            "  \"tol_budget\": {},\n",
             "  \"cpu_cores\": {},\n",
             "  \"threads\": {},\n",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"
         ),
         REPS,
+        TOL_BUDGET,
         cores,
         threads,
         rows.join(",\n")

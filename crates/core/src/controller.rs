@@ -54,6 +54,12 @@ pub enum PlantFault {
     /// Caps the optimiser's per-period iteration budget (`Some(0)`
     /// starves it completely); `None` restores the configured budget.
     SolverIterationCap(Option<usize>),
+    /// Caps the optimiser's per-solve wall-clock deadline in
+    /// nanoseconds (`Some(0)` makes every solve miss it immediately);
+    /// `None` restores the configured deadline. Models a compute
+    /// platform losing headroom — thermal throttling of the control
+    /// ECU, a co-scheduled task stealing the core.
+    SolverDeadlineNs(Option<u64>),
     /// Additive bias (K) on the temperature the controller *reads* from
     /// its plant — models a drifted thermistor. Zero removes the bias.
     SensorBias {

@@ -95,6 +95,14 @@ impl Otem {
         self.mpc.reset();
     }
 
+    /// Replaces the MPC solver's deadline time source. Production keeps
+    /// the default monotonic clock; test harnesses inject a
+    /// [`crate::mpc::VirtualClock`] so deadline-triggered paths are
+    /// deterministic and bit-reproducible.
+    pub fn set_solver_clock(&mut self, clock: std::sync::Arc<dyn crate::mpc::Clock>) {
+        self.mpc.set_clock(clock);
+    }
+
     /// The thermal state as the controller's sensors report it —
     /// identical to the true state unless a [`PlantFault::SensorBias`]
     /// is active.
@@ -154,6 +162,10 @@ impl Controller for Otem {
             }
             PlantFault::SolverIterationCap(cap) => {
                 self.mpc.set_iteration_cap(cap);
+                true
+            }
+            PlantFault::SolverDeadlineNs(deadline_ns) => {
+                self.mpc.set_deadline_ns(deadline_ns);
                 true
             }
             PlantFault::SensorBias { temp_k } => {

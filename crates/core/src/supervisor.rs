@@ -98,8 +98,11 @@ const UNIT_EPS: f64 = 1e-6;
 /// [`OtemError::NonFinite`] when a commanded quantity is NaN/infinite;
 /// [`OtemError::Solver`] when a command leaves its actuator bounds or
 /// the solver outcome is structurally unusable (`non_finite` outcome, or
-/// a zero-iteration budget exhaustion — the starved-solver signature,
-/// where the "solution" is just the warm start echoed back).
+/// a zero-iteration budget exhaustion / deadline miss — the starved- or
+/// throttled-solver signatures, where the "solution" is just the warm
+/// start echoed back). A deadline reached *after* at least one
+/// iteration is nominal anytime behaviour: the decision is the best
+/// feasible iterate so far and passes.
 pub fn validate_decision(decision: &MpcDecision, cap_power_max: Watts) -> Result<(), OtemError> {
     if !decision.cap_bus.is_finite() {
         return Err(OtemError::NonFinite {
@@ -132,6 +135,11 @@ pub fn validate_decision(decision: &MpcDecision, cap_power_max: Watts) -> Result
     if decision.iterations == 0 && decision.outcome == SolverOutcome::BudgetExhausted {
         return Err(OtemError::Solver {
             reason: "solver_starved",
+        });
+    }
+    if decision.iterations == 0 && decision.outcome == SolverOutcome::DeadlineReached {
+        return Err(OtemError::Solver {
+            reason: "solver_deadline",
         });
     }
     Ok(())
@@ -448,6 +456,16 @@ mod tests {
             cap
         )
         .is_ok());
+        // Anytime deadline behaviour: a deadline reached after real
+        // iterations returns the best feasible iterate — accepted.
+        assert!(validate_decision(
+            &MpcDecision {
+                outcome: SolverOutcome::DeadlineReached,
+                ..healthy_decision()
+            },
+            cap
+        )
+        .is_ok());
 
         let cases = [
             (
@@ -499,6 +517,14 @@ mod tests {
                     ..healthy_decision()
                 },
                 "solver_starved",
+            ),
+            (
+                MpcDecision {
+                    iterations: 0,
+                    outcome: SolverOutcome::DeadlineReached,
+                    ..healthy_decision()
+                },
+                "solver_deadline",
             ),
         ];
         for (decision, want) in cases {
@@ -593,6 +619,49 @@ mod tests {
             }
         }
         assert!(sup.is_armed(), "healthy solver must re-arm");
+        assert_eq!(sup.rearms(), 1);
+        assert_eq!(sink.count_kind("mpc_rearmed"), 1);
+    }
+
+    #[test]
+    fn deadline_miss_walks_the_same_ladder_as_starvation() {
+        // A zero-nanosecond deadline makes every solve return its warm
+        // start with `DeadlineReached` at iteration 0 — the throttled
+        // compute-platform signature. The supervisor must walk the exact
+        // rejection → fallback → re-arm ladder it uses for starvation,
+        // with the `solver_deadline` reason on the rejection events.
+        let mut sup = SupervisedOtem::new(
+            otem(),
+            SupervisorConfig {
+                rearm_after: 2,
+                initial_backoff: 2,
+                max_backoff: 8,
+                ..SupervisorConfig::default()
+            },
+        );
+        let sink = MemorySink::new();
+        let forecast = vec![Watts::new(15_000.0); 4];
+        let dt = Seconds::new(1.0);
+
+        let _ = sup.step_with(Watts::new(15_000.0), &forecast, dt, &sink);
+        assert!(sup.is_armed());
+
+        assert!(sup.inject(PlantFault::SolverDeadlineNs(Some(0))));
+        let _ = sup.step_with(Watts::new(15_000.0), &forecast, dt, &sink);
+        assert!(!sup.is_armed(), "missed deadline must disengage the MPC");
+        assert_eq!(sup.rejected(), 1);
+        assert_eq!(sink.count_kind("decision_rejected"), 1);
+        assert_eq!(sink.count_kind("fallback_engaged"), 1);
+
+        // Restore compute headroom; the MPC proves healthy and re-arms.
+        assert!(sup.inject(PlantFault::SolverDeadlineNs(None)));
+        for _ in 0..12 {
+            let _ = sup.step_with(Watts::new(15_000.0), &forecast, dt, &sink);
+            if sup.is_armed() {
+                break;
+            }
+        }
+        assert!(sup.is_armed(), "restored deadline must re-arm");
         assert_eq!(sup.rearms(), 1);
         assert_eq!(sink.count_kind("mpc_rearmed"), 1);
     }

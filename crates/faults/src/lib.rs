@@ -6,7 +6,8 @@
 //! [`otem::Controller`] and corrupts what flows across its boundary —
 //! sensor readings, load, forecast — plus, for controllers that opt in
 //! via [`otem::Controller::inject`], plant-internal degradations (stuck
-//! cooling pump, starved solver, biased thermistor).
+//! cooling pump, starved solver, collapsed solve deadline, biased
+//! thermistor).
 //!
 //! Design rules:
 //!
@@ -83,6 +84,14 @@ pub enum FaultKind {
         /// Remaining iteration budget (0 = fully starved).
         max_iterations: usize,
     },
+    /// The solver's wall-clock deadline collapses
+    /// ([`PlantFault::SolverDeadlineNs`]) — models a throttled or
+    /// overloaded control ECU. Zero nanoseconds makes every solve miss
+    /// the deadline before its first iteration.
+    SolverDeadline {
+        /// Remaining per-solve budget in nanoseconds.
+        deadline_ns: u64,
+    },
 }
 
 impl FaultKind {
@@ -100,6 +109,7 @@ impl FaultKind {
             Self::ConverterDerate { .. } => "converter_derate",
             Self::PumpStuck => "pump_stuck",
             Self::SolverStarvation { .. } => "solver_starvation",
+            Self::SolverDeadline { .. } => "solver_deadline",
         }
     }
 }
@@ -163,6 +173,7 @@ impl FaultPlan {
 struct AppliedPlantFaults {
     pump_stuck: bool,
     iteration_cap: Option<usize>,
+    deadline_ns: Option<u64>,
     sensor_bias_k: f64,
     /// Whether the wrapped controller accepted the bias injection (if
     /// not, the decorator biases the reported record instead).
@@ -232,12 +243,16 @@ impl<C: Controller> FaultedController<C> {
     fn reconcile_plant_faults(&mut self, step: u64) {
         let mut want_pump = false;
         let mut want_cap: Option<usize> = None;
+        let mut want_deadline: Option<u64> = None;
         let mut want_bias = 0.0;
         for kind in self.plan.active(step) {
             match kind {
                 FaultKind::PumpStuck => want_pump = true,
                 FaultKind::SolverStarvation { max_iterations } => {
                     want_cap = Some(max_iterations);
+                }
+                FaultKind::SolverDeadline { deadline_ns } => {
+                    want_deadline = Some(deadline_ns);
                 }
                 FaultKind::SensorBias { temp_k } => want_bias = temp_k,
                 _ => {}
@@ -250,6 +265,12 @@ impl<C: Controller> FaultedController<C> {
         if want_cap != self.applied.iteration_cap {
             let _ = self.inner.inject(PlantFault::SolverIterationCap(want_cap));
             self.applied.iteration_cap = want_cap;
+        }
+        if want_deadline != self.applied.deadline_ns {
+            let _ = self
+                .inner
+                .inject(PlantFault::SolverDeadlineNs(want_deadline));
+            self.applied.deadline_ns = want_deadline;
         }
         if want_bias != self.applied.sensor_bias_k {
             self.applied.bias_supported = self
@@ -525,11 +546,10 @@ mod tests {
 
     #[test]
     fn plant_faults_are_idempotent_and_cleared() {
-        let plan = FaultPlan::new(1).inject(FaultKind::PumpStuck, 1, 3).inject(
-            FaultKind::SolverStarvation { max_iterations: 0 },
-            1,
-            3,
-        );
+        let plan = FaultPlan::new(1)
+            .inject(FaultKind::PumpStuck, 1, 3)
+            .inject(FaultKind::SolverStarvation { max_iterations: 0 }, 1, 3)
+            .inject(FaultKind::SolverDeadline { deadline_ns: 500 }, 1, 3);
         let (f, _) = run(plan, 5);
         // One injection on entry, one clear on exit — not one per step.
         assert_eq!(
@@ -537,9 +557,15 @@ mod tests {
             vec![
                 PlantFault::PumpStuck(true),
                 PlantFault::SolverIterationCap(Some(0)),
+                PlantFault::SolverDeadlineNs(Some(500)),
                 PlantFault::PumpStuck(false),
                 PlantFault::SolverIterationCap(None),
+                PlantFault::SolverDeadlineNs(None),
             ]
+        );
+        assert_eq!(
+            FaultKind::SolverDeadline { deadline_ns: 500 }.name(),
+            "solver_deadline"
         );
     }
 

@@ -9,7 +9,7 @@
 //! single vehicle and compare it against the fleet engine's output
 //! bit for bit.
 
-use otem::mpc::MpcConfig;
+use otem::mpc::{Clock, MpcConfig};
 use otem::policy::{ActiveCooling, Dual, Otem, Parallel};
 use otem::{Controller, OtemError, RunTotals, SimulationResult, StepRecord, SystemConfig};
 use otem_drivecycle::{standard, PowerTrace, Powertrain, StandardCycle, VehicleParams};
@@ -78,6 +78,11 @@ pub struct VehicleSpec {
     pub mpc_horizon: usize,
     /// MPC per-period solver iteration budget (OTEM vehicles only).
     pub mpc_iterations: usize,
+    /// Per-solve wall-clock deadline in microseconds (OTEM vehicles
+    /// only; `0` = no deadline). Non-zero values make each MPC solve
+    /// *anytime*: it returns its best feasible iterate when the budget
+    /// expires instead of running to tolerance.
+    pub mpc_deadline_us: u64,
 }
 
 impl VehicleSpec {
@@ -114,6 +119,11 @@ impl VehicleSpec {
             methodology,
             mpc_horizon,
             mpc_iterations,
+            // Synthetic campaigns carry no deadline (keeps every
+            // historical campaign checksum bit-identical); deadlines
+            // arrive via explicit specs or the serving layer's
+            // `mpc_deadline_us` request field.
+            mpc_deadline_us: 0,
         }
     }
 
@@ -129,19 +139,96 @@ impl VehicleSpec {
     ///
     /// Propagates component validation errors.
     pub fn controller(&self, config: &SystemConfig) -> Result<Box<dyn Controller>, OtemError> {
+        self.controller_with_clock(config, None)
+    }
+
+    /// [`VehicleSpec::controller`] with an explicit solver time source
+    /// for OTEM vehicles. Deterministic harnesses pass a
+    /// [`otem::mpc::VirtualClock`] per vehicle so deadline-constrained
+    /// solves are bit-reproducible regardless of host load or shard
+    /// count; `None` keeps the production monotonic clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component validation errors.
+    pub fn controller_with_clock(
+        &self,
+        config: &SystemConfig,
+        clock: Option<Arc<dyn Clock>>,
+    ) -> Result<Box<dyn Controller>, OtemError> {
         Ok(match self.methodology {
             Methodology::Parallel => Box::new(Parallel::new(config)?),
             Methodology::ActiveCooling => Box::new(ActiveCooling::new(config)?),
             Methodology::Dual => Box::new(Dual::new(config)?),
-            Methodology::Otem => Box::new(Otem::with_mpc(
-                config,
-                MpcConfig {
-                    horizon: self.mpc_horizon,
-                    solver_iterations: self.mpc_iterations,
-                    ..MpcConfig::default()
-                },
-            )?),
+            Methodology::Otem => {
+                let mut otem = Otem::with_mpc(
+                    config,
+                    MpcConfig {
+                        horizon: self.mpc_horizon,
+                        solver_iterations: self.mpc_iterations,
+                        deadline_ns: (self.mpc_deadline_us > 0)
+                            .then(|| self.mpc_deadline_us.saturating_mul(1_000)),
+                        ..MpcConfig::default()
+                    },
+                )?;
+                if let Some(clock) = clock {
+                    otem.set_solver_clock(clock);
+                }
+                Box::new(otem)
+            }
         })
+    }
+}
+
+/// Count of MPC solves by [`otem_solver` outcome](otem::mpc), summed
+/// over whatever scope holds it (one vehicle, a campaign, a server's
+/// lifetime). Addition is commutative, so campaign-level totals are
+/// identical for every schedule and shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveOutcomes {
+    /// Solves that met the convergence tolerance.
+    pub converged: u64,
+    /// Solves that ran out of their iteration budget.
+    pub budget_exhausted: u64,
+    /// Solves whose line search stalled on numerically flat terrain.
+    pub stalled: u64,
+    /// Solves that hit a non-finite objective or gradient.
+    pub non_finite: u64,
+    /// Anytime solves cut off by the wall-clock deadline.
+    pub deadline_reached: u64,
+}
+
+impl SolveOutcomes {
+    /// Bumps the counter matching a [`SolverOutcome name`]
+    /// (`otem_solver::SolverOutcome::name`); unknown names are ignored
+    /// so a newer solver never panics an older tally.
+    pub fn record(&mut self, outcome: &str) {
+        match outcome {
+            "converged" => self.converged += 1,
+            "budget_exhausted" => self.budget_exhausted += 1,
+            "stalled" => self.stalled += 1,
+            "non_finite" => self.non_finite += 1,
+            "deadline_reached" => self.deadline_reached += 1,
+            _ => {}
+        }
+    }
+
+    /// Adds another tally into this one.
+    pub fn add(&mut self, other: SolveOutcomes) {
+        self.converged += other.converged;
+        self.budget_exhausted += other.budget_exhausted;
+        self.stalled += other.stalled;
+        self.non_finite += other.non_finite;
+        self.deadline_reached += other.deadline_reached;
+    }
+
+    /// Total solves observed.
+    pub fn total(&self) -> u64 {
+        self.converged
+            + self.budget_exhausted
+            + self.stalled
+            + self.non_finite
+            + self.deadline_reached
     }
 }
 

@@ -1,9 +1,13 @@
 //! The batched multi-vehicle execution engine.
 
-use crate::campaign::{Campaign, SummaryBuilder, TraceCache, VehicleSpec, VehicleSummary};
+use crate::campaign::{
+    Campaign, SolveOutcomes, SummaryBuilder, TraceCache, VehicleSpec, VehicleSummary,
+};
 use crate::pool::{fan_indexed_capped, fan_stealing};
+use otem::mpc::Clock;
 use otem::{OtemError, Simulator};
-use otem_telemetry::{Histogram, NullSink};
+use otem_telemetry::{Event, Histogram, Sink};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -37,6 +41,75 @@ impl Schedule {
     }
 }
 
+/// Lock-free tally of MPC solve outcomes flowing through a sink.
+///
+/// `enabled()` stays `false`: plain events like
+/// [`Event::SolveOutcome`] are emitted unconditionally, so the tally
+/// still sees every solve while call sites skip the *expensive derived*
+/// telemetry (spans, per-iteration traces) exactly as with a
+/// [`otem_telemetry::NullSink`]. Counter increments are commutative, so
+/// campaign totals are schedule- and shard-independent.
+#[derive(Debug, Default)]
+pub struct OutcomeTally {
+    converged: AtomicU64,
+    budget_exhausted: AtomicU64,
+    stalled: AtomicU64,
+    non_finite: AtomicU64,
+    deadline_reached: AtomicU64,
+}
+
+impl OutcomeTally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a finished scope's counts (e.g. one campaign's
+    /// [`FleetReport::solve_outcomes`]) into this tally.
+    pub fn add(&self, counts: SolveOutcomes) {
+        self.converged
+            .fetch_add(counts.converged, Ordering::Relaxed);
+        self.budget_exhausted
+            .fetch_add(counts.budget_exhausted, Ordering::Relaxed);
+        self.stalled.fetch_add(counts.stalled, Ordering::Relaxed);
+        self.non_finite
+            .fetch_add(counts.non_finite, Ordering::Relaxed);
+        self.deadline_reached
+            .fetch_add(counts.deadline_reached, Ordering::Relaxed);
+    }
+
+    /// The counts observed so far.
+    pub fn snapshot(&self) -> SolveOutcomes {
+        SolveOutcomes {
+            converged: self.converged.load(Ordering::Relaxed),
+            budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
+            stalled: self.stalled.load(Ordering::Relaxed),
+            non_finite: self.non_finite.load(Ordering::Relaxed),
+            deadline_reached: self.deadline_reached.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Sink for OutcomeTally {
+    fn record(&self, event: Event) {
+        if let Event::SolveOutcome { outcome, .. } = event {
+            match outcome {
+                "converged" => &self.converged,
+                "budget_exhausted" => &self.budget_exhausted,
+                "stalled" => &self.stalled,
+                "non_finite" => &self.non_finite,
+                "deadline_reached" => &self.deadline_reached,
+                _ => return,
+            }
+            .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
 /// The outcome of one campaign run.
 #[derive(Debug)]
 pub struct FleetReport {
@@ -49,6 +122,9 @@ pub struct FleetReport {
     pub total_steps: u64,
     /// Per-vehicle simulation latency (milliseconds).
     pub latency_ms: Histogram,
+    /// MPC solves by solver outcome, summed over the campaign —
+    /// identical for every [`Schedule`] (counter addition commutes).
+    pub solve_outcomes: SolveOutcomes,
 }
 
 impl FleetReport {
@@ -75,6 +151,14 @@ pub(crate) fn latency_histogram_ms() -> Histogram {
     Histogram::exponential(0.01, 2.0, 23)
 }
 
+/// Per-vehicle solver time source for deadline-constrained OTEM
+/// vehicles: called once per vehicle, before its first solve. A plain
+/// `fn` pointer keeps the engine `Debug` + trivially shareable; the
+/// deterministic harnesses return a fresh
+/// [`otem::mpc::VirtualClock`] per vehicle (never shared — sharing
+/// would order clock reads across worker threads).
+pub type ClockFactory = fn(&VehicleSpec) -> Arc<dyn Clock>;
+
 /// Runs [`Campaign`]s through long-lived scoped worker pools.
 #[derive(Debug)]
 pub struct FleetEngine {
@@ -84,6 +168,9 @@ pub struct FleetEngine {
     /// cycle once per vehicle class, not once per vehicle). `Arc` so the
     /// serving layer can reuse one warm cache across requests.
     cache: Arc<TraceCache>,
+    /// Optional per-vehicle solver clock (tests); `None` keeps the
+    /// production monotonic clock.
+    clock_factory: Option<ClockFactory>,
 }
 
 impl FleetEngine {
@@ -94,7 +181,19 @@ impl FleetEngine {
 
     /// An engine sharing an existing (possibly warm) trace cache.
     pub fn with_cache(schedule: Schedule, cache: Arc<TraceCache>) -> Self {
-        Self { schedule, cache }
+        Self {
+            schedule,
+            cache,
+            clock_factory: None,
+        }
+    }
+
+    /// Installs a per-vehicle solver time source (builder style). See
+    /// [`ClockFactory`].
+    #[must_use]
+    pub fn with_clock_factory(mut self, factory: ClockFactory) -> Self {
+        self.clock_factory = Some(factory);
+        self
     }
 
     /// Simulates one vehicle exactly as the single-vehicle path would:
@@ -105,12 +204,28 @@ impl FleetEngine {
     ///
     /// Propagates component validation and cycle-synthesis errors.
     pub fn run_vehicle(&self, spec: &VehicleSpec) -> Result<VehicleSummary, OtemError> {
+        self.run_vehicle_with(spec, &OutcomeTally::new())
+    }
+
+    /// [`FleetEngine::run_vehicle`] with an explicit telemetry sink —
+    /// the campaign path passes a shared [`OutcomeTally`] so the report
+    /// can carry the fleet-wide solve-outcome distribution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component validation and cycle-synthesis errors.
+    pub fn run_vehicle_with(
+        &self,
+        spec: &VehicleSpec,
+        sink: &dyn Sink,
+    ) -> Result<VehicleSummary, OtemError> {
         let config = spec.config();
         let trace = self.cache.trace_for(spec)?;
-        let mut controller = spec.controller(&config)?;
+        let clock = self.clock_factory.map(|f| f(spec));
+        let mut controller = spec.controller_with_clock(&config, clock)?;
         let sim = Simulator::new(&config);
         let mut builder = SummaryBuilder::new(config.dt);
-        let totals = sim.run_each(controller.as_mut(), &trace, &NullSink, |_, r| {
+        let totals = sim.run_each(controller.as_mut(), &trace, sink, |_, r| {
             builder.push(r);
         });
         Ok(builder.finish(spec.id, totals))
@@ -124,10 +239,11 @@ impl FleetEngine {
     /// [`Campaign::synthetic`] never fail; hand-built specs can).
     pub fn run(&self, campaign: &Campaign) -> Result<FleetReport, OtemError> {
         let latency = latency_histogram_ms();
+        let tally = OutcomeTally::new();
         let started = Instant::now();
         let job = |_i: usize, spec: &VehicleSpec| {
             let t0 = Instant::now();
-            let summary = self.run_vehicle(spec);
+            let summary = self.run_vehicle_with(spec, &tally);
             latency.observe(t0.elapsed().as_secs_f64() * 1e3);
             summary
         };
@@ -149,6 +265,7 @@ impl FleetEngine {
             wall_s,
             total_steps,
             latency_ms: latency,
+            solve_outcomes: tally.snapshot(),
         })
     }
 }

@@ -50,7 +50,7 @@ pub mod protocol;
 pub mod server;
 
 pub use campaign::{
-    Campaign, Methodology, SummaryBuilder, TraceCache, VehicleSpec, VehicleSummary,
+    Campaign, Methodology, SolveOutcomes, SummaryBuilder, TraceCache, VehicleSpec, VehicleSummary,
 };
-pub use engine::{FleetEngine, FleetReport, Schedule};
+pub use engine::{ClockFactory, FleetEngine, FleetReport, OutcomeTally, Schedule};
 pub use server::{FleetServer, ServerConfig, ServerHandle};

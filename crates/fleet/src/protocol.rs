@@ -3,7 +3,7 @@
 //! hand-rolled, mirroring `otem-bench`'s span-stream reader) and JSONL
 //! rendering for responses.
 
-use crate::campaign::{Methodology, VehicleSpec, VehicleSummary};
+use crate::campaign::{Methodology, SolveOutcomes, VehicleSpec, VehicleSummary};
 use crate::engine::Schedule;
 use otem_drivecycle::StandardCycle;
 use std::fmt::Write as _;
@@ -105,7 +105,7 @@ pub enum Telemetry {
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimulateRequest {
     /// Batched campaign: `{"vehicles":1000,"seed":42,"shards":4,
-    /// "schedule":"steal"}`.
+    /// "schedule":"steal","mpc_deadline_us":250}`.
     Fleet {
         /// Campaign size.
         vehicles: usize,
@@ -115,6 +115,9 @@ pub enum SimulateRequest {
         shards: usize,
         /// `"steal"` (default), `"static"`, or `"serial"`.
         schedule: &'static str,
+        /// Per-solve wall-clock deadline (µs) applied to every OTEM
+        /// vehicle in the campaign; `0` (default) means no deadline.
+        mpc_deadline_us: u64,
     },
     /// One explicit vehicle: `{"cycle":"us06","methodology":"otem",
     /// "steps":120,"ambient_c":30,"capacitance_f":20000,
@@ -129,6 +132,17 @@ pub enum SimulateRequest {
 
 /// Parse failure: human-readable reason, returned as a 400.
 pub type ParseError = String;
+
+/// Extracts and validates the optional per-solve deadline field.
+/// `0` (the default) means "no deadline"; anything above 10 s per solve
+/// is rejected as a client error rather than silently accepted.
+fn parse_deadline_us(body: &str) -> Result<u64, ParseError> {
+    let us = json_u64(body, "mpc_deadline_us").unwrap_or(0);
+    if us > 10_000_000 {
+        return Err("\"mpc_deadline_us\" must be ≤ 10000000 (10 s)".into());
+    }
+    Ok(us)
+}
 
 impl SimulateRequest {
     /// Parses a request body. A body with a `"vehicles"` count is a
@@ -150,6 +164,7 @@ impl SimulateRequest {
                 seed: json_u64(body, "seed").unwrap_or(42),
                 shards: json_u64(body, "shards").unwrap_or(0) as usize,
                 schedule,
+                mpc_deadline_us: parse_deadline_us(body)?,
             });
         }
 
@@ -191,6 +206,7 @@ impl SimulateRequest {
                 methodology,
                 mpc_horizon: json_u64(body, "mpc_horizon").unwrap_or(8) as usize,
                 mpc_iterations: json_u64(body, "mpc_iterations").unwrap_or(12) as usize,
+                mpc_deadline_us: parse_deadline_us(body)?,
             },
             telemetry,
         })
@@ -217,6 +233,17 @@ impl SimulateRequest {
             Self::Vehicle { .. } => Schedule::Serial,
         }
     }
+}
+
+/// Renders a solve-outcome distribution as one JSON object (no
+/// surrounding whitespace) — embedded in fleet summary lines and the
+/// `/metrics` line.
+pub fn outcomes_json(o: &SolveOutcomes) -> String {
+    format!(
+        "{{\"converged\":{},\"budget_exhausted\":{},\"stalled\":{},\
+         \"non_finite\":{},\"deadline_reached\":{}}}",
+        o.converged, o.budget_exhausted, o.stalled, o.non_finite, o.deadline_reached
+    )
 }
 
 /// Renders one vehicle summary as a JSONL line (no trailing newline).
@@ -253,6 +280,7 @@ mod tests {
                 seed: 42,
                 shards: 0,
                 schedule: "steal",
+                mpc_deadline_us: 0,
             }
         );
         assert_eq!(r.schedule(4), Schedule::WorkStealing { shards: 4 });
@@ -261,13 +289,19 @@ mod tests {
     #[test]
     fn fleet_body_honours_explicit_fields() {
         let r = SimulateRequest::parse(
-            "{\"vehicles\":8,\"seed\":7,\"shards\":2,\"schedule\":\"static\"}",
+            "{\"vehicles\":8,\"seed\":7,\"shards\":2,\"schedule\":\"static\",\
+             \"mpc_deadline_us\":250}",
         )
         .expect("parses");
         assert_eq!(r.schedule(16), Schedule::Static { shards: 2 });
         match r {
-            SimulateRequest::Fleet { vehicles, seed, .. } => {
-                assert_eq!((vehicles, seed), (8, 7));
+            SimulateRequest::Fleet {
+                vehicles,
+                seed,
+                mpc_deadline_us,
+                ..
+            } => {
+                assert_eq!((vehicles, seed, mpc_deadline_us), (8, 7, 250));
             }
             other => panic!("expected fleet, got {other:?}"),
         }
@@ -317,6 +351,17 @@ mod tests {
         assert!(SimulateRequest::parse("{\"steps\":0}").is_err());
         assert!(SimulateRequest::parse("{\"ambient_c\":95}").is_err());
         assert!(SimulateRequest::parse("{\"vehicles\":4,\"schedule\":\"chaos\"}").is_err());
+        assert!(SimulateRequest::parse("{\"mpc_deadline_us\":10000001}").is_err());
+        assert!(SimulateRequest::parse("{\"vehicles\":4,\"mpc_deadline_us\":10000001}").is_err());
+    }
+
+    #[test]
+    fn vehicle_deadline_field_parses() {
+        let r = SimulateRequest::parse("{\"mpc_deadline_us\":500}").expect("parses");
+        match r {
+            SimulateRequest::Vehicle { spec, .. } => assert_eq!(spec.mpc_deadline_us, 500),
+            other => panic!("expected vehicle, got {other:?}"),
+        }
     }
 
     #[test]

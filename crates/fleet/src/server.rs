@@ -22,11 +22,11 @@
 //! (`Connection: close`), so clients just read lines until EOF.
 
 use crate::campaign::{Campaign, SummaryBuilder, TraceCache, VehicleSpec};
-use crate::engine::{latency_histogram_ms, FleetEngine};
-use crate::protocol::{summary_line, SimulateRequest, Telemetry};
+use crate::engine::{latency_histogram_ms, FleetEngine, OutcomeTally};
+use crate::protocol::{outcomes_json, summary_line, SimulateRequest, Telemetry};
 use otem::planner::{plan_split, PlannerConfig};
 use otem::{OtemError, Simulator};
-use otem_telemetry::{ChromeTraceSink, Counter, Histogram, JsonlSink, NullSink, Sink};
+use otem_telemetry::{ChromeTraceSink, Counter, Event, Histogram, JsonlSink, NullSink, Sink};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -74,6 +74,9 @@ struct ServerState {
     requests: Counter,
     errors: Counter,
     latency_ms: Histogram,
+    /// MPC solve outcomes across every request served so far (fleet and
+    /// single-vehicle alike) — exported on `/metrics`.
+    solves: OutcomeTally,
     shutdown: AtomicBool,
 }
 
@@ -96,6 +99,7 @@ impl FleetServer {
                 requests: Counter::new(),
                 errors: Counter::new(),
                 latency_ms: latency_histogram_ms(),
+                solves: OutcomeTally::new(),
                 shutdown: AtomicBool::new(false),
             }),
         }
@@ -258,14 +262,40 @@ fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<()> {
 fn metrics_line(state: &ServerState) -> String {
     format!(
         "{{\"event\":\"metrics\",\"requests\":{},\"errors\":{},\
-         \"latency_ms\":{{\"count\":{},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}}}}",
+         \"latency_ms\":{{\"count\":{},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}},\
+         \"solves\":{}}}",
         state.requests.get(),
         state.errors.get(),
         state.latency_ms.count(),
         state.latency_ms.quantile(0.50),
         state.latency_ms.quantile(0.95),
         state.latency_ms.quantile(0.99),
+        outcomes_json(&state.solves.snapshot()),
     )
+}
+
+/// Forwards events to a per-request sink while tallying MPC solve
+/// outcomes into the server-lifetime [`OutcomeTally`]. `enabled` defers
+/// to the inner sink so streaming telemetry modes keep their derived
+/// events.
+struct TallySink<'a> {
+    tally: &'a OutcomeTally,
+    inner: &'a dyn Sink,
+}
+
+impl Sink for TallySink<'_> {
+    fn record(&self, event: Event) {
+        self.tally.record(event);
+        self.inner.record(event);
+    }
+
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
 }
 
 fn write_head(stream: &mut TcpStream, status: u16, reason: &str) -> io::Result<()> {
@@ -299,16 +329,31 @@ fn respond_otem_error(stream: TcpStream, err: &OtemError) -> io::Result<()> {
 
 fn simulate(state: &ServerState, stream: TcpStream, request: &SimulateRequest) -> io::Result<()> {
     match request {
-        SimulateRequest::Fleet { vehicles, seed, .. } => {
+        SimulateRequest::Fleet {
+            vehicles,
+            seed,
+            mpc_deadline_us,
+            ..
+        } => {
             if *vehicles > state.config.max_vehicles {
                 let cap = state.config.max_vehicles;
                 return respond_error(stream, 400, &format!("\"vehicles\" capped at {cap}"));
             }
             let schedule = request.schedule(state.config.shards);
             let engine = FleetEngine::with_cache(schedule, Arc::clone(&state.cache));
-            let campaign = Campaign::synthetic(*vehicles, *seed);
+            let mut campaign = Campaign::synthetic(*vehicles, *seed);
+            if *mpc_deadline_us > 0 {
+                // A request-level deadline caps every solve in the
+                // campaign; the anytime solver keeps each vehicle
+                // feasible, so this degrades plan quality rather than
+                // dropping vehicles.
+                for spec in &mut campaign.vehicles {
+                    spec.mpc_deadline_us = *mpc_deadline_us;
+                }
+            }
             match engine.run(&campaign) {
                 Ok(report) => {
+                    state.solves.add(report.solve_outcomes);
                     let mut stream = stream;
                     write_head(&mut stream, 200, "OK")?;
                     for s in &report.summaries {
@@ -320,7 +365,7 @@ fn simulate(state: &ServerState, stream: TcpStream, request: &SimulateRequest) -
                          \"schedule\":\"{}\",\"total_steps\":{},\"wall_s\":{:.6},\
                          \"vehicles_per_sec\":{:.3},\"steps_per_sec\":{:.1},\
                          \"latency_ms\":{{\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}},\
-                         \"fleet_checksum\":\"{:016x}\"}}",
+                         \"solves\":{},\"fleet_checksum\":\"{:016x}\"}}",
                         report.summaries.len(),
                         seed,
                         schedule.wire_name(),
@@ -331,6 +376,7 @@ fn simulate(state: &ServerState, stream: TcpStream, request: &SimulateRequest) -
                         report.latency_ms.quantile(0.50),
                         report.latency_ms.quantile(0.95),
                         report.latency_ms.quantile(0.99),
+                        outcomes_json(&report.solve_outcomes),
                         report.fleet_checksum(),
                     )?;
                     stream.flush()
@@ -367,7 +413,13 @@ fn simulate_vehicle(
     write_head(&mut stream, 200, "OK")?;
 
     let mut run = |sink: &dyn Sink, builder: &mut SummaryBuilder| {
-        sim.run_each(controller.as_mut(), &trace, sink, |_, r| builder.push(r))
+        let tallied = TallySink {
+            tally: &state.solves,
+            inner: sink,
+        };
+        sim.run_each(controller.as_mut(), &trace, &tallied, |_, r| {
+            builder.push(r)
+        })
     };
     let totals = match telemetry {
         Telemetry::None => run(&NullSink, &mut builder),

@@ -63,6 +63,10 @@ fn serves_health_fleet_vehicle_plan_metrics_and_shuts_down() {
         trailer.starts_with("{\"event\":\"fleet\","),
         "trailer: {trailer}"
     );
+    assert!(
+        trailer.contains("\"solves\":{\"converged\":"),
+        "solve-outcome distribution present: {trailer}"
+    );
     let local = FleetEngine::new(Schedule::Serial)
         .run(&Campaign::synthetic(8, 42))
         .expect("local campaign");
@@ -118,6 +122,25 @@ fn serves_health_fleet_vehicle_plan_metrics_and_shuts_down() {
     let (status, _) = roundtrip(&handle, "GET", "/nope", "");
     assert_eq!(status, "HTTP/1.1 404 Not Found");
 
+    // A deadline-capped OTEM vehicle: every solve is anytime (a 1 µs
+    // budget expires almost immediately on the monotonic clock), yet
+    // the vehicle still completes with a summary — and the outcomes
+    // land in the server-lifetime tally asserted on /metrics below.
+    let (status, lines) = roundtrip(
+        &handle,
+        "POST",
+        "/simulate",
+        "{\"methodology\":\"otem\",\"steps\":12,\"mpc_deadline_us\":1}",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(
+        lines
+            .last()
+            .expect("non-empty")
+            .starts_with("{\"event\":\"vehicle\","),
+        "deadline-capped vehicle still summarises: {lines:?}"
+    );
+
     // Metrics reflect the traffic above.
     let (status, lines) = roundtrip(&handle, "GET", "/metrics", "");
     assert_eq!(status, "HTTP/1.1 200 OK");
@@ -127,7 +150,21 @@ fn serves_health_fleet_vehicle_plan_metrics_and_shuts_down() {
         metrics.contains("\"p50\":"),
         "latency quantiles present: {metrics}"
     );
-    assert!(handle.requests() >= 7);
+    let deadline_reached: u64 = metrics
+        .split("\"deadline_reached\":")
+        .nth(1)
+        .and_then(|rest| {
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        })
+        .expect("solves tally present in metrics");
+    assert!(
+        deadline_reached > 0,
+        "1 µs deadline never tripped: {metrics}"
+    );
+    assert!(handle.requests() >= 8);
 
     // HTTP-level shutdown: ack line, then the accept loop exits (the
     // handle's join below would hang forever if it didn't).

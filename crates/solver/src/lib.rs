@@ -14,7 +14,13 @@
 //! * [`AugmentedLagrangian`] — converts equality/inequality constraints
 //!   into a sequence of box-constrained subproblems,
 //! * [`NumericalGradient`] — central finite differences for objectives
-//!   without analytic gradients.
+//!   without analytic gradients,
+//! * [`GaussNewton`] — projected Levenberg–Marquardt over a
+//!   [`CurvatureObjective`] (for the MPC: the Gauss-Newton matrix is
+//!   assembled from the same adjoint tape as the gradient),
+//! * [`Clock`] / [`Deadline`] — pluggable time sources for *anytime*
+//!   solves: [`MonotonicClock`] in production, [`VirtualClock`] in tests
+//!   (deadline behaviour becomes bit-reproducible).
 //!
 //! # Examples
 //!
@@ -33,6 +39,8 @@
 #![deny(missing_debug_implementations)]
 
 mod bounds;
+mod clock;
+mod gauss_newton;
 mod lagrangian;
 mod lbfgs;
 mod nelder_mead;
@@ -42,6 +50,8 @@ mod scalar;
 mod solution;
 
 pub use bounds::Bounds;
+pub use clock::{Clock, Deadline, MonotonicClock, VirtualClock};
+pub use gauss_newton::{CurvatureObjective, DenseLeastSquares, GaussNewton};
 pub use lagrangian::{AugmentedLagrangian, ConstrainedProblem, Constraint};
 pub use lbfgs::Lbfgs;
 pub use nelder_mead::NelderMead;

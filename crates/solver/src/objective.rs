@@ -33,6 +33,15 @@ pub enum GradientMode {
     /// [`GradientMode::Serial`] (the trait default falls back to
     /// [`Objective::gradient`]).
     Adjoint,
+    /// Second-order mode: the adjoint gradient plus a Gauss-Newton
+    /// curvature matrix assembled from the same tape, consumed by the
+    /// [`GaussNewton`](crate::GaussNewton) projected Levenberg–Marquardt
+    /// solver instead of the first-order spectral method.
+    ///
+    /// As a plain *gradient* mode (for objectives or solvers that only
+    /// ask for `∇f`) it is equivalent to [`GradientMode::Adjoint`]: the
+    /// gradient half of the pair is the same backward sweep.
+    GaussNewton,
 }
 
 impl GradientMode {
@@ -41,7 +50,7 @@ impl GradientMode {
     /// [`GradientEval`](otem_telemetry::Event::GradientEval).
     pub fn worker_threads(&self) -> usize {
         match self {
-            GradientMode::Serial | GradientMode::Adjoint => 1,
+            GradientMode::Serial | GradientMode::Adjoint | GradientMode::GaussNewton => 1,
             GradientMode::Parallel { threads } => (*threads).max(1),
         }
     }
@@ -79,7 +88,9 @@ pub trait Objective {
         Self: Sized + Sync,
     {
         match mode {
-            GradientMode::Serial | GradientMode::Adjoint => self.gradient(x, grad),
+            GradientMode::Serial | GradientMode::Adjoint | GradientMode::GaussNewton => {
+                self.gradient(x, grad);
+            }
             GradientMode::Parallel { threads } => {
                 NumericalGradient::central_parallel(self, x, grad, threads);
             }

@@ -3,6 +3,7 @@
 //! MPC's per-step solve.
 
 use crate::bounds::Bounds;
+use crate::clock::Deadline;
 use crate::objective::{GradientMode, Objective};
 use crate::solution::{Solution, SolverOutcome};
 use otem_telemetry::{span, Event, NullSink, Sink};
@@ -56,7 +57,7 @@ impl ProjectedGradient {
     ///
     /// Panics if `x0.len() != bounds.len()`.
     pub fn minimize<F: Objective + ?Sized>(&self, f: &F, bounds: &Bounds, x0: &[f64]) -> Solution {
-        self.minimize_with_grad(f, bounds, x0, &NullSink, |x, g| f.gradient(x, g))
+        self.minimize_with_grad(f, bounds, x0, &NullSink, None, |x, g| f.gradient(x, g))
     }
 
     /// Like [`ProjectedGradient::minimize`] but for `Sync` objectives,
@@ -93,8 +94,31 @@ impl ProjectedGradient {
         x0: &[f64],
         sink: &dyn Sink,
     ) -> Solution {
+        self.minimize_sync_within(f, bounds, x0, sink, None)
+    }
+
+    /// The *anytime* entry point: [`ProjectedGradient::minimize_sync_observed`]
+    /// with an optional [`Deadline`]. The deadline is polled once per
+    /// outer iteration, *after* the convergence check (meeting tolerance
+    /// on the deadline iteration still reports
+    /// [`SolverOutcome::Converged`]); on expiry the best iterate seen so
+    /// far is returned with [`SolverOutcome::DeadlineReached`] — always
+    /// finite and inside the box, and for a zero budget exactly the
+    /// projected warm start with `iterations == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0.len() != bounds.len()`.
+    pub fn minimize_sync_within<F: Objective + Sync>(
+        &self,
+        f: &F,
+        bounds: &Bounds,
+        x0: &[f64],
+        sink: &dyn Sink,
+        deadline: Option<&Deadline<'_>>,
+    ) -> Solution {
         let threads = self.gradient_mode.worker_threads() as u64;
-        self.minimize_with_grad(f, bounds, x0, sink, |x, g| {
+        self.minimize_with_grad(f, bounds, x0, sink, deadline, |x, g| {
             let _grad_span = span(sink, "gradient");
             f.gradient_with(x, g, self.gradient_mode);
             sink.record(Event::GradientEval {
@@ -110,6 +134,7 @@ impl ProjectedGradient {
         bounds: &Bounds,
         x0: &[f64],
         sink: &dyn Sink,
+        deadline: Option<&Deadline<'_>>,
         mut gradient: impl FnMut(&[f64], &mut [f64]),
     ) -> Solution {
         assert_eq!(x0.len(), bounds.len(), "start/bounds dimension mismatch");
@@ -156,6 +181,15 @@ impl ProjectedGradient {
             });
             if pg_norm < self.tolerance {
                 return Solution::new(x, value, iter, SolverOutcome::Converged);
+            }
+            // The deadline is polled after the convergence check so a
+            // solve that meets tolerance exactly on the budget boundary
+            // still reports success; `x` is the best accepted iterate
+            // (the projected warm start at iter 0), so the anytime
+            // contract — finite, in-box, no worse than the start —
+            // holds by construction.
+            if deadline.is_some_and(|d| d.expired()) {
+                return Solution::new(x, value, iter, SolverOutcome::DeadlineReached);
             }
 
             // Trial point along the projected BB direction with
@@ -406,6 +440,84 @@ mod tests {
         assert_eq!(sink.count_kind("solver_iteration"), observed.iterations + 1);
         // One gradient per accepted iterate plus the initial gradient.
         assert_eq!(sink.count_kind("gradient_eval"), observed.iterations + 1);
+    }
+
+    #[test]
+    fn zero_budget_deadline_returns_projected_warm_start() {
+        use crate::clock::{Deadline, VirtualClock};
+        // Interior optimum (x = 1), so the projected warm start x = 2 is
+        // *not* a stationary point and a zero budget really does truncate.
+        let f = FnObjective::new(|x: &[f64]| (x[0] - 1.0).powi(2));
+        let clock = VirtualClock::new();
+        let deadline = Deadline::after(&clock, 0);
+        let sol = ProjectedGradient::default().minimize_sync_within(
+            &f,
+            &Bounds::uniform(1, -1.0, 2.0),
+            &[5.0],
+            &otem_telemetry::NullSink,
+            Some(&deadline),
+        );
+        assert_eq!(sol.outcome, SolverOutcome::DeadlineReached);
+        assert_eq!(sol.iterations, 0);
+        // The returned point is the warm start projected into the box.
+        assert_eq!(sol.x, vec![2.0]);
+        assert!(sol.value.is_finite());
+    }
+
+    #[test]
+    fn virtual_deadline_truncates_the_iterate_stream_deterministically() {
+        use crate::clock::{Deadline, VirtualClock};
+        let f = FnObjective::new(|x: &[f64]| {
+            100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2)
+        });
+        let bounds = Bounds::uniform(2, -2.0, 2.0);
+        let x0 = [-1.2, 1.0];
+        let unbounded = ProjectedGradient::default().minimize_sync(&f, &bounds, &x0);
+        assert!(unbounded.iterations > 10, "rig must need many iterations");
+
+        // One tick per clock read: `after` consumes the first read, and
+        // the poll at iteration k reads `k + 1`, so a 5-tick budget
+        // expires at iteration 4 — deterministically, every run.
+        let run = || {
+            let clock = VirtualClock::with_tick(1);
+            let deadline = Deadline::after(&clock, 5);
+            ProjectedGradient::default().minimize_sync_within(
+                &f,
+                &bounds,
+                &x0,
+                &otem_telemetry::NullSink,
+                Some(&deadline),
+            )
+        };
+        let a = run();
+        assert_eq!(a.outcome, SolverOutcome::DeadlineReached);
+        assert_eq!(a.iterations, 4);
+        assert!(a.value <= f.value(&x0), "anytime iterate must not regress");
+        let b = run();
+        assert_eq!(
+            a.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+    }
+
+    #[test]
+    fn convergence_beats_the_deadline_on_the_boundary_iteration() {
+        use crate::clock::{Deadline, VirtualClock};
+        // Converges at iteration 2 (two accepted BB steps); a budget of
+        // 3 ticks expires exactly there, but the convergence check runs
+        // first and must win.
+        let f = FnObjective::new(|x: &[f64]| (x[0] - 1.0).powi(2));
+        let clock = VirtualClock::with_tick(1);
+        let deadline = Deadline::after(&clock, 3);
+        let sol = ProjectedGradient::default().minimize_sync_within(
+            &f,
+            &Bounds::unbounded(1),
+            &[5.0],
+            &otem_telemetry::NullSink,
+            Some(&deadline),
+        );
+        assert_eq!(sol.outcome, SolverOutcome::Converged, "{sol:?}");
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub enum SolverOutcome {
     /// problem data is corrupt and the returned point is *not*
     /// trustworthy beyond being the (projected) starting point.
     NonFinite,
+    /// The wall-clock (or virtual-clock) deadline expired before the
+    /// tolerance was met. The point is the best feasible iterate seen —
+    /// the *anytime* contract: finite, inside the box, and at least as
+    /// good as the projected warm start.
+    DeadlineReached,
 }
 
 impl SolverOutcome {
@@ -31,6 +36,7 @@ impl SolverOutcome {
             Self::BudgetExhausted => "budget_exhausted",
             Self::Stalled => "stalled",
             Self::NonFinite => "non_finite",
+            Self::DeadlineReached => "deadline_reached",
         }
     }
 
@@ -91,6 +97,7 @@ mod tests {
         assert_eq!(SolverOutcome::BudgetExhausted.name(), "budget_exhausted");
         assert_eq!(SolverOutcome::Stalled.name(), "stalled");
         assert_eq!(SolverOutcome::NonFinite.name(), "non_finite");
+        assert_eq!(SolverOutcome::DeadlineReached.name(), "deadline_reached");
     }
 
     #[test]
@@ -98,6 +105,7 @@ mod tests {
         assert!(SolverOutcome::Converged.is_usable());
         assert!(SolverOutcome::BudgetExhausted.is_usable());
         assert!(SolverOutcome::Stalled.is_usable());
+        assert!(SolverOutcome::DeadlineReached.is_usable());
         assert!(!SolverOutcome::NonFinite.is_usable());
     }
 
@@ -107,6 +115,7 @@ mod tests {
             SolverOutcome::BudgetExhausted,
             SolverOutcome::Stalled,
             SolverOutcome::NonFinite,
+            SolverOutcome::DeadlineReached,
         ] {
             assert!(!Solution::new(vec![], 0.0, 0, outcome).converged());
         }

@@ -37,6 +37,17 @@ pub enum Event {
         /// Worker threads the evaluation fanned out across (1 = serial).
         threads: u64,
     },
+    /// One MPC solve finished: how it ended and how many outer
+    /// iterations it spent. The per-solve roll-up behind the anytime
+    /// contract — outcome distributions (`converged` /
+    /// `budget_exhausted` / `deadline_reached` / …) aggregate straight
+    /// off the event stream.
+    SolveOutcome {
+        /// Stable snake_case outcome name (`SolverOutcome::name()`).
+        outcome: &'static str,
+        /// Outer iterations actually performed.
+        iterations: u64,
+    },
     /// A rollout workspace was served from the pool (steady state: no
     /// plant clone, no allocation).
     PoolHit,
@@ -169,6 +180,7 @@ impl Event {
         match self {
             Event::SolverIteration { .. } => "solver_iteration",
             Event::GradientEval { .. } => "gradient_eval",
+            Event::SolveOutcome { .. } => "solve_outcome",
             Event::PoolHit => "pool_hit",
             Event::PoolMiss => "pool_miss",
             Event::CoolingToggle { .. } => "cooling_toggle",
@@ -203,6 +215,13 @@ impl Event {
             }
             Event::GradientEval { dim, threads } => {
                 let _ = write!(out, ",\"dim\":{dim},\"threads\":{threads}");
+            }
+            Event::SolveOutcome {
+                outcome,
+                iterations,
+            } => {
+                str_field(out, "outcome", outcome);
+                let _ = write!(out, ",\"iterations\":{iterations}");
             }
             Event::PoolHit | Event::PoolMiss => {}
             Event::CoolingToggle { on, battery_temp_k } => {
@@ -369,6 +388,19 @@ mod tests {
              \"residual\":0.001,\"step\":0.5}"
         );
         assert_eq!(Event::PoolHit.to_json(), "{\"event\":\"pool_hit\"}");
+    }
+
+    #[test]
+    fn solve_outcome_encodes_name_and_iterations() {
+        let e = Event::SolveOutcome {
+            outcome: "deadline_reached",
+            iterations: 7,
+        };
+        assert_eq!(e.kind(), "solve_outcome");
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"solve_outcome\",\"outcome\":\"deadline_reached\",\"iterations\":7}"
+        );
     }
 
     #[test]

@@ -33,12 +33,20 @@ cargo test -q --test gradient_parity
 echo "==> perf_report --gradient adjoint (rollout-count smoke)"
 cargo run -q --release -p otem-bench --bin perf_report -- --gradient adjoint
 
+# Gauss-Newton gate: under a raised iteration budget the tape-curvature
+# mode must reach certified convergence in strictly fewer iterations
+# than first-order adjoint descent on the same warm-started problem.
+echo "==> perf_report --gradient gauss-newton (iterations-to-tolerance smoke)"
+cargo run -q --release -p otem-bench --bin perf_report -- --gradient gauss-newton
+
 # Fleet gates: (1) a 64-vehicle campaign must be bit-identical across
-# serial/static/work-stealing schedules and shard counts, and (2) the
+# serial/static/work-stealing schedules and shard counts, (2) the
 # JSONL-over-TCP serving layer must round-trip a simulate request on
-# loopback and shut down cleanly (fleet_bench --smoke does both and
-# exits non-zero otherwise).
-echo "==> fleet_bench --vehicles 64 --smoke (determinism + server round trip)"
+# loopback and shut down cleanly, and (3) a deadline-constrained OTEM
+# campaign on a virtual clock must reproduce bit-for-bit across
+# schedules while exercising the anytime path (fleet_bench --smoke does
+# all three and exits non-zero otherwise).
+echo "==> fleet_bench --vehicles 64 --smoke (determinism + server round trip + virtual-clock deadline)"
 cargo run -q --release -p otem-bench --bin fleet_bench -- --vehicles 64 --smoke
 
 echo "tier-1: all green"
