@@ -8,6 +8,7 @@
 //! | flag | effect |
 //! |------|--------|
 //! | `--smoke` | quick gate for `scripts/tier1.sh`: determinism across schedules/shards + a server round trip; writes nothing |
+//! | `--chaos-smoke` | serving-layer robustness gate: malformed traffic, load shedding + retry, poisoned vehicle containment, graceful drain; writes nothing |
 //! | `--vehicles N` | campaign size for `--smoke` (default 64) |
 //! | `--full` | adds the 100k-vehicle campaign to the report |
 //! | `--seed S` | campaign family (default 42) |
@@ -21,6 +22,7 @@
 //! checksum diff in the committed report.
 
 use otem::mpc::{Clock, VirtualClock};
+use otem_fleet::client::{request, BackoffPolicy, RetryClient};
 use otem_fleet::protocol::outcomes_json;
 use otem_fleet::{
     Campaign, FleetEngine, FleetServer, Methodology, Schedule, ServerConfig, ServerHandle,
@@ -36,6 +38,7 @@ const SERVER_VEHICLES: usize = 32;
 
 struct Args {
     smoke: bool,
+    chaos_smoke: bool,
     full: bool,
     vehicles: usize,
     seed: u64,
@@ -45,6 +48,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut out = Args {
         smoke: false,
+        chaos_smoke: false,
         full: false,
         vehicles: 64,
         seed: 42,
@@ -61,6 +65,7 @@ fn parse_args() -> Args {
         };
         match arg.as_str() {
             "--smoke" => out.smoke = true,
+            "--chaos-smoke" => out.chaos_smoke = true,
             "--full" => out.full = true,
             "--vehicles" => out.vehicles = value("--vehicles") as usize,
             "--seed" => out.seed = value("--seed"),
@@ -104,6 +109,7 @@ fn spawn_server(shards: usize) -> ServerHandle {
         addr: "127.0.0.1:0".to_owned(),
         shards,
         max_vehicles: 100_000,
+        ..ServerConfig::default()
     })
     .spawn()
     .expect("bind loopback server")
@@ -113,9 +119,7 @@ fn spawn_server(shards: usize) -> ServerHandle {
 /// bit of any vehicle's summary, and the serving layer must round-trip.
 fn smoke(args: &Args) {
     let campaign = Campaign::synthetic(args.vehicles, args.seed);
-    let reference = FleetEngine::new(Schedule::Serial)
-        .run(&campaign)
-        .expect("serial campaign");
+    let reference = FleetEngine::new(Schedule::Serial).run(&campaign);
     println!(
         "smoke: {} vehicles, {} steps, serial {:.2}s ({:.0} steps/s)",
         args.vehicles,
@@ -128,7 +132,7 @@ fn smoke(args: &Args) {
             Schedule::Static { shards },
             Schedule::WorkStealing { shards },
         ] {
-            let report = FleetEngine::new(schedule).run(&campaign).expect("campaign");
+            let report = FleetEngine::new(schedule).run(&campaign);
             assert_eq!(
                 report.summaries, reference.summaries,
                 "{schedule:?} diverged from the serial reference"
@@ -151,9 +155,7 @@ fn smoke(args: &Args) {
     let body = format!("{{\"vehicles\":16,\"seed\":{}}}", args.seed);
     let lines = http(handle.addr(), "POST", "/simulate", &body);
     assert_eq!(lines.len(), 17, "16 summaries + fleet trailer");
-    let local = FleetEngine::new(Schedule::Serial)
-        .run(&Campaign::synthetic(16, args.seed))
-        .expect("local 16-vehicle campaign");
+    let local = FleetEngine::new(Schedule::Serial).run(&Campaign::synthetic(16, args.seed));
     let want = format!("\"fleet_checksum\":\"{:016x}\"", local.fleet_checksum());
     assert!(
         lines[16].contains(&want),
@@ -188,8 +190,7 @@ fn deadline_smoke(seed: u64) {
     }
     let reference = FleetEngine::new(Schedule::Serial)
         .with_clock_factory(deadline_clock)
-        .run(&campaign)
-        .expect("serial deadline campaign");
+        .run(&campaign);
     assert!(
         reference.solve_outcomes.deadline_reached > 0,
         "virtual clock never tripped the 100 µs deadline: {:?}",
@@ -197,8 +198,7 @@ fn deadline_smoke(seed: u64) {
     );
     let stealing = FleetEngine::new(Schedule::WorkStealing { shards: 4 })
         .with_clock_factory(deadline_clock)
-        .run(&campaign)
-        .expect("stealing deadline campaign");
+        .run(&campaign);
     assert_eq!(
         stealing.summaries, reference.summaries,
         "deadline-constrained summaries diverged across schedules"
@@ -212,6 +212,238 @@ fn deadline_smoke(seed: u64) {
         reference.solve_outcomes.deadline_reached,
         reference.solve_outcomes.total()
     );
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn spawn_chaos_server(workers: usize, queue_depth: usize, read_timeout_ms: u64) -> ServerHandle {
+    FleetServer::new(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        shards: 2,
+        workers,
+        queue_depth,
+        read_timeout_ms,
+        write_timeout_ms: read_timeout_ms,
+        drain_deadline_ms: 2_000,
+        ..ServerConfig::default()
+    })
+    .spawn()
+    .expect("bind chaos server")
+}
+
+/// Sends raw bytes, then reads to EOF and returns the HTTP status the
+/// server answered with (`None` if the connection died first).
+fn raw_status(addr: std::net::SocketAddr, payload: &[u8]) -> Option<u16> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .ok()?;
+    stream.write_all(payload).ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    response.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// The serving-layer robustness gate: a deterministic (seeded) abuse
+/// schedule against a live server — malformed traffic, a poisoned
+/// vehicle, queue-overflow shedding with a retrying client, and a drain
+/// under concurrent load. `/healthz` must answer correctly after every
+/// phase.
+fn chaos_smoke(args: &Args) {
+    use std::time::Duration;
+
+    // Phase 1: malformed traffic. Each abuse draws the documented 4xx
+    // and the server stays healthy afterwards.
+    let mut handle = spawn_chaos_server(2, 8, 400);
+    let addr = handle.addr();
+    let flood = {
+        let mut head = String::from("GET /healthz HTTP/1.1\r\n");
+        for i in 0..100 {
+            head.push_str(&format!("X-Flood-{i}: 1\r\n"));
+        }
+        head.push_str("\r\n");
+        head
+    };
+    let mut abuses: Vec<(&str, String, Option<u16>)> = vec![
+        ("garbage request line", "GARBAGE\r\n\r\n".into(), Some(400)),
+        (
+            "malformed content-length",
+            "POST /simulate HTTP/1.1\r\nContent-Length: banana\r\n\r\n".into(),
+            Some(400),
+        ),
+        (
+            "oversized body",
+            "POST /simulate HTTP/1.1\r\nContent-Length: 2000000\r\n\r\n".into(),
+            Some(413),
+        ),
+        (
+            "unknown route",
+            "GET /nope HTTP/1.1\r\n\r\n".into(),
+            Some(404),
+        ),
+        ("header flood", flood, Some(400)),
+        (
+            // The client stalls mid-head and waits: the read deadline
+            // trips and the server cuts it off with 408.
+            "stalled mid-head",
+            "POST /simulate HTTP/1.1\r\nContent-Le".into(),
+            Some(408),
+        ),
+    ];
+    // Seeded schedule: the abuse order is deterministic for a given
+    // --seed, and different seeds exercise different interleavings.
+    let mut rng = args.seed ^ 0xc3a05;
+    for i in (1..abuses.len()).rev() {
+        let j = (splitmix64(&mut rng) as usize) % (i + 1);
+        abuses.swap(i, j);
+    }
+    for (name, payload, want) in &abuses {
+        let got = raw_status(addr, payload.as_bytes());
+        if let Some(want) = want {
+            assert_eq!(got, Some(*want), "{name}: wrong status");
+        }
+        let health = request(addr, "GET", "/healthz", "").expect("healthz after abuse");
+        assert_eq!(health.status, 200, "{name}: server unhealthy after abuse");
+        println!("chaos: {name:<24} -> {got:?}, healthz OK");
+    }
+
+    // Phase 2: poisoned vehicle. The campaign answers 200 with N−1
+    // summaries plus one structured error record, and the server keeps
+    // serving.
+    let body = format!("{{\"vehicles\":4,\"seed\":{},\"poison_id\":2}}", args.seed);
+    // The vehicle panic is contained by the engine but still reaches the
+    // global panic hook, which would spray a backtrace into the gate's
+    // output — silence the hook for just this request.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let resp = request(addr, "POST", "/simulate", &body).expect("poison campaign");
+    std::panic::set_hook(prev_hook);
+    assert_eq!(resp.status, 200, "poisoned campaign still answers 200");
+    assert_eq!(resp.lines.len(), 5, "3 summaries + 1 error + trailer");
+    let errors: Vec<&String> = resp
+        .lines
+        .iter()
+        .filter(|l| l.starts_with("{\"event\":\"vehicle_error\""))
+        .collect();
+    assert_eq!(errors.len(), 1, "exactly one vehicle error");
+    assert!(
+        errors[0].contains("\"id\":2") && errors[0].contains("\"panicked\":true"),
+        "structured error record: {}",
+        errors[0]
+    );
+    assert!(
+        resp.lines[4].contains("\"vehicle_panics\":1"),
+        "trailer tallies the contained panic: {}",
+        resp.lines[4]
+    );
+    assert_eq!(handle.vehicle_panics(), 1);
+    let health = request(addr, "GET", "/healthz", "").expect("healthz after poison");
+    assert_eq!(health.status, 200);
+    handle.shutdown();
+    println!("chaos: poisoned vehicle contained (3 summaries + 1 error record)");
+
+    // Phase 3: load shedding. One worker + depth-1 queue, both occupied
+    // by stalled clients — further connections draw an immediate 503
+    // with a retry hint, and a retrying client converges once the
+    // stalls time out.
+    let mut handle = spawn_chaos_server(1, 1, 500);
+    let addr = handle.addr();
+    let stalls: Vec<TcpStream> = (0..2)
+        .map(|_| TcpStream::connect(addr).expect("stall connects"))
+        .collect();
+    let mut saw_shed = false;
+    for _ in 0..50 {
+        match otem_fleet::client::request_with_timeout(
+            addr,
+            "GET",
+            "/healthz",
+            "",
+            Some(Duration::from_millis(300)),
+        ) {
+            Ok(resp) if resp.status == 503 => {
+                assert_eq!(
+                    resp.retry_after_ms(),
+                    Some(100),
+                    "shed carries the retry hint: {:?}",
+                    resp.lines
+                );
+                saw_shed = true;
+                break;
+            }
+            _ => {}
+        }
+    }
+    assert!(saw_shed, "saturated pool never shed");
+    assert!(handle.shed() >= 1);
+    let mut retry = RetryClient::new(
+        addr,
+        BackoffPolicy {
+            base_ms: 100,
+            cap_ms: 1_000,
+            max_attempts: 10,
+            seed: args.seed,
+        },
+    );
+    let resp = retry.send("GET", "/healthz", "").expect("retry transport");
+    assert_eq!(
+        resp.status, 200,
+        "retrying client converges once the stalls expire"
+    );
+    println!(
+        "chaos: shed -> 503 + retry_after_ms, retry client OK in {} attempts",
+        retry.last_attempts
+    );
+    drop(stalls);
+    handle.shutdown();
+
+    // Phase 4: graceful drain under load. Concurrent clients race a
+    // shutdown; everything accepted before the drain finishes cleanly.
+    let mut handle = spawn_chaos_server(2, 8, 1_000);
+    let addr = handle.addr();
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                otem_fleet::client::request_with_timeout(
+                    addr,
+                    "POST",
+                    "/simulate",
+                    &format!("{{\"vehicles\":2,\"seed\":{i}}}"),
+                    Some(Duration::from_secs(10)),
+                )
+            })
+        })
+        .collect();
+    // Give the accept loop a beat to enqueue them, then drain.
+    std::thread::sleep(Duration::from_millis(50));
+    handle.shutdown();
+    let mut served = 0;
+    for client in clients {
+        match client.join().expect("client thread") {
+            Ok(resp) if resp.status == 200 => {
+                assert!(
+                    resp.lines
+                        .last()
+                        .is_some_and(|l| l.contains("\"event\":\"fleet\"")),
+                    "drained response is complete: {:?}",
+                    resp.lines
+                );
+                served += 1;
+            }
+            // Shed while draining, or the connection raced the listener
+            // closing — both are clean refusals, not hangs.
+            Ok(resp) => assert_eq!(resp.status, 503, "unexpected status during drain"),
+            Err(_) => {}
+        }
+    }
+    assert!(served >= 1, "drain served the in-flight requests");
+    println!("chaos: drain under load OK ({served}/4 served to completion)");
+    println!("fleet chaos smoke PASS");
 }
 
 fn bench(args: &Args) {
@@ -233,8 +465,7 @@ fn bench(args: &Args) {
         let report = FleetEngine::new(Schedule::WorkStealing {
             shards: args.shards,
         })
-        .run(&campaign)
-        .expect("campaign runs");
+        .run(&campaign);
         println!(
             "{:<9} {:>10} {:>9.2} {:>11.1} {:>11.0} {:>9.3} {:>9.3} {:>9.3} {:>9}",
             n,
@@ -251,14 +482,11 @@ fn bench(args: &Args) {
         // is the *relative* cost of static chunking vs stealing on a
         // heterogeneous fleet, which doesn't need the big runs.
         let comparison = if i == 0 {
-            let serial = FleetEngine::new(Schedule::Serial)
-                .run(&campaign)
-                .expect("serial");
+            let serial = FleetEngine::new(Schedule::Serial).run(&campaign);
             let fixed = FleetEngine::new(Schedule::Static {
                 shards: args.shards,
             })
-            .run(&campaign)
-            .expect("static");
+            .run(&campaign);
             assert_eq!(serial.summaries, report.summaries, "steal diverged");
             assert_eq!(fixed.summaries, report.summaries, "static diverged");
             println!(
@@ -299,15 +527,21 @@ fn bench(args: &Args) {
     }
 
     // Serving-layer tail latency: loopback requests against a live
-    // server, timed end-to-end from the client side.
+    // server through the retrying client (the production access path —
+    // on clean traffic every request succeeds on attempt 1, so the
+    // retry layer adds nothing to the measured latency).
     let mut handle = spawn_server(args.shards);
     let request_latency = otem_telemetry::Histogram::exponential(0.01, 2.0, 23);
     let body = format!("{{\"vehicles\":{SERVER_VEHICLES},\"seed\":{}}}", args.seed);
+    let mut client = RetryClient::new(handle.addr(), BackoffPolicy::default());
     for _ in 0..SERVER_REQUESTS {
         let t0 = Instant::now();
-        let lines = http(handle.addr(), "POST", "/simulate", &body);
+        let response = client
+            .send("POST", "/simulate", &body)
+            .expect("live-server request");
         request_latency.observe(t0.elapsed().as_secs_f64() * 1e3);
-        assert_eq!(lines.len(), SERVER_VEHICLES + 1);
+        assert_eq!(response.status, 200, "clean traffic is never refused");
+        assert_eq!(response.lines.len(), SERVER_VEHICLES + 1);
     }
     let metrics = http(handle.addr(), "GET", "/metrics", "");
     println!(
@@ -353,6 +587,8 @@ fn main() {
     let args = parse_args();
     if args.smoke {
         smoke(&args);
+    } else if args.chaos_smoke {
+        chaos_smoke(&args);
     } else {
         bench(&args);
     }

@@ -115,6 +115,38 @@ pub trait Controller {
     }
 }
 
+/// Boxed trait objects are controllers too, delegating every method —
+/// this is what lets decorators generic over `C: Controller` (the fault
+/// harness, the fleet's poison hook) wrap an already-erased
+/// `Box<dyn Controller>` without knowing the concrete methodology.
+impl Controller for Box<dyn Controller> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn step(&mut self, load: Watts, forecast: &[Watts], dt: Seconds) -> StepRecord {
+        (**self).step(load, forecast, dt)
+    }
+
+    fn step_with(
+        &mut self,
+        load: Watts,
+        forecast: &[Watts],
+        dt: Seconds,
+        sink: &dyn Sink,
+    ) -> StepRecord {
+        (**self).step_with(load, forecast, dt, sink)
+    }
+
+    fn state(&self) -> SystemState {
+        (**self).state()
+    }
+
+    fn inject(&mut self, fault: PlantFault) -> bool {
+        (**self).inject(fault)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

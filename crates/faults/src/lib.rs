@@ -92,6 +92,15 @@ pub enum FaultKind {
         /// Remaining per-solve budget in nanoseconds.
         deadline_ns: u64,
     },
+    /// The control stack **panics** on every step the window covers —
+    /// models a software defect (unwrap on bad data, index out of
+    /// bounds) rather than a physical degradation. Unlike every other
+    /// fault, this one does not corrupt and continue: the wrapped
+    /// controller's `step` unwinds. It exists for chaos harnesses that
+    /// prove panic *containment* — the fleet engine must catch the
+    /// unwind, record a structured error for the poisoned vehicle, and
+    /// keep the rest of the campaign (and the serving process) alive.
+    Poison,
 }
 
 impl FaultKind {
@@ -110,6 +119,7 @@ impl FaultKind {
             Self::PumpStuck => "pump_stuck",
             Self::SolverStarvation { .. } => "solver_starvation",
             Self::SolverDeadline { .. } => "solver_deadline",
+            Self::Poison => "poison",
         }
     }
 }
@@ -386,6 +396,12 @@ impl<C: Controller> Controller for FaultedController<C> {
             });
         }
 
+        // Poison unwinds *after* the injection event above, so a
+        // telemetry stream still shows what killed the step.
+        if self.plan.active(step).any(|k| k == FaultKind::Poison) {
+            panic!("poison fault: injected controller panic at step {step}");
+        }
+
         self.reconcile_plant_faults(step);
         let eff_load = self.corrupt_inputs(step, load, forecast);
         // Freeze the stale buffer *after* corruption so a stale window
@@ -620,5 +636,19 @@ mod tests {
         assert_eq!(sink.count_kind("fault_injected"), 0);
         assert!(f.inner().plant_faults.is_empty());
         assert!(f.inner().loads.iter().all(|&l| l == 5_000.0));
+    }
+
+    #[test]
+    fn poison_fault_panics_inside_its_window_only() {
+        let plan = FaultPlan::new(0).inject(FaultKind::Poison, 2, 3);
+        assert_eq!(FaultKind::Poison.name(), "poison");
+        let mut faulted = FaultedController::new(Probe::default(), plan);
+        for _ in 0..2 {
+            faulted.step(Watts::new(1.0), &[], Seconds::new(1.0));
+        }
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            faulted.step(Watts::new(1.0), &[], Seconds::new(1.0));
+        }));
+        assert!(caught.is_err(), "step inside the poison window must unwind");
     }
 }

@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! fleet_server [--addr 127.0.0.1:7878] [--shards N] [--max-vehicles N]
+//!              [--workers N] [--queue-depth N] [--read-timeout-ms N]
+//!              [--drain-deadline-ms N]
 //! ```
 //!
 //! Speaks HTTP/1.1 with `application/x-ndjson` responses; see the
 //! README's "Fleet server" quickstart for request examples. Exits
-//! cleanly on `POST /shutdown`.
+//! cleanly on `POST /shutdown` after draining in-flight requests.
 
 use otem_fleet::{FleetServer, ServerConfig};
 use std::process::ExitCode;
@@ -40,8 +42,40 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--workers" => match value("--workers").parse() {
+                Ok(n) if n > 0 => config.workers = n,
+                _ => {
+                    eprintln!("--workers needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--queue-depth" => match value("--queue-depth").parse() {
+                Ok(n) if n > 0 => config.queue_depth = n,
+                _ => {
+                    eprintln!("--queue-depth needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--read-timeout-ms" => match value("--read-timeout-ms").parse() {
+                Ok(n) if n > 0 => config.read_timeout_ms = n,
+                _ => {
+                    eprintln!("--read-timeout-ms needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--drain-deadline-ms" => match value("--drain-deadline-ms").parse() {
+                Ok(n) if n > 0 => config.drain_deadline_ms = n,
+                _ => {
+                    eprintln!("--drain-deadline-ms needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: fleet_server [--addr HOST:PORT] [--shards N] [--max-vehicles N]");
+                println!(
+                    "usage: fleet_server [--addr HOST:PORT] [--shards N] [--max-vehicles N]\n\
+                     \u{20}                   [--workers N] [--queue-depth N]\n\
+                     \u{20}                   [--read-timeout-ms N] [--drain-deadline-ms N]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {

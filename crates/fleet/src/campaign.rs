@@ -13,11 +13,12 @@ use otem::mpc::{Clock, MpcConfig};
 use otem::policy::{ActiveCooling, Dual, Otem, Parallel};
 use otem::{Controller, OtemError, RunTotals, SimulationResult, StepRecord, SystemConfig};
 use otem_drivecycle::{standard, PowerTrace, Powertrain, StandardCycle, VehicleParams};
+use otem_faults::{FaultKind, FaultPlan, FaultedController};
 use otem_units::{Farads, Kelvin, Seconds};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// The management methodologies a fleet vehicle may run (the paper's
 /// Section IV-B comparison set).
@@ -83,6 +84,13 @@ pub struct VehicleSpec {
     /// *anytime*: it returns its best feasible iterate when the budget
     /// expires instead of running to tolerance.
     pub mpc_deadline_us: u64,
+    /// Chaos hook: make this vehicle's controller **panic** at the
+    /// given step ([`otem_faults::FaultKind::Poison`]). `None` (always
+    /// the case for synthetic campaigns) leaves the controller
+    /// untouched — the nominal path never pays for the hook. The fleet
+    /// engine must contain the unwind: the campaign completes with a
+    /// structured error record for this vehicle.
+    pub poison_step: Option<u64>,
 }
 
 impl VehicleSpec {
@@ -124,6 +132,7 @@ impl VehicleSpec {
             // arrive via explicit specs or the serving layer's
             // `mpc_deadline_us` request field.
             mpc_deadline_us: 0,
+            poison_step: None,
         }
     }
 
@@ -156,7 +165,7 @@ impl VehicleSpec {
         config: &SystemConfig,
         clock: Option<Arc<dyn Clock>>,
     ) -> Result<Box<dyn Controller>, OtemError> {
-        Ok(match self.methodology {
+        let inner: Box<dyn Controller> = match self.methodology {
             Methodology::Parallel => Box::new(Parallel::new(config)?),
             Methodology::ActiveCooling => Box::new(ActiveCooling::new(config)?),
             Methodology::Dual => Box::new(Dual::new(config)?),
@@ -176,6 +185,15 @@ impl VehicleSpec {
                 }
                 Box::new(otem)
             }
+        };
+        Ok(match self.poison_step {
+            // The decorator only exists on poisoned vehicles, so the
+            // nominal path stays byte-identical to the pre-hook code.
+            Some(step) => Box::new(FaultedController::new(
+                inner,
+                FaultPlan::new(0).inject(FaultKind::Poison, step, step.saturating_add(1)),
+            )),
+            None => inner,
         })
     }
 }
@@ -256,10 +274,15 @@ impl TraceCache {
     pub fn trace_for(&self, spec: &VehicleSpec) -> Result<PowerTrace, OtemError> {
         let key = (spec.cycle, spec.compact);
         let base = {
+            // `into_inner` on poison: the map is only ever observed
+            // between complete insertions (the synthesis happens outside
+            // the lock), so a worker that panicked while holding the
+            // guard leaves a valid cache — recovering it keeps one
+            // poisoned vehicle from starving the rest of the fleet.
             let cached = self
                 .base
                 .lock()
-                .expect("trace cache poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .get(&key)
                 .cloned();
             match cached {
@@ -278,7 +301,7 @@ impl TraceCache {
                     let trace = Arc::new(Powertrain::new(params)?.power_trace(&cycle));
                     self.base
                         .lock()
-                        .expect("trace cache poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .entry(key)
                         .or_insert(trace)
                         .clone()

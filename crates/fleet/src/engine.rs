@@ -7,6 +7,7 @@ use crate::pool::{fan_indexed_capped, fan_stealing};
 use otem::mpc::Clock;
 use otem::{OtemError, Simulator};
 use otem_telemetry::{Event, Histogram, Sink};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -110,12 +111,29 @@ impl Sink for OutcomeTally {
     }
 }
 
+/// One vehicle that did not produce a summary: its simulation either
+/// panicked (a software defect — contained by the engine's per-vehicle
+/// `catch_unwind`) or returned a validation/synthesis error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VehicleFailure {
+    /// Campaign id of the vehicle that failed.
+    pub id: u64,
+    /// `true` when the controller panicked (poisoned vehicle), `false`
+    /// for an ordinary [`OtemError`].
+    pub panicked: bool,
+    /// Human-readable cause — the panic payload or error display.
+    pub message: String,
+}
+
 /// The outcome of one campaign run.
 #[derive(Debug)]
 pub struct FleetReport {
-    /// Per-vehicle summaries, in campaign (id) order — identical bits
-    /// for every [`Schedule`].
+    /// Per-vehicle summaries of the vehicles that *completed*, in
+    /// campaign (id) order — identical bits for every [`Schedule`].
     pub summaries: Vec<VehicleSummary>,
+    /// Vehicles that failed (panicked or errored), in campaign (id)
+    /// order. Empty for healthy campaigns.
+    pub failures: Vec<VehicleFailure>,
     /// Wall-clock duration of the batched run, seconds.
     pub wall_s: f64,
     /// Total control periods simulated across all vehicles.
@@ -142,6 +160,25 @@ impl FleetReport {
     /// whole campaign's record streams.
     pub fn fleet_checksum(&self) -> u64 {
         self.summaries.iter().fold(0, |acc, s| acc ^ s.checksum)
+    }
+
+    /// How many vehicles failed by *panicking* (as opposed to returning
+    /// an ordinary error).
+    pub fn vehicle_panics(&self) -> u64 {
+        self.failures.iter().filter(|f| f.panicked).count() as u64
+    }
+}
+
+/// Renders a `catch_unwind` payload as text — panics raised with a
+/// string literal or a formatted message are recovered verbatim, any
+/// other payload type gets a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -231,24 +268,70 @@ impl FleetEngine {
         Ok(builder.finish(spec.id, totals))
     }
 
-    /// Runs the whole campaign, returning summaries in campaign order.
+    /// [`FleetEngine::run_vehicle_with`] with the panic boundary the
+    /// campaign path relies on: a controller that panics (a poisoned
+    /// vehicle, a software defect) is contained here and reported as a
+    /// structured [`VehicleFailure`] instead of unwinding through the
+    /// worker pool. A [`Event::PanicCaught`] (`context: "vehicle"`) is
+    /// recorded on the sink for each contained panic.
     ///
     /// # Errors
     ///
-    /// Returns the first vehicle error encountered (specs from
-    /// [`Campaign::synthetic`] never fail; hand-built specs can).
-    pub fn run(&self, campaign: &Campaign) -> Result<FleetReport, OtemError> {
+    /// Returns a [`VehicleFailure`] describing the panic or the
+    /// propagated [`OtemError`].
+    pub fn run_vehicle_caught(
+        &self,
+        spec: &VehicleSpec,
+        sink: &dyn Sink,
+    ) -> Result<VehicleSummary, VehicleFailure> {
+        // AssertUnwindSafe: on panic the closure's captures are dropped
+        // wholesale — nothing observes the vehicle's torn state, and the
+        // shared trace cache recovers poisoned locks by construction.
+        match catch_unwind(AssertUnwindSafe(|| self.run_vehicle_with(spec, sink))) {
+            Ok(Ok(summary)) => Ok(summary),
+            Ok(Err(err)) => Err(VehicleFailure {
+                id: spec.id,
+                panicked: false,
+                message: err.to_string(),
+            }),
+            Err(payload) => {
+                sink.record(Event::PanicCaught { context: "vehicle" });
+                Err(VehicleFailure {
+                    id: spec.id,
+                    panicked: true,
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+
+    /// Runs the whole campaign. Infallible: a vehicle that errors or
+    /// panics becomes a [`FleetReport::failures`] entry while the rest
+    /// of the fleet completes normally — one poisoned vehicle can no
+    /// longer sink the batch.
+    pub fn run(&self, campaign: &Campaign) -> FleetReport {
+        self.run_with(campaign, &otem_telemetry::NullSink)
+    }
+
+    /// [`FleetEngine::run`] with an external sink that receives the
+    /// engine's containment events ([`Event::PanicCaught`]) in addition
+    /// to the per-solve outcome stream.
+    pub fn run_with(&self, campaign: &Campaign, sink: &(dyn Sink + Sync)) -> FleetReport {
         let latency = latency_histogram_ms();
         let tally = OutcomeTally::new();
+        let pair = PairSink {
+            tally: &tally,
+            outer: sink,
+        };
         let started = Instant::now();
         let job = |_i: usize, spec: &VehicleSpec| {
             let t0 = Instant::now();
-            let summary = self.run_vehicle_with(spec, &tally);
+            let outcome = self.run_vehicle_caught(spec, &pair);
             latency.observe(t0.elapsed().as_secs_f64() * 1e3);
-            summary
+            outcome
         };
         let specs: Vec<&VehicleSpec> = campaign.vehicles.iter().collect();
-        let outcomes: Vec<Result<VehicleSummary, OtemError>> = match self.schedule {
+        let outcomes: Vec<Result<VehicleSummary, VehicleFailure>> = match self.schedule {
             Schedule::Serial => specs
                 .into_iter()
                 .enumerate()
@@ -258,15 +341,53 @@ impl FleetEngine {
             Schedule::WorkStealing { shards } => fan_stealing(specs, shards, job),
         };
         let wall_s = started.elapsed().as_secs_f64();
-        let summaries = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let mut summaries = Vec::with_capacity(outcomes.len());
+        let mut failures = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                Ok(summary) => summaries.push(summary),
+                Err(failure) => failures.push(failure),
+            }
+        }
         let total_steps = summaries.iter().map(|s| s.steps as u64).sum();
-        Ok(FleetReport {
+        FleetReport {
             summaries,
+            failures,
             wall_s,
             total_steps,
             latency_ms: latency,
             solve_outcomes: tally.snapshot(),
-        })
+        }
+    }
+}
+
+/// Forwards every event to the campaign's [`OutcomeTally`] *and* an
+/// external sink; `enabled` follows the external sink so the zero-cost
+/// contract holds when the caller passed a
+/// [`otem_telemetry::NullSink`].
+struct PairSink<'a> {
+    tally: &'a OutcomeTally,
+    outer: &'a (dyn Sink + Sync),
+}
+
+impl std::fmt::Debug for PairSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairSink").finish_non_exhaustive()
+    }
+}
+
+impl Sink for PairSink<'_> {
+    fn record(&self, event: Event) {
+        self.tally.record(event);
+        self.outer.record(event);
+    }
+
+    fn enabled(&self) -> bool {
+        self.outer.enabled()
+    }
+
+    fn flush(&self) {
+        self.outer.flush();
     }
 }
 
@@ -278,7 +399,8 @@ mod tests {
     fn report_rates_are_consistent() {
         let engine = FleetEngine::new(Schedule::Serial);
         let campaign = Campaign::synthetic(3, 42);
-        let report = engine.run(&campaign).expect("runs");
+        let report = engine.run(&campaign);
+        assert!(report.failures.is_empty(), "healthy campaign");
         assert_eq!(report.summaries.len(), 3);
         assert_eq!(report.total_steps, campaign.total_steps());
         assert!(report.vehicles_per_sec() > 0.0);
@@ -293,13 +415,49 @@ mod tests {
     #[test]
     fn schedules_agree_bit_for_bit() {
         let campaign = Campaign::synthetic(6, 7);
-        let serial = FleetEngine::new(Schedule::Serial)
-            .run(&campaign)
-            .expect("runs");
-        let stealing = FleetEngine::new(Schedule::WorkStealing { shards: 3 })
-            .run(&campaign)
-            .expect("runs");
+        let serial = FleetEngine::new(Schedule::Serial).run(&campaign);
+        let stealing = FleetEngine::new(Schedule::WorkStealing { shards: 3 }).run(&campaign);
         assert_eq!(serial.summaries, stealing.summaries);
         assert_eq!(serial.fleet_checksum(), stealing.fleet_checksum());
+    }
+
+    #[test]
+    fn poisoned_vehicle_is_contained_and_the_rest_complete() {
+        use otem_telemetry::MemorySink;
+
+        let mut campaign = Campaign::synthetic(4, 11);
+        campaign.vehicles[2].poison_step = Some(1);
+        let sink = MemorySink::with_capacity(64);
+        let report =
+            FleetEngine::new(Schedule::WorkStealing { shards: 2 }).run_with(&campaign, &sink);
+        assert_eq!(report.summaries.len(), 3, "three vehicles complete");
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].id, 2);
+        assert!(report.failures[0].panicked);
+        assert!(
+            report.failures[0].message.contains("poison fault"),
+            "panic payload recovered: {}",
+            report.failures[0].message
+        );
+        assert_eq!(report.vehicle_panics(), 1);
+        assert_eq!(sink.count_kind("panic_caught"), 1);
+        assert!(
+            report.summaries.iter().all(|s| s.id != 2),
+            "no summary for the poisoned vehicle"
+        );
+        // The surviving summaries are bit-identical to a clean campaign's.
+        let clean = FleetEngine::new(Schedule::Serial).run(&Campaign::synthetic(4, 11));
+        for survivor in &report.summaries {
+            let reference = clean
+                .summaries
+                .iter()
+                .find(|s| s.id == survivor.id)
+                .expect("clean run has every id");
+            assert_eq!(
+                survivor, reference,
+                "containment perturbed vehicle {}",
+                survivor.id
+            );
+        }
     }
 }

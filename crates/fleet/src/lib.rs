@@ -15,9 +15,11 @@
 //! |--------|----------|
 //! | [`campaign`] | [`VehicleSpec`] / [`Campaign`]: deterministic heterogeneous fleets |
 //! | [`pool`] | generic fans: statically chunked and work-stealing worker pools |
-//! | [`engine`] | [`FleetEngine`]: batched campaign execution + latency accounting |
+//! | [`engine`] | [`FleetEngine`]: batched campaign execution + per-vehicle panic containment |
+//! | [`queue`] | [`BoundedQueue`]: the std-only bounded MPMC hand-off behind the server |
 //! | [`protocol`] | minimal JSON field extraction + JSONL response rendering |
-//! | [`server`] | [`FleetServer`]: the `simulate`/`plan` serving layer |
+//! | [`server`] | [`FleetServer`]: the hardened `simulate`/`plan` serving layer (worker pool, load shedding, socket deadlines, graceful drain) |
+//! | [`client`] | [`RetryClient`]: blocking client with decorrelated-jitter backoff |
 //!
 //! # Determinism contract
 //!
@@ -35,7 +37,8 @@
 //!
 //! let campaign = Campaign::synthetic(8, 42);
 //! let engine = FleetEngine::new(Schedule::WorkStealing { shards: 4 });
-//! let report = engine.run(&campaign).expect("campaign runs");
+//! let report = engine.run(&campaign);
+//! assert!(report.failures.is_empty());
 //! assert_eq!(report.summaries.len(), 8);
 //! assert!(report.total_steps > 0);
 //! ```
@@ -44,13 +47,17 @@
 #![deny(missing_debug_implementations)]
 
 pub mod campaign;
+pub mod client;
 pub mod engine;
 pub mod pool;
 pub mod protocol;
+pub mod queue;
 pub mod server;
 
 pub use campaign::{
     Campaign, Methodology, SolveOutcomes, SummaryBuilder, TraceCache, VehicleSpec, VehicleSummary,
 };
-pub use engine::{ClockFactory, FleetEngine, FleetReport, OutcomeTally, Schedule};
+pub use client::{BackoffPolicy, Response, RetryClient};
+pub use engine::{ClockFactory, FleetEngine, FleetReport, OutcomeTally, Schedule, VehicleFailure};
+pub use queue::{BoundedQueue, PushError};
 pub use server::{FleetServer, ServerConfig, ServerHandle};

@@ -18,7 +18,7 @@
 //! Plain [`std::thread::scope`] throughout — no runtime dependency.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -128,9 +128,13 @@ where
                         if i >= n {
                             break;
                         }
+                        // A sibling worker panicking while holding a
+                        // *different* slot's lock must not cascade: each
+                        // slot is claimed exactly once, so a recovered
+                        // guard always sees a complete Option.
                         let job = slots[i]
                             .lock()
-                            .expect("job slot poisoned")
+                            .unwrap_or_else(PoisonError::into_inner)
                             .take()
                             .expect("cursor hands each job out once");
                         claimed.push((i, f(i, job)));
@@ -140,8 +144,17 @@ where
             })
             .collect();
         for handle in handles {
-            for (i, r) in handle.join().expect("worker panicked") {
-                results[i] = Some(r);
+            match handle.join() {
+                Ok(claimed) => {
+                    for (i, r) in claimed {
+                        results[i] = Some(r);
+                    }
+                }
+                // Job closures are expected to contain their own panics
+                // (the engine wraps vehicles in catch_unwind); if one
+                // escapes anyway, re-raise the original payload instead
+                // of masking it behind a generic join error.
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });

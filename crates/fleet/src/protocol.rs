@@ -4,8 +4,9 @@
 //! rendering for responses.
 
 use crate::campaign::{Methodology, SolveOutcomes, VehicleSpec, VehicleSummary};
-use crate::engine::Schedule;
+use crate::engine::{Schedule, VehicleFailure};
 use otem_drivecycle::StandardCycle;
+use otem_telemetry::write_json_string;
 use std::fmt::Write as _;
 
 /// The text immediately after `"key":`, if present.
@@ -118,6 +119,10 @@ pub enum SimulateRequest {
         /// Per-solve wall-clock deadline (µs) applied to every OTEM
         /// vehicle in the campaign; `0` (default) means no deadline.
         mpc_deadline_us: u64,
+        /// Chaos hook: id of one vehicle whose controller will *panic*
+        /// mid-campaign, exercising the engine's panic containment.
+        /// Absent on production traffic.
+        poison_id: Option<u64>,
     },
     /// One explicit vehicle: `{"cycle":"us06","methodology":"otem",
     /// "steps":120,"ambient_c":30,"capacitance_f":20000,
@@ -159,12 +164,21 @@ impl SimulateRequest {
                 Some("serial") => "serial",
                 Some(other) => return Err(format!("unknown schedule {other:?}")),
             };
+            let poison_id = json_u64(body, "poison_id");
+            if let Some(id) = poison_id {
+                if id >= vehicles {
+                    return Err(format!(
+                        "\"poison_id\" {id} out of range for {vehicles} vehicles"
+                    ));
+                }
+            }
             return Ok(Self::Fleet {
                 vehicles: vehicles as usize,
                 seed: json_u64(body, "seed").unwrap_or(42),
                 shards: json_u64(body, "shards").unwrap_or(0) as usize,
                 schedule,
                 mpc_deadline_us: parse_deadline_us(body)?,
+                poison_id,
             });
         }
 
@@ -207,6 +221,7 @@ impl SimulateRequest {
                 mpc_horizon: json_u64(body, "mpc_horizon").unwrap_or(8) as usize,
                 mpc_iterations: json_u64(body, "mpc_iterations").unwrap_or(12) as usize,
                 mpc_deadline_us: parse_deadline_us(body)?,
+                poison_step: None,
             },
             telemetry,
         })
@@ -266,6 +281,21 @@ pub fn summary_line(s: &VehicleSummary) -> String {
     out
 }
 
+/// Renders one vehicle failure as a JSONL line (no trailing newline) —
+/// interleaved with [`summary_line`]s in id order so a streaming client
+/// sees exactly one line per requested vehicle.
+pub fn failure_line(f: &VehicleFailure) -> String {
+    let mut out = String::with_capacity(96 + f.message.len());
+    let _ = write!(
+        out,
+        "{{\"event\":\"vehicle_error\",\"id\":{},\"panicked\":{},\"error\":",
+        f.id, f.panicked
+    );
+    write_json_string(&mut out, &f.message);
+    out.push('}');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +311,7 @@ mod tests {
                 shards: 0,
                 schedule: "steal",
                 mpc_deadline_us: 0,
+                poison_id: None,
             }
         );
         assert_eq!(r.schedule(4), Schedule::WorkStealing { shards: 4 });
@@ -353,6 +384,30 @@ mod tests {
         assert!(SimulateRequest::parse("{\"vehicles\":4,\"schedule\":\"chaos\"}").is_err());
         assert!(SimulateRequest::parse("{\"mpc_deadline_us\":10000001}").is_err());
         assert!(SimulateRequest::parse("{\"vehicles\":4,\"mpc_deadline_us\":10000001}").is_err());
+        assert!(SimulateRequest::parse("{\"vehicles\":4,\"poison_id\":4}").is_err());
+    }
+
+    #[test]
+    fn poison_id_parses_when_in_range() {
+        let r = SimulateRequest::parse("{\"vehicles\":4,\"poison_id\":2}").expect("parses");
+        match r {
+            SimulateRequest::Fleet { poison_id, .. } => assert_eq!(poison_id, Some(2)),
+            other => panic!("expected fleet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failure_line_escapes_the_message() {
+        let line = failure_line(&VehicleFailure {
+            id: 7,
+            panicked: true,
+            message: "poison fault: \"quoted\"\npayload".into(),
+        });
+        assert_eq!(
+            line,
+            "{\"event\":\"vehicle_error\",\"id\":7,\"panicked\":true,\
+             \"error\":\"poison fault: \\\"quoted\\\"\\npayload\"}"
+        );
     }
 
     #[test]

@@ -1,47 +1,81 @@
 //! The serving layer: hand-rolled HTTP/1.1 + JSONL over
-//! [`std::net::TcpListener`].
+//! [`std::net::TcpListener`], hardened for hostile traffic.
 //!
-//! The vendored-deps constraint rules out an async runtime, so the
-//! server is a plain blocking accept loop on one thread; parallelism
-//! lives *inside* a request (the fleet engine's sharded worker pools),
-//! not across requests. That keeps request handling deterministic and
-//! makes shutdown trivial: a flag checked between connections plus a
-//! self-connect to wake the blocking `accept`.
+//! The vendored-deps constraint rules out an async runtime, so
+//! concurrency is a fixed pool of blocking worker threads fed by a
+//! hand-rolled [`BoundedQueue`]: one accept thread hands each accepted
+//! socket to the pool, and when the queue is full the accept thread
+//! **sheds** the connection immediately with a `503` and a
+//! `retry_after_ms` hint instead of letting a backlog build. Four
+//! defence layers keep one bad client (or one bad request) from taking
+//! the server down:
+//!
+//! 1. **Load shedding** — bounded queue, `503 {"error":"overloaded",
+//!    "retry_after_ms":…}` the instant it is full.
+//! 2. **Socket deadlines** — every accepted socket gets
+//!    `set_read_timeout`/`set_write_timeout`; a stalled (slow-loris)
+//!    client is cut off with `408`, and the request head is capped at
+//!    [`MAX_HEADER_BYTES`] bytes / [`MAX_HEADER_COUNT`] headers so a
+//!    trickler cannot hold a worker indefinitely.
+//! 3. **Panic isolation** — each request handler runs under
+//!    `catch_unwind` (a contained panic answers `500` and bumps the
+//!    `panics` counter), and inside the engine each *vehicle* is its own
+//!    unwind boundary, so a poisoned vehicle yields one structured
+//!    `vehicle_error` line while the rest of the fleet completes.
+//! 4. **Graceful drain** — `/shutdown` (or [`ServerHandle::shutdown`])
+//!    stops accepting, lets queued and in-flight requests finish up to
+//!    `drain_deadline_ms`, then joins the pool.
 //!
 //! # Routes
 //!
 //! | route | body | response |
 //! |-------|------|----------|
 //! | `GET /healthz` | — | one status line |
-//! | `GET /metrics` | — | request counters + latency quantiles |
+//! | `GET /metrics` | — | request/shed/timeout/panic counters + latency quantiles |
 //! | `POST /simulate` | [`SimulateRequest`] JSON | JSONL summaries (fleet) or telemetry stream + summary (vehicle) |
 //! | `POST /plan` | single-vehicle JSON | clairvoyant DP split, one line per step |
-//! | `POST /shutdown` | — | ack line, then the server exits |
+//! | `POST /shutdown` | — | ack line, then the server drains and exits |
 //!
 //! Responses are `application/x-ndjson`, close-delimited
 //! (`Connection: close`), so clients just read lines until EOF.
 
 use crate::campaign::{Campaign, SummaryBuilder, TraceCache, VehicleSpec};
 use crate::engine::{latency_histogram_ms, FleetEngine, OutcomeTally};
-use crate::protocol::{outcomes_json, summary_line, SimulateRequest, Telemetry};
+use crate::protocol::{failure_line, outcomes_json, summary_line, SimulateRequest, Telemetry};
+use crate::queue::{BoundedQueue, PushError};
 use otem::planner::{plan_split, PlannerConfig};
 use otem::{OtemError, Simulator};
 use otem_telemetry::{ChromeTraceSink, Counter, Event, Histogram, JsonlSink, NullSink, Sink};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Upper bound on `/plan` route length: the clairvoyant DP is
 /// `O(steps × soe_levels × actions)` plant evaluations, so unbounded
-/// requests could pin the serving thread for minutes.
+/// requests could pin a worker for minutes.
 const PLAN_STEP_CAP: usize = 2_000;
 
 /// Largest accepted request body (requests are small JSON objects; a
 /// huge Content-Length is a malformed or hostile client).
 const BODY_CAP: u64 = 1 << 20;
+
+/// Total bytes a request head (request line + headers) may occupy. A
+/// slow-loris client drip-feeding header bytes exhausts this budget and
+/// is answered `400` instead of holding the worker.
+pub const MAX_HEADER_BYTES: u64 = 8 * 1024;
+
+/// Maximum number of request headers (a header *flood* within the byte
+/// budget is still refused).
+pub const MAX_HEADER_COUNT: usize = 64;
+
+/// The `retry_after_ms` hint shed responses carry — long enough for a
+/// queue slot to open at typical request latencies, short enough that a
+/// retrying client converges quickly.
+pub const RETRY_AFTER_MS: u64 = 100;
 
 /// Server tuning.
 #[derive(Debug, Clone)]
@@ -52,6 +86,21 @@ pub struct ServerConfig {
     pub shards: usize,
     /// Per-request campaign size cap.
     pub max_vehicles: usize,
+    /// Connection-handler worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Bounded hand-off depth between the accept loop and the workers;
+    /// connections beyond `workers + queue_depth` are shed with `503`.
+    pub queue_depth: usize,
+    /// Per-read socket timeout (ms) — a client that stalls this long
+    /// mid-request is cut off with `408`. Clamped to ≥ 1.
+    pub read_timeout_ms: u64,
+    /// Per-write socket timeout (ms); a client that stops reading its
+    /// response this long is dropped. Clamped to ≥ 1.
+    pub write_timeout_ms: u64,
+    /// How long a drain waits for queued + in-flight requests before
+    /// abandoning the stragglers (their socket timeouts still bound
+    /// them).
+    pub drain_deadline_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -62,22 +111,111 @@ impl Default for ServerConfig {
                 .map(|p| p.get())
                 .unwrap_or(1),
             max_vehicles: 100_000,
+            workers: 4,
+            queue_depth: 64,
+            read_timeout_ms: 2_000,
+            write_timeout_ms: 2_000,
+            drain_deadline_ms: 5_000,
         }
     }
 }
 
 /// Shared mutable server state (metrics + shutdown flag).
-#[derive(Debug)]
 struct ServerState {
     config: ServerConfig,
     cache: Arc<TraceCache>,
+    /// Observational sink for serving-layer events ([`Event::RequestShed`],
+    /// [`Event::RequestTimeout`], [`Event::PanicCaught`],
+    /// [`Event::DrainStarted`]); [`NullSink`] unless installed via
+    /// [`FleetServer::with_sink`].
+    sink: Arc<dyn Sink + Send + Sync>,
     requests: Counter,
     errors: Counter,
+    /// Failed `accept(2)` calls — transport-level, counted apart from
+    /// request errors so the two failure modes stay distinguishable.
+    accept_errors: Counter,
+    /// Connections refused with `503` because the queue was full.
+    shed: Counter,
+    /// Requests cut off by a socket deadline (`408`).
+    timeouts: Counter,
+    /// Request-handler panics contained by the worker's `catch_unwind`.
+    panics: Counter,
+    /// Per-vehicle panics contained inside the fleet engine.
+    vehicle_panics: Counter,
+    /// Requests currently being handled by workers.
+    in_flight: AtomicU64,
+    /// Live shedder threads (see [`shed_connection`]); capped so a shed
+    /// storm cannot become a thread-spawn storm.
+    shedders: AtomicU64,
     latency_ms: Histogram,
     /// MPC solve outcomes across every request served so far (fleet and
     /// single-vehicle alike) — exported on `/metrics`.
     solves: OutcomeTally,
     shutdown: AtomicBool,
+    /// The bound address, set at bind time — lets the `/shutdown`
+    /// handler (running on a worker) wake the blocking accept loop with
+    /// a self-connect.
+    addr: OnceLock<SocketAddr>,
+}
+
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerState")
+            .field("config", &self.config)
+            .field("requests", &self.requests.get())
+            .field("errors", &self.errors.get())
+            .field("shed", &self.shed.get())
+            .field("timeouts", &self.timeouts.get())
+            .field("panics", &self.panics.get())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A connection waiting for a worker; `accepted` timestamps queue entry
+/// so the latency histogram includes queue wait.
+struct Job {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+/// Counts live workers; the drain waits on it instead of polling.
+struct WorkerLatch {
+    live: Mutex<usize>,
+    done: Condvar,
+}
+
+impl WorkerLatch {
+    fn new(count: usize) -> Self {
+        Self {
+            live: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn depart(&self) {
+        let mut live = self.live.lock().unwrap_or_else(PoisonError::into_inner);
+        *live = live.saturating_sub(1);
+        drop(live);
+        self.done.notify_all();
+    }
+
+    /// Waits until every worker departed or the deadline passed;
+    /// returns `true` when the pool fully drained.
+    fn wait_drained(&self, deadline: Instant) -> bool {
+        let mut live = self.live.lock().unwrap_or_else(PoisonError::into_inner);
+        while *live > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .done
+                .wait_timeout(live, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            live = guard;
+        }
+        true
+    }
 }
 
 /// The fleet serving layer. Construct with a [`ServerConfig`], then
@@ -92,22 +230,40 @@ pub struct FleetServer {
 impl FleetServer {
     /// A server with the given tuning.
     pub fn new(config: ServerConfig) -> Self {
+        Self::with_sink(config, Arc::new(NullSink))
+    }
+
+    /// A server that records serving-layer events (sheds, timeouts,
+    /// contained panics, drain start) on the given sink — the chaos
+    /// harness passes a [`otem_telemetry::MemorySink`] to assert on
+    /// them.
+    pub fn with_sink(config: ServerConfig, sink: Arc<dyn Sink + Send + Sync>) -> Self {
         Self {
             state: Arc::new(ServerState {
                 config,
                 cache: Arc::new(TraceCache::new()),
+                sink,
                 requests: Counter::new(),
                 errors: Counter::new(),
+                accept_errors: Counter::new(),
+                shed: Counter::new(),
+                timeouts: Counter::new(),
+                panics: Counter::new(),
+                vehicle_panics: Counter::new(),
+                in_flight: AtomicU64::new(0),
+                shedders: AtomicU64::new(0),
                 latency_ms: latency_histogram_ms(),
                 solves: OutcomeTally::new(),
                 shutdown: AtomicBool::new(false),
+                addr: OnceLock::new(),
             }),
         }
     }
 
     /// Binds the listener and runs the accept loop on the current
-    /// thread until a shutdown request arrives. `on_bind` receives the
-    /// bound address (port 0 resolves here).
+    /// thread until a shutdown request arrives, then drains the worker
+    /// pool. `on_bind` receives the bound address (port 0 resolves
+    /// here).
     ///
     /// # Errors
     ///
@@ -115,7 +271,9 @@ impl FleetServer {
     /// and survived.
     pub fn run(self, on_bind: impl FnOnce(SocketAddr)) -> io::Result<()> {
         let listener = TcpListener::bind(&self.state.config.addr)?;
-        on_bind(listener.local_addr()?);
+        let addr = listener.local_addr()?;
+        let _ = self.state.addr.set(addr);
+        on_bind(addr);
         self.accept_loop(&listener);
         Ok(())
     }
@@ -130,6 +288,7 @@ impl FleetServer {
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&self.state.config.addr)?;
         let addr = listener.local_addr()?;
+        let _ = self.state.addr.set(addr);
         let state = Arc::clone(&self.state);
         let thread = std::thread::spawn(move || self.accept_loop(&listener));
         Ok(ServerHandle {
@@ -139,30 +298,82 @@ impl FleetServer {
         })
     }
 
+    /// The accept thread: hand sockets to the pool, shed when full,
+    /// drain on shutdown.
     fn accept_loop(&self, listener: &TcpListener) {
+        let state = &self.state;
+        let queue = Arc::new(BoundedQueue::<Job>::new(state.config.queue_depth));
+        let worker_count = state.config.workers.max(1);
+        let latch = Arc::new(WorkerLatch::new(worker_count));
+        let workers: Vec<JoinHandle<()>> = (0..worker_count)
+            .map(|_| {
+                let state = Arc::clone(state);
+                let queue = Arc::clone(&queue);
+                let latch = Arc::clone(&latch);
+                std::thread::spawn(move || {
+                    while let Some(job) = queue.pop() {
+                        serve_job(&state, job);
+                    }
+                    latch.depart();
+                })
+            })
+            .collect();
+
+        let read_timeout = Duration::from_millis(state.config.read_timeout_ms.max(1));
+        let write_timeout = Duration::from_millis(state.config.write_timeout_ms.max(1));
         for conn in listener.incoming() {
-            if self.state.shutdown.load(Ordering::SeqCst) {
+            // The shutdown self-connect lands here with the flag already
+            // set, so wake connections are never counted or served
+            // (`requests` and the latency histogram stay traffic-only).
+            if state.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = conn else {
-                self.state.errors.inc();
+                state.accept_errors.inc();
                 continue;
             };
-            let started = Instant::now();
-            self.state.requests.inc();
-            if let Err(err) = handle_connection(&self.state, stream) {
-                // Client went away mid-stream or sent garbage: count it,
-                // keep serving.
-                self.state.errors.inc();
-                let _ = err;
-            }
-            self.state
-                .latency_ms
-                .observe(started.elapsed().as_secs_f64() * 1e3);
-            if self.state.shutdown.load(Ordering::SeqCst) {
-                break;
+            let _ = stream.set_read_timeout(Some(read_timeout));
+            let _ = stream.set_write_timeout(Some(write_timeout));
+            let job = Job {
+                stream,
+                accepted: Instant::now(),
+            };
+            match queue.try_push(job) {
+                Ok(()) => {}
+                Err(PushError::Full(job)) => {
+                    state.shed.inc();
+                    state.sink.record(Event::RequestShed {
+                        queued: queue.len() as u64,
+                        retry_after_ms: RETRY_AFTER_MS,
+                    });
+                    shed_connection(state, job.stream);
+                }
+                Err(PushError::Closed(job)) => {
+                    // Raced a drain; refuse like a shed so the client
+                    // retries against the next instance. Blocking here
+                    // is fine — the accept loop is exiting anyway.
+                    let _ = respond_shed(job.stream);
+                    break;
+                }
             }
         }
+
+        // Drain: stop feeding the pool, serve what is queued and
+        // in-flight, give up at the deadline (stragglers stay bounded by
+        // their socket timeouts).
+        state.sink.record(Event::DrainStarted {
+            in_flight: state.in_flight.load(Ordering::Relaxed),
+            queued: queue.len() as u64,
+        });
+        queue.close();
+        let deadline =
+            Instant::now() + Duration::from_millis(state.config.drain_deadline_ms.max(1));
+        if latch.wait_drained(deadline) {
+            for worker in workers {
+                let _ = worker.join();
+            }
+        }
+        // else: handles drop here — stragglers are detached, not joined.
     }
 }
 
@@ -181,13 +392,46 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests served so far.
+    /// Requests handled by the worker pool so far (shed connections and
+    /// shutdown wake-ups are not requests).
     pub fn requests(&self) -> u64 {
         self.state.requests.get()
     }
 
+    /// Requests answered with an error status or dropped on a transport
+    /// error (excluding timeouts, which are counted separately).
+    pub fn errors(&self) -> u64 {
+        self.state.errors.get()
+    }
+
+    /// Connections refused with `503` because the queue was full.
+    pub fn shed(&self) -> u64 {
+        self.state.shed.get()
+    }
+
+    /// Requests cut off by a socket deadline.
+    pub fn timeouts(&self) -> u64 {
+        self.state.timeouts.get()
+    }
+
+    /// Request-handler panics contained by the pool.
+    pub fn panics(&self) -> u64 {
+        self.state.panics.get()
+    }
+
+    /// Per-vehicle panics contained inside fleet campaigns.
+    pub fn vehicle_panics(&self) -> u64 {
+        self.state.vehicle_panics.get()
+    }
+
+    /// Failed `accept(2)` calls.
+    pub fn accept_errors(&self) -> u64 {
+        self.state.accept_errors.get()
+    }
+
     /// Signals shutdown, wakes the accept loop and joins the serving
-    /// thread. Idempotent.
+    /// thread — which itself drains the worker pool up to the
+    /// configured drain deadline. Idempotent.
     pub fn shutdown(&mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
         // The accept loop may be parked in `accept`; a throwaway
@@ -205,34 +449,171 @@ impl Drop for ServerHandle {
     }
 }
 
+/// One worker's handling of one connection: count it, contain panics,
+/// map socket deadlines to `408`, observe latency.
+fn serve_job(state: &Arc<ServerState>, job: Job) {
+    state.requests.inc();
+    state.in_flight.fetch_add(1, Ordering::Relaxed);
+    // A clone of the socket survives the handler consuming (and on
+    // panic, dropping) the original — it is the only way to still
+    // answer the client after a timeout or a contained panic.
+    let peer = job.stream.try_clone().ok();
+    let outcome = catch_unwind(AssertUnwindSafe(|| handle_connection(state, job.stream)));
+    match outcome {
+        Ok(Ok(status)) => {
+            if status >= 400 {
+                state.errors.inc();
+            }
+        }
+        Ok(Err(err)) => {
+            if matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) {
+                state.timeouts.inc();
+                state.sink.record(Event::RequestTimeout {
+                    after_ms: job.accepted.elapsed().as_secs_f64() * 1e3,
+                });
+                if let Some(peer) = peer {
+                    let _ = respond_error(peer, 408, "request timed out");
+                }
+            } else {
+                // Client went away mid-stream or transport failed:
+                // count it, keep serving.
+                state.errors.inc();
+            }
+        }
+        Err(_) => {
+            state.panics.inc();
+            state.sink.record(Event::PanicCaught { context: "request" });
+            if let Some(peer) = peer {
+                let _ = respond_error(peer, 500, "internal panic (contained)");
+            }
+        }
+    }
+    state
+        .latency_ms
+        .observe(job.accepted.elapsed().as_secs_f64() * 1e3);
+    state.in_flight.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Outcome of reading one head line under the byte budget.
+enum HeadRead {
+    /// A complete line (newline included) within budget.
+    Line,
+    /// The peer closed before a newline.
+    Eof,
+    /// The byte budget ran out mid-line.
+    CapExceeded,
+}
+
+/// Reads one line of the request head, charging its bytes against
+/// `budget` so the whole head is bounded by [`MAX_HEADER_BYTES`].
+fn read_head_line(
+    reader: &mut BufReader<TcpStream>,
+    budget: &mut u64,
+    line: &mut String,
+) -> io::Result<HeadRead> {
+    line.clear();
+    let before = *budget;
+    let n = (&mut *reader).take(before).read_line(line)? as u64;
+    *budget = before.saturating_sub(n);
+    if n == 0 {
+        return Ok(HeadRead::Eof);
+    }
+    if !line.ends_with('\n') {
+        return Ok(if *budget == 0 {
+            HeadRead::CapExceeded
+        } else {
+            HeadRead::Eof
+        });
+    }
+    Ok(HeadRead::Line)
+}
+
+/// Refuses a request before its input was fully consumed: writes the
+/// error response, then briefly drains what the client already sent.
+/// Closing a socket with unread bytes in its receive buffer makes the
+/// kernel answer with RST, which can destroy the in-flight response
+/// before the client reads it — so early refusals drain first, bounded
+/// in both bytes (64 KiB) and time (a short per-read timeout).
+fn refuse(
+    reader: &mut BufReader<TcpStream>,
+    stream: TcpStream,
+    status: u16,
+    reason: &str,
+) -> io::Result<u16> {
+    let status = respond_error(stream, status, reason)?;
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(50)));
+    let mut scratch = [0u8; 1024];
+    for _ in 0..64 {
+        match reader.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    Ok(status)
+}
+
 /// Reads the request head + body, dispatches the route, writes the
-/// response. Any error here aborts only this connection.
-fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<()> {
+/// response. Returns the HTTP status written; `Err` means the
+/// connection died mid-request (a socket deadline surfaces here as
+/// `WouldBlock`/`TimedOut`).
+fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<u16> {
     let mut reader = BufReader::new(stream.try_clone()?);
+    let mut budget = MAX_HEADER_BYTES;
     let mut line = String::new();
-    reader.read_line(&mut line)?;
+    match read_head_line(&mut reader, &mut budget, &mut line)? {
+        HeadRead::Line => {}
+        HeadRead::Eof => return respond_error(stream, 400, "truncated request"),
+        HeadRead::CapExceeded => {
+            return refuse(&mut reader, stream, 400, "request head exceeds byte cap")
+        }
+    }
     let mut parts = line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m.to_owned(), p.to_owned()),
-        _ => return respond_error(stream, 400, "malformed request line"),
+        _ => return refuse(&mut reader, stream, 400, "malformed request line"),
     };
 
     let mut content_length: u64 = 0;
+    let mut header_count = 0usize;
     loop {
-        let mut header = String::new();
-        reader.read_line(&mut header)?;
-        let header = header.trim_end();
+        match read_head_line(&mut reader, &mut budget, &mut line)? {
+            HeadRead::Line => {}
+            HeadRead::Eof => return respond_error(stream, 400, "truncated request head"),
+            HeadRead::CapExceeded => {
+                return refuse(&mut reader, stream, 400, "request head exceeds byte cap")
+            }
+        }
+        let header = line.trim_end();
         if header.is_empty() {
             break;
         }
+        header_count += 1;
+        if header_count > MAX_HEADER_COUNT {
+            return refuse(
+                &mut reader,
+                stream,
+                400,
+                &format!("more than {MAX_HEADER_COUNT} headers"),
+            );
+        }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().unwrap_or(0);
+                // A Content-Length that is not a number is a malformed
+                // request, not an empty body.
+                content_length = match value.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => return refuse(&mut reader, stream, 400, "malformed Content-Length"),
+                };
             }
         }
     }
     if content_length > BODY_CAP {
-        return respond_error(stream, 413, "request body too large");
+        return refuse(&mut reader, stream, 413, "request body too large");
     }
     let mut body = String::new();
     reader.take(content_length).read_to_string(&mut body)?;
@@ -242,6 +623,11 @@ fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<()> {
         ("GET", "/metrics") => respond_line(stream, &metrics_line(state)),
         ("POST", "/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
+            // Wake the (possibly parked) accept loop so the drain starts
+            // now rather than at the next organic connection.
+            if let Some(addr) = state.addr.get() {
+                let _ = TcpStream::connect(addr);
+            }
             respond_line(stream, "{\"event\":\"shutdown\"}")
         }
         ("POST", "/simulate") => match SimulateRequest::parse(&body) {
@@ -262,10 +648,18 @@ fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<()> {
 fn metrics_line(state: &ServerState) -> String {
     format!(
         "{{\"event\":\"metrics\",\"requests\":{},\"errors\":{},\
+         \"accept_errors\":{},\"shed\":{},\"timeouts\":{},\"panics\":{},\
+         \"vehicle_panics\":{},\"in_flight\":{},\
          \"latency_ms\":{{\"count\":{},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}},\
          \"solves\":{}}}",
         state.requests.get(),
         state.errors.get(),
+        state.accept_errors.get(),
+        state.shed.get(),
+        state.timeouts.get(),
+        state.panics.get(),
+        state.vehicle_panics.get(),
+        state.in_flight.load(Ordering::Relaxed),
         state.latency_ms.count(),
         state.latency_ms.quantile(0.50),
         state.latency_ms.quantile(0.95),
@@ -298,6 +692,32 @@ impl Sink for TallySink<'_> {
     }
 }
 
+/// Forwards only serving-layer events (contained vehicle panics) to the
+/// observational sink. Fleet campaigns would otherwise stream *per-step*
+/// simulation telemetry into it — thousands of events per request that
+/// drown the operational signal (and evict it from a bounded
+/// [`otem_telemetry::MemorySink`]). `enabled` is `false` so the
+/// simulator skips building step events entirely.
+struct OpsSink<'a> {
+    inner: &'a (dyn Sink + Sync),
+}
+
+impl Sink for OpsSink<'_> {
+    fn record(&self, event: Event) {
+        if matches!(event, Event::PanicCaught { .. }) {
+            self.inner.record(event);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
+}
+
 fn write_head(stream: &mut TcpStream, status: u16, reason: &str) -> io::Result<()> {
     write!(
         stream,
@@ -305,34 +725,94 @@ fn write_head(stream: &mut TcpStream, status: u16, reason: &str) -> io::Result<(
     )
 }
 
-fn respond_line(mut stream: TcpStream, line: &str) -> io::Result<()> {
+fn respond_line(mut stream: TcpStream, line: &str) -> io::Result<u16> {
     write_head(&mut stream, 200, "OK")?;
     writeln!(stream, "{line}")?;
-    stream.flush()
+    stream.flush()?;
+    Ok(200)
 }
 
-fn respond_error(mut stream: TcpStream, status: u16, reason: &str) -> io::Result<()> {
-    let text = match status {
+fn status_text(status: u16) -> &'static str {
+    match status {
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
-    };
-    write_head(&mut stream, status, text)?;
-    writeln!(stream, "{{\"error\":{:?}}}", reason)?;
-    stream.flush()
+    }
 }
 
-fn respond_otem_error(stream: TcpStream, err: &OtemError) -> io::Result<()> {
+fn respond_error(mut stream: TcpStream, status: u16, reason: &str) -> io::Result<u16> {
+    write_head(&mut stream, status, status_text(status))?;
+    writeln!(stream, "{{\"error\":{reason:?}}}")?;
+    stream.flush()?;
+    Ok(status)
+}
+
+/// Upper bound on concurrent [`shed_connection`] threads; past it,
+/// connections are dropped without a response (under that much pressure
+/// a silent close is the cheapest honest answer).
+const MAX_SHEDDERS: u64 = 64;
+
+/// Refuses one connection with the shed response *without blocking the
+/// accept thread*. Closing right after the write would race the
+/// client's own request bytes — data arriving at a closed socket RSTs
+/// the connection, destroying the `503` before the client reads it — so
+/// the response must be followed by a short drain, and that drain waits
+/// on the network. A capped, short-lived, small-stack thread absorbs
+/// the wait; the accept loop never does.
+fn shed_connection(state: &Arc<ServerState>, stream: TcpStream) {
+    if state.shedders.fetch_add(1, Ordering::Relaxed) >= MAX_SHEDDERS {
+        state.shedders.fetch_sub(1, Ordering::Relaxed);
+        return; // dropped: hard close
+    }
+    let shared = Arc::clone(state);
+    let spawned = std::thread::Builder::new()
+        .name("fleet-shed".to_owned())
+        .stack_size(64 * 1024)
+        .spawn(move || {
+            let _ = respond_shed(stream);
+            shared.shedders.fetch_sub(1, Ordering::Relaxed);
+        });
+    if spawned.is_err() {
+        // The closure (and the stream with it) was dropped unrun.
+        state.shedders.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The load-shed response: `503` + `retry_after_ms` hint, then a brief
+/// bounded drain of the client's request so the close sends FIN, not
+/// RST (see [`shed_connection`]).
+fn respond_shed(mut stream: TcpStream) -> io::Result<()> {
+    write_head(&mut stream, 503, status_text(503))?;
+    writeln!(
+        stream,
+        "{{\"error\":\"overloaded\",\"retry_after_ms\":{RETRY_AFTER_MS}}}"
+    )?;
+    stream.flush()?;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut scratch = [0u8; 1024];
+    for _ in 0..8 {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    Ok(())
+}
+
+fn respond_otem_error(stream: TcpStream, err: &OtemError) -> io::Result<u16> {
     respond_error(stream, 500, &err.to_string())
 }
 
-fn simulate(state: &ServerState, stream: TcpStream, request: &SimulateRequest) -> io::Result<()> {
+fn simulate(state: &ServerState, stream: TcpStream, request: &SimulateRequest) -> io::Result<u16> {
     match request {
         SimulateRequest::Fleet {
             vehicles,
             seed,
             mpc_deadline_us,
+            poison_id,
             ..
         } => {
             if *vehicles > state.config.max_vehicles {
@@ -351,38 +831,62 @@ fn simulate(state: &ServerState, stream: TcpStream, request: &SimulateRequest) -
                     spec.mpc_deadline_us = *mpc_deadline_us;
                 }
             }
-            match engine.run(&campaign) {
-                Ok(report) => {
-                    state.solves.add(report.solve_outcomes);
-                    let mut stream = stream;
-                    write_head(&mut stream, 200, "OK")?;
-                    for s in &report.summaries {
-                        writeln!(stream, "{}", summary_line(s))?;
-                    }
-                    writeln!(
-                        stream,
-                        "{{\"event\":\"fleet\",\"vehicles\":{},\"seed\":{},\
-                         \"schedule\":\"{}\",\"total_steps\":{},\"wall_s\":{:.6},\
-                         \"vehicles_per_sec\":{:.3},\"steps_per_sec\":{:.1},\
-                         \"latency_ms\":{{\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}},\
-                         \"solves\":{},\"fleet_checksum\":\"{:016x}\"}}",
-                        report.summaries.len(),
-                        seed,
-                        schedule.wire_name(),
-                        report.total_steps,
-                        report.wall_s,
-                        report.vehicles_per_sec(),
-                        report.steps_per_sec(),
-                        report.latency_ms.quantile(0.50),
-                        report.latency_ms.quantile(0.95),
-                        report.latency_ms.quantile(0.99),
-                        outcomes_json(&report.solve_outcomes),
-                        report.fleet_checksum(),
-                    )?;
-                    stream.flush()
-                }
-                Err(err) => respond_otem_error(stream, &err),
+            if let Some(id) = poison_id {
+                // Chaos hook, validated in range by the parser: this
+                // vehicle's controller panics at its second step.
+                campaign.vehicles[*id as usize].poison_step = Some(1);
             }
+            let ops = OpsSink {
+                inner: state.sink.as_ref(),
+            };
+            let report = engine.run_with(&campaign, &ops);
+            state.solves.add(report.solve_outcomes);
+            state.vehicle_panics.add(report.vehicle_panics());
+            let mut stream = stream;
+            write_head(&mut stream, 200, "OK")?;
+            // Interleave summaries and failures in id order: both lists
+            // are id-sorted, so this is a linear merge and the client
+            // sees exactly one line per requested vehicle.
+            let mut failures = report.failures.iter().peekable();
+            for s in &report.summaries {
+                while let Some(f) = failures.peek() {
+                    if f.id < s.id {
+                        writeln!(stream, "{}", failure_line(f))?;
+                        failures.next();
+                    } else {
+                        break;
+                    }
+                }
+                writeln!(stream, "{}", summary_line(s))?;
+            }
+            for f in failures {
+                writeln!(stream, "{}", failure_line(f))?;
+            }
+            writeln!(
+                stream,
+                "{{\"event\":\"fleet\",\"vehicles\":{},\"seed\":{},\
+                 \"schedule\":\"{}\",\"total_steps\":{},\"wall_s\":{:.6},\
+                 \"vehicles_per_sec\":{:.3},\"steps_per_sec\":{:.1},\
+                 \"failures\":{},\"vehicle_panics\":{},\
+                 \"latency_ms\":{{\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}},\
+                 \"solves\":{},\"fleet_checksum\":\"{:016x}\"}}",
+                report.summaries.len(),
+                seed,
+                schedule.wire_name(),
+                report.total_steps,
+                report.wall_s,
+                report.vehicles_per_sec(),
+                report.steps_per_sec(),
+                report.failures.len(),
+                report.vehicle_panics(),
+                report.latency_ms.quantile(0.50),
+                report.latency_ms.quantile(0.95),
+                report.latency_ms.quantile(0.99),
+                outcomes_json(&report.solve_outcomes),
+                report.fleet_checksum(),
+            )?;
+            stream.flush()?;
+            Ok(200)
         }
         SimulateRequest::Vehicle { spec, telemetry } => {
             simulate_vehicle(state, stream, spec, *telemetry)
@@ -398,7 +902,7 @@ fn simulate_vehicle(
     mut stream: TcpStream,
     spec: &VehicleSpec,
     telemetry: Telemetry,
-) -> io::Result<()> {
+) -> io::Result<u16> {
     let config = spec.config();
     let trace = match state.cache.trace_for(spec) {
         Ok(t) => t,
@@ -440,12 +944,13 @@ fn simulate_vehicle(
         }
     };
     writeln!(stream, "{}", summary_line(&builder.finish(spec.id, totals)))?;
-    stream.flush()
+    stream.flush()?;
+    Ok(200)
 }
 
 /// The clairvoyant DP benchmark as a service: one line per step with the
 /// planned ultracapacitor bus power, then the plan total.
-fn plan(state: &ServerState, stream: TcpStream, spec: &VehicleSpec) -> io::Result<()> {
+fn plan(state: &ServerState, stream: TcpStream, spec: &VehicleSpec) -> io::Result<u16> {
     if spec.steps > PLAN_STEP_CAP {
         return respond_error(
             stream,
@@ -475,7 +980,8 @@ fn plan(state: &ServerState, stream: TcpStream, spec: &VehicleSpec) -> io::Resul
                 p.cap_bus.len(),
                 p.energy.value()
             )?;
-            stream.flush()
+            stream.flush()?;
+            Ok(200)
         }
         Err(err) => respond_otem_error(stream, &err),
     }

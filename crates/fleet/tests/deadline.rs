@@ -39,8 +39,7 @@ fn deadline_runs_are_bit_identical_across_schedules() {
     let campaign = deadline_campaign();
     let reference = FleetEngine::new(Schedule::Serial)
         .with_clock_factory(vclock)
-        .run(&campaign)
-        .expect("serial deadline campaign runs");
+        .run(&campaign);
     assert!(
         reference.solve_outcomes.deadline_reached > 0,
         "virtual clock never tripped the deadline: {:?}",
@@ -55,8 +54,7 @@ fn deadline_runs_are_bit_identical_across_schedules() {
     ] {
         let report = FleetEngine::new(schedule)
             .with_clock_factory(vclock)
-            .run(&campaign)
-            .expect("deadline campaign runs");
+            .run(&campaign);
         assert_eq!(
             report.summaries, reference.summaries,
             "summaries diverged under {schedule:?}"
@@ -80,8 +78,7 @@ fn deadline_outcomes_count_every_solve() {
     let campaign = deadline_campaign();
     let report = FleetEngine::new(Schedule::WorkStealing { shards: 3 })
         .with_clock_factory(vclock)
-        .run(&campaign)
-        .expect("deadline campaign runs");
+        .run(&campaign);
     // One MPC solve per control period per OTEM vehicle: the tally must
     // account for every step of every vehicle.
     assert_eq!(report.solve_outcomes.total(), report.total_steps);
@@ -95,9 +92,7 @@ fn undeadlined_campaign_is_unchanged_by_the_tally() {
     // The outcome tally rides along on the nominal path too; it must
     // not perturb the simulation. Compare against the plain engine.
     let campaign = Campaign::synthetic(6, 1);
-    let plain = FleetEngine::new(Schedule::Serial)
-        .run(&campaign)
-        .expect("runs");
+    let plain = FleetEngine::new(Schedule::Serial).run(&campaign);
     assert_eq!(plain.solve_outcomes.deadline_reached, 0);
     assert!(
         campaign

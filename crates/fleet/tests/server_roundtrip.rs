@@ -28,6 +28,7 @@ fn spawn_server() -> ServerHandle {
         addr: "127.0.0.1:0".to_owned(),
         shards: 2,
         max_vehicles: 100,
+        ..ServerConfig::default()
     })
     .spawn()
     .expect("bind loopback")
@@ -67,9 +68,7 @@ fn serves_health_fleet_vehicle_plan_metrics_and_shuts_down() {
         trailer.contains("\"solves\":{\"converged\":"),
         "solve-outcome distribution present: {trailer}"
     );
-    let local = FleetEngine::new(Schedule::Serial)
-        .run(&Campaign::synthetic(8, 42))
-        .expect("local campaign");
+    let local = FleetEngine::new(Schedule::Serial).run(&Campaign::synthetic(8, 42));
     let expected = format!("\"fleet_checksum\":\"{:016x}\"", local.fleet_checksum());
     assert!(
         trailer.contains(&expected),
@@ -171,6 +170,99 @@ fn serves_health_fleet_vehicle_plan_metrics_and_shuts_down() {
     let (status, lines) = roundtrip(&handle, "POST", "/shutdown", "");
     assert_eq!(status, "HTTP/1.1 200 OK");
     assert_eq!(lines, ["{\"event\":\"shutdown\"}"]);
+    handle.shutdown();
+}
+
+/// Sends raw bytes (no HTTP framing guarantees) and returns the status
+/// line the server answered with.
+fn raw(handle: &ServerHandle, payload: &str) -> String {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("read timeout");
+    stream
+        .write_all(payload.as_bytes())
+        .expect("payload written");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response read");
+    response.lines().next().unwrap_or_default().to_owned()
+}
+
+#[test]
+fn malformed_content_length_is_a_400_not_an_empty_body() {
+    // Regression: `parse().unwrap_or(0)` used to treat a garbage
+    // Content-Length as "no body", silently simulating the default
+    // vehicle instead of rejecting the request.
+    let mut handle = spawn_server();
+    let status = raw(
+        &handle,
+        "POST /simulate HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+    );
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    let (status, _) = roundtrip(&handle, "GET", "/healthz", "");
+    assert_eq!(status, "HTTP/1.1 200 OK", "server survives the rejection");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_body_is_a_413() {
+    let mut handle = spawn_server();
+    let status = raw(
+        &handle,
+        "POST /simulate HTTP/1.1\r\nContent-Length: 2000000\r\n\r\n",
+    );
+    assert_eq!(status, "HTTP/1.1 413 Payload Too Large");
+    let (status, _) = roundtrip(&handle, "GET", "/healthz", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_route_is_a_404_and_counts_as_an_error() {
+    let mut handle = spawn_server();
+    let before = handle.errors();
+    let (status, _) = roundtrip(&handle, "GET", "/definitely-not-a-route", "");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    assert_eq!(
+        handle.errors(),
+        before + 1,
+        "error responses increment the errors counter"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn plan_beyond_the_step_cap_is_a_400() {
+    let mut handle = spawn_server();
+    let (status, lines) = roundtrip(&handle, "POST", "/plan", "{\"steps\":2001}");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    assert!(
+        lines[0].contains("capped at 2000"),
+        "reason names the cap: {lines:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn header_flood_is_refused() {
+    let mut handle = spawn_server();
+    // More headers than MAX_HEADER_COUNT, still under the byte cap.
+    let mut payload = String::from("GET /healthz HTTP/1.1\r\n");
+    for i in 0..80 {
+        payload.push_str(&format!("X-Flood-{i}: 1\r\n"));
+    }
+    payload.push_str("\r\n");
+    assert_eq!(raw(&handle, &payload), "HTTP/1.1 400 Bad Request");
+
+    // A single header far beyond the byte cap is refused too.
+    let huge = format!(
+        "GET /healthz HTTP/1.1\r\nX-Huge: {}\r\n\r\n",
+        "a".repeat(9000)
+    );
+    assert_eq!(raw(&handle, &huge), "HTTP/1.1 400 Bad Request");
+
+    let (status, _) = roundtrip(&handle, "GET", "/healthz", "");
+    assert_eq!(status, "HTTP/1.1 200 OK", "server survives the floods");
     handle.shutdown();
 }
 

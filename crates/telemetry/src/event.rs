@@ -151,6 +151,39 @@ pub enum Event {
         /// `t_ns - start.t_ns` (saturating).
         dur_ns: u64,
     },
+    /// The serving layer refused a request because its bounded worker
+    /// queue was full (load shedding): the client was answered `503`
+    /// immediately instead of queueing unboundedly.
+    RequestShed {
+        /// Jobs sitting in the bounded queue when the request arrived.
+        queued: u64,
+        /// The back-off hint sent to the client.
+        retry_after_ms: u64,
+    },
+    /// A connection exceeded a socket read/write deadline (slow-loris,
+    /// trickle body, or a client that stopped reading) and was cut off.
+    RequestTimeout {
+        /// Wall-clock milliseconds the request had been in flight when
+        /// the deadline fired.
+        after_ms: f64,
+    },
+    /// A panic was caught and contained instead of killing the process:
+    /// either a request handler (the connection died, the server lives)
+    /// or one vehicle inside a fleet campaign (the campaign completes
+    /// with a structured error record for that vehicle).
+    PanicCaught {
+        /// Containment layer: `"request"` or `"vehicle"`.
+        context: &'static str,
+    },
+    /// Graceful drain began: the server stopped accepting connections
+    /// and is letting in-flight requests finish up to the drain
+    /// deadline.
+    DrainStarted {
+        /// Requests being handled by workers when the drain started.
+        in_flight: u64,
+        /// Accepted-but-unstarted jobs still queued.
+        queued: u64,
+    },
     /// One closed-loop simulation step completed (the per-step signal
     /// set behind the paper's Figs. 1, 6–9).
     StepCompleted {
@@ -190,6 +223,10 @@ impl Event {
             Event::DecisionRejected { .. } => "decision_rejected",
             Event::FallbackEngaged { .. } => "fallback_engaged",
             Event::MpcRearmed { .. } => "mpc_rearmed",
+            Event::RequestShed { .. } => "request_shed",
+            Event::RequestTimeout { .. } => "request_timeout",
+            Event::PanicCaught { .. } => "panic_caught",
+            Event::DrainStarted { .. } => "drain_started",
             Event::SpanStart { .. } => "span_start",
             Event::SpanEnd { .. } => "span_end",
             Event::StepCompleted { .. } => "step_completed",
@@ -259,6 +296,24 @@ impl Event {
                 healthy_steps,
             } => {
                 let _ = write!(out, ",\"step\":{step},\"healthy_steps\":{healthy_steps}");
+            }
+            Event::RequestShed {
+                queued,
+                retry_after_ms,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"queued\":{queued},\"retry_after_ms\":{retry_after_ms}"
+                );
+            }
+            Event::RequestTimeout { after_ms } => {
+                field(out, "after_ms", after_ms);
+            }
+            Event::PanicCaught { context } => {
+                str_field(out, "context", context);
+            }
+            Event::DrainStarted { in_flight, queued } => {
+                let _ = write!(out, ",\"in_flight\":{in_flight},\"queued\":{queued}");
             }
             Event::SpanStart {
                 id,
@@ -331,8 +386,10 @@ fn str_field(out: &mut String, name: &str, value: &str) {
 
 /// Appends `s` as a JSON string literal (quotes included): `"` and `\`
 /// are backslash-escaped and control characters use `\n`/`\r`/`\t` or
-/// `\u00XX`, so the output is valid JSON for *any* input string.
-pub(crate) fn write_json_string(out: &mut String, s: &str) {
+/// `\u00XX`, so the output is valid JSON for *any* input string —
+/// including panic messages and client-supplied text embedded in
+/// serving-layer error records.
+pub fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -485,6 +542,58 @@ mod tests {
             }
             .kind(),
             "mpc_rearmed"
+        );
+    }
+
+    #[test]
+    fn serving_layer_events_encode_kind_and_fields() {
+        assert_eq!(
+            Event::RequestShed {
+                queued: 64,
+                retry_after_ms: 100,
+            }
+            .to_json(),
+            "{\"event\":\"request_shed\",\"queued\":64,\"retry_after_ms\":100}"
+        );
+        assert_eq!(
+            Event::RequestTimeout { after_ms: 250.5 }.to_json(),
+            "{\"event\":\"request_timeout\",\"after_ms\":250.5}"
+        );
+        assert_eq!(
+            Event::PanicCaught { context: "vehicle" }.to_json(),
+            "{\"event\":\"panic_caught\",\"context\":\"vehicle\"}"
+        );
+        assert_eq!(
+            Event::DrainStarted {
+                in_flight: 3,
+                queued: 2,
+            }
+            .to_json(),
+            "{\"event\":\"drain_started\",\"in_flight\":3,\"queued\":2}"
+        );
+        assert_eq!(
+            Event::RequestShed {
+                queued: 0,
+                retry_after_ms: 0
+            }
+            .kind(),
+            "request_shed"
+        );
+        assert_eq!(
+            Event::RequestTimeout { after_ms: 0.0 }.kind(),
+            "request_timeout"
+        );
+        assert_eq!(
+            Event::PanicCaught { context: "request" }.kind(),
+            "panic_caught"
+        );
+        assert_eq!(
+            Event::DrainStarted {
+                in_flight: 0,
+                queued: 0
+            }
+            .kind(),
+            "drain_started"
         );
     }
 

@@ -68,7 +68,7 @@ mod ring;
 mod sink;
 mod span;
 
-pub use event::Event;
+pub use event::{write_json_string, Event};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use ring::RingBuffer;
 pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, NullSink, Sink};

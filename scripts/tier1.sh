@@ -49,4 +49,12 @@ cargo run -q --release -p otem-bench --bin perf_report -- --gradient gauss-newto
 echo "==> fleet_bench --vehicles 64 --smoke (determinism + server round trip + virtual-clock deadline)"
 cargo run -q --release -p otem-bench --bin fleet_bench -- --vehicles 64 --smoke
 
+# Serving-layer robustness gate: a seeded abuse schedule (malformed /
+# truncated / oversized requests, a stalled client, a poisoned vehicle,
+# queue-overflow shedding with a retrying client, graceful drain under
+# load) against a live server — /healthz must answer correctly after
+# every phase.
+echo "==> fleet_bench --chaos-smoke (serving-layer robustness)"
+cargo run -q --release -p otem-bench --bin fleet_bench -- --chaos-smoke
+
 echo "tier-1: all green"
