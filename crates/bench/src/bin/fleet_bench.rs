@@ -9,6 +9,7 @@
 //! |------|--------|
 //! | `--smoke` | quick gate for `scripts/tier1.sh`: determinism across schedules/shards + a server round trip; writes nothing |
 //! | `--chaos-smoke` | serving-layer robustness gate: malformed traffic, load shedding + retry, poisoned vehicle containment, graceful drain; writes nothing |
+//! | `--obs-smoke` | observability gate: scrapes `/metrics`, validates the Prometheus exposition with the test-suite parser, checks `/metrics.json` and span sampling, and asserts a poisoned vehicle freezes a flight-recorder dump attributed to its request id; writes nothing |
 //! | `--vehicles N` | campaign size for `--smoke` (default 64) |
 //! | `--full` | adds the 100k-vehicle campaign to the report |
 //! | `--seed S` | campaign family (default 42) |
@@ -39,6 +40,7 @@ const SERVER_VEHICLES: usize = 32;
 struct Args {
     smoke: bool,
     chaos_smoke: bool,
+    obs_smoke: bool,
     full: bool,
     vehicles: usize,
     seed: u64,
@@ -49,6 +51,7 @@ fn parse_args() -> Args {
     let mut out = Args {
         smoke: false,
         chaos_smoke: false,
+        obs_smoke: false,
         full: false,
         vehicles: 64,
         seed: 42,
@@ -66,6 +69,7 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--smoke" => out.smoke = true,
             "--chaos-smoke" => out.chaos_smoke = true,
+            "--obs-smoke" => out.obs_smoke = true,
             "--full" => out.full = true,
             "--vehicles" => out.vehicles = value("--vehicles") as usize,
             "--seed" => out.seed = value("--seed"),
@@ -446,6 +450,189 @@ fn chaos_smoke(args: &Args) {
     println!("fleet chaos smoke PASS");
 }
 
+/// The observability gate for `scripts/tier1.sh`: boots a live server,
+/// drives nominal traffic, scrapes `/metrics`, and validates the
+/// exposition on the wire bytes with the same parser the property
+/// suite round-trips through; checks `/metrics.json` still serves the
+/// legacy JSON; arms span sampling through `/debug/trace`; then
+/// injects a poisoned vehicle and asserts the flight recorder froze a
+/// dump whose entries carry the poisoned request's correlation id.
+fn obs_smoke(args: &Args) {
+    use otem_telemetry::promparse::validate_exposition;
+
+    let mut handle = spawn_chaos_server(2, 16, 5_000);
+    let addr = handle.addr();
+
+    // Nominal traffic first, so every hot family has samples on the
+    // wire: a few campaigns, plus one 404 for the error counter.
+    let body = format!("{{\"vehicles\":4,\"seed\":{}}}", args.seed);
+    for _ in 0..3 {
+        let resp = request(addr, "POST", "/simulate", &body).expect("simulate");
+        assert_eq!(resp.status, 200, "nominal campaign refused");
+    }
+    // A guaranteed-MPC vehicle (the synthetic methodology mix is only
+    // ~10 % OTEM, so a tiny campaign may produce zero solves): this
+    // populates `otem_solve_outcome_total` deterministically.
+    let resp = request(
+        addr,
+        "POST",
+        "/simulate",
+        "{\"methodology\":\"otem\",\"steps\":20}",
+    )
+    .expect("mpc vehicle");
+    assert_eq!(resp.status, 200, "MPC vehicle refused");
+    let miss = request(addr, "GET", "/nope", "").expect("unknown route answered");
+    assert_eq!(miss.status, 404);
+
+    // Scrape and mechanically validate the exposition.
+    let exposition = http(addr, "GET", "/metrics", "").join("\n") + "\n";
+    let parsed = validate_exposition(&exposition).expect("/metrics is valid Prometheus text");
+    let counter = |name: &str| {
+        parsed
+            .sample(name, &[])
+            .unwrap_or_else(|| panic!("{name} missing from /metrics"))
+            .value
+    };
+    assert!(counter("otem_requests_total") >= 4.0, "requests counted");
+    assert!(counter("otem_request_errors_total") >= 1.0, "404 counted");
+    // The ops counters exist from boot even at zero, so dashboards see
+    // the full family set before the first incident.
+    for family in [
+        "otem_requests_shed_total",
+        "otem_request_timeouts_total",
+        "otem_request_panics_total",
+        "otem_vehicle_panics_total",
+    ] {
+        let _ = counter(family);
+    }
+    assert!(counter("otem_uptime_seconds") > 0.0, "uptime ticks");
+    // The scrape itself is being handled while the gauge is read.
+    assert!(
+        counter("otem_in_flight_requests") >= 1.0,
+        "scrape in flight"
+    );
+    let build = parsed
+        .families
+        .get("otem_build_info")
+        .and_then(|f| f.samples.first())
+        .expect("build info exported");
+    assert!(
+        build.label("version").is_some_and(|v| !v.is_empty())
+            && build.label("profile").is_some_and(|p| !p.is_empty()),
+        "build info carries version and profile labels"
+    );
+    let solves = parsed
+        .families
+        .get("otem_solve_outcome_total")
+        .expect("solve outcomes exported");
+    let total_solves: f64 = solves.samples.iter().map(|s| s.value).sum();
+    assert!(total_solves >= 1.0, "campaigns produced solve outcomes");
+    assert!(
+        solves
+            .samples
+            .iter()
+            .all(|s| s.label("mode").is_some() && s.label("outcome").is_some()),
+        "solve outcomes are broken down by mode and outcome"
+    );
+    let latency_count = parsed
+        .sample(
+            "otem_request_latency_seconds_count",
+            &[("route", "/simulate")],
+        )
+        .expect("latency histogram covers /simulate")
+        .value;
+    assert!(latency_count >= 3.0, "campaign latencies observed");
+    println!(
+        "obs: /metrics exposition valid ({} families)",
+        parsed.families.len()
+    );
+
+    // The machine-readable JSON snapshot moved to /metrics.json.
+    let legacy = http(addr, "GET", "/metrics.json", "");
+    assert!(
+        legacy[0].starts_with("{\"event\":\"metrics\""),
+        "legacy JSON metrics preserved at /metrics.json: {}",
+        legacy[0]
+    );
+    println!("obs: /metrics.json legacy snapshot OK");
+
+    // Span sampling: arm 1-in-1, run a single-vehicle simulation, and
+    // the live recorder ring must hold correlated span events.
+    let armed = http(addr, "GET", "/debug/trace?sample=1", "");
+    assert!(
+        armed[0].contains("\"sample\":1"),
+        "sampling armed: {}",
+        armed[0]
+    );
+    let resp = request(addr, "POST", "/simulate", "{\"steps\":5}").expect("sampled run");
+    assert_eq!(resp.status, 200);
+    let spans = http(addr, "GET", "/debug/trace?sample=0", "");
+    assert!(
+        spans
+            .iter()
+            .any(|l| l.contains("\"event\":\"span_start\"") && !l.contains("\"request_id\":0,")),
+        "sampled spans carry their request id"
+    );
+    println!("obs: span sampling via /debug/trace OK");
+
+    // Poison phase: the contained vehicle panic freezes the flight
+    // recorder, and the dump attributes the incident to its request.
+    let poison = format!("{{\"vehicles\":4,\"seed\":{},\"poison_id\":2}}", args.seed);
+    // The contained panic still reaches the global hook; silence it so
+    // the gate's output stays readable.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let resp = request(addr, "POST", "/simulate", &poison).expect("poison campaign");
+    std::panic::set_hook(prev_hook);
+    assert_eq!(resp.status, 200, "poisoned campaign still answers 200");
+    let flight = http(addr, "GET", "/debug/flight", "");
+    assert!(
+        flight[0].starts_with("{\"flight_dump\":true,\"trigger\":\"panic_caught\","),
+        "flight recorder froze on the contained panic: {}",
+        flight[0]
+    );
+    let trigger = flight
+        .iter()
+        .find(|l| l.contains("\"event\":{\"event\":\"panic_caught\""))
+        .expect("the trigger event is in the dump");
+    assert!(
+        trigger.contains("\"request_id\":") && !trigger.contains("\"request_id\":0,"),
+        "dump entries carry the originating request id: {trigger}"
+    );
+    println!("obs: flight-recorder dump attributed to request OK");
+
+    let health = request(addr, "GET", "/healthz", "").expect("healthz after poison");
+    assert_eq!(health.status, 200, "server healthy after the incident");
+    handle.shutdown();
+    println!("fleet obs smoke PASS");
+}
+
+/// Folds a campaign's solve-outcome tally into `registry` under the
+/// same `otem_solve_outcome_total{mode,outcome}` family the server
+/// exports, so BENCH rows and live scrapes read identically.
+fn fold_outcomes(
+    registry: &otem_telemetry::MetricsRegistry,
+    mode: &str,
+    outcomes: &otem_fleet::SolveOutcomes,
+) {
+    const HELP: &str = "MPC solve outcomes by gradient mode across the benchmark campaigns.";
+    for (outcome, n) in [
+        ("converged", outcomes.converged),
+        ("budget_exhausted", outcomes.budget_exhausted),
+        ("stalled", outcomes.stalled),
+        ("non_finite", outcomes.non_finite),
+        ("deadline_reached", outcomes.deadline_reached),
+    ] {
+        registry
+            .counter(
+                "otem_solve_outcome_total",
+                HELP,
+                &[("mode", mode), ("outcome", outcome)],
+            )
+            .add(n);
+    }
+}
+
 fn bench(args: &Args) {
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -454,6 +641,11 @@ fn bench(args: &Args) {
     if args.full {
         sizes.push(100_000);
     }
+    // Campaign outcomes and loopback latency fold into one registry
+    // snapshot, embedded in the report as the `metrics` object — the
+    // same shape `/metrics.json` serves, so dashboards can ingest both.
+    let registry = otem_telemetry::MetricsRegistry::new();
+    let campaign_mode = otem::mpc::MpcConfig::default().gradient_mode.name();
 
     println!(
         "{:<9} {:>10} {:>9} {:>11} {:>11} {:>9} {:>9} {:>9} {:>9}",
@@ -466,6 +658,7 @@ fn bench(args: &Args) {
             shards: args.shards,
         })
         .run(&campaign);
+        fold_outcomes(&registry, campaign_mode, &report.solve_outcomes);
         println!(
             "{:<9} {:>10} {:>9.2} {:>11.1} {:>11.0} {:>9.3} {:>9.3} {:>9.3} {:>9}",
             n,
@@ -532,6 +725,12 @@ fn bench(args: &Args) {
     // retry layer adds nothing to the measured latency).
     let mut handle = spawn_server(args.shards);
     let request_latency = otem_telemetry::Histogram::exponential(0.01, 2.0, 23);
+    let client_latency = registry.histogram(
+        "otem_client_request_latency_seconds",
+        "Loopback request latency observed by the bench client.",
+        &[("route", "/simulate")],
+        otem_telemetry::Histogram::exponential(1e-5, 2.0, 22).bounds(),
+    );
     let body = format!("{{\"vehicles\":{SERVER_VEHICLES},\"seed\":{}}}", args.seed);
     let mut client = RetryClient::new(handle.addr(), BackoffPolicy::default());
     for _ in 0..SERVER_REQUESTS {
@@ -539,18 +738,30 @@ fn bench(args: &Args) {
         let response = client
             .send("POST", "/simulate", &body)
             .expect("live-server request");
-        request_latency.observe(t0.elapsed().as_secs_f64() * 1e3);
+        let elapsed = t0.elapsed().as_secs_f64();
+        request_latency.observe(elapsed * 1e3);
+        client_latency.observe(elapsed);
         assert_eq!(response.status, 200, "clean traffic is never refused");
         assert_eq!(response.lines.len(), SERVER_VEHICLES + 1);
     }
-    let metrics = http(handle.addr(), "GET", "/metrics", "");
+    // `/metrics` speaks Prometheus now; validate the scrape mechanically
+    // and report what the server says it served.
+    let exposition = http(handle.addr(), "GET", "/metrics", "").join("\n") + "\n";
+    let scraped = otem_telemetry::promparse::validate_exposition(&exposition)
+        .expect("live /metrics is valid Prometheus text");
+    let served = scraped
+        .sample("otem_requests_total", &[])
+        .map_or(0.0, |s| s.value);
     println!(
         "server: {SERVER_REQUESTS} x {SERVER_VEHICLES}-vehicle requests, \
          p50 {:.2} ms, p99 {:.2} ms",
         request_latency.quantile(0.50),
         request_latency.quantile(0.99)
     );
-    println!("server: {}", metrics[0]);
+    println!(
+        "server: /metrics scrape valid ({} families, {served:.0} requests served)",
+        scraped.families.len()
+    );
     handle.shutdown();
 
     let json = format!(
@@ -565,7 +776,8 @@ fn bench(args: &Args) {
             "    \"requests\": {},\n",
             "    \"vehicles_per_request\": {},\n",
             "    \"request_latency_ms\": {}\n",
-            "  }}\n",
+            "  }},\n",
+            "  \"metrics\": {}\n",
             "}}\n"
         ),
         args.seed,
@@ -574,7 +786,8 @@ fn bench(args: &Args) {
         rows.join(",\n"),
         SERVER_REQUESTS,
         SERVER_VEHICLES,
-        quantiles_json(&request_latency)
+        quantiles_json(&request_latency),
+        registry.snapshot().render_json()
     );
     std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
     println!(
@@ -589,6 +802,8 @@ fn main() {
         smoke(&args);
     } else if args.chaos_smoke {
         chaos_smoke(&args);
+    } else if args.obs_smoke {
+        obs_smoke(&args);
     } else {
         bench(&args);
     }

@@ -31,7 +31,7 @@ use otem::mpc::{Mpc, MpcConfig, MpcPlant};
 use otem::SystemConfig;
 use otem_hees::HybridHees;
 use otem_solver::{GradientMode, SolverOutcome};
-use otem_telemetry::{JsonlSink, NullSink, Sink};
+use otem_telemetry::{JsonlSink, MetricsRegistry, NullSink, Sink};
 use otem_thermal::{CoolingPlant, ThermalModel, ThermalState};
 use otem_units::{Kelvin, Ratio, Seconds, Watts};
 use std::time::Instant;
@@ -91,6 +91,29 @@ impl OutcomeCounts {
             self.non_finite,
             self.deadline_reached
         )
+    }
+
+    /// Folds this distribution into `registry` under the same
+    /// `otem_solve_outcome_total{mode,outcome}` family the serving
+    /// layer exports, so BENCH_mpc.json and live scrapes read
+    /// identically.
+    fn fold_into(&self, registry: &MetricsRegistry, mode: GradientMode) {
+        const HELP: &str = "MPC solve outcomes by gradient mode across the timed solves.";
+        for (outcome, n) in [
+            ("converged", self.converged),
+            ("budget_exhausted", self.budget_exhausted),
+            ("stalled", self.stalled),
+            ("non_finite", self.non_finite),
+            ("deadline_reached", self.deadline_reached),
+        ] {
+            registry
+                .counter(
+                    "otem_solve_outcome_total",
+                    HELP,
+                    &[("mode", mode.name()), ("outcome", outcome)],
+                )
+                .add(n);
+        }
     }
 }
 
@@ -295,6 +318,10 @@ fn main() {
         "{:<8} {:>11} {:>11} {:>11} {:>11} {:>8} {:>8} {:>7} {:>7}",
         "horizon", "serial_ms", "par_ms", "adj_ms", "gn_ms", "adj_it", "gn_it", "par_x", "adj_x"
     );
+    // Every mode's outcome distribution also folds into one registry
+    // snapshot, embedded in the report as the `metrics` object — the
+    // same family (and JSON shape) the serving layer exports.
+    let registry = MetricsRegistry::new();
     let mut rows = Vec::new();
     for horizon in HORIZONS {
         let loads: Vec<Watts> = (0..horizon)
@@ -342,6 +369,17 @@ fn main() {
             TOL_BUDGET,
             &sink,
         );
+        serial.outcomes.fold_into(&registry, GradientMode::Serial);
+        parallel
+            .outcomes
+            .fold_into(&registry, GradientMode::Parallel { threads });
+        adjoint.outcomes.fold_into(&registry, GradientMode::Adjoint);
+        adjoint_tol
+            .outcomes
+            .fold_into(&registry, GradientMode::Adjoint);
+        gauss_newton
+            .outcomes
+            .fold_into(&registry, GradientMode::GaussNewton);
         assert_eq!(
             serial.cap_bus.to_bits(),
             parallel.cap_bus.to_bits(),
@@ -423,14 +461,16 @@ fn main() {
             "  \"tol_budget\": {},\n",
             "  \"cpu_cores\": {},\n",
             "  \"threads\": {},\n",
-            "  \"results\": [\n{}\n  ]\n",
+            "  \"results\": [\n{}\n  ],\n",
+            "  \"metrics\": {}\n",
             "}}\n"
         ),
         REPS,
         TOL_BUDGET,
         cores,
         threads,
-        rows.join(",\n")
+        rows.join(",\n"),
+        registry.snapshot().render_json()
     );
     std::fs::write("BENCH_mpc.json", &json).expect("write BENCH_mpc.json");
     sink.flush();

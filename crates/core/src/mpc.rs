@@ -360,6 +360,7 @@ impl Mpc {
         };
         sink.record(Event::SolveOutcome {
             outcome: outcome.name(),
+            mode: self.config.gradient_mode.name(),
             iterations: iterations as u64,
         });
 

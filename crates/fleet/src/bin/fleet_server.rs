@@ -3,7 +3,7 @@
 //! ```text
 //! fleet_server [--addr 127.0.0.1:7878] [--shards N] [--max-vehicles N]
 //!              [--workers N] [--queue-depth N] [--read-timeout-ms N]
-//!              [--drain-deadline-ms N]
+//!              [--drain-deadline-ms N] [--flight-dir DIR]
 //! ```
 //!
 //! Speaks HTTP/1.1 with `application/x-ndjson` responses; see the
@@ -70,11 +70,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--flight-dir" => config.flight_dir = value("--flight-dir"),
             "--help" | "-h" => {
                 println!(
                     "usage: fleet_server [--addr HOST:PORT] [--shards N] [--max-vehicles N]\n\
                      \u{20}                   [--workers N] [--queue-depth N]\n\
-                     \u{20}                   [--read-timeout-ms N] [--drain-deadline-ms N]"
+                     \u{20}                   [--read-timeout-ms N] [--drain-deadline-ms N]\n\
+                     \u{20}                   [--flight-dir DIR]"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -14,6 +14,7 @@ use otem::policy::{ActiveCooling, Dual, Otem, Parallel};
 use otem::{Controller, OtemError, RunTotals, SimulationResult, StepRecord, SystemConfig};
 use otem_drivecycle::{standard, PowerTrace, Powertrain, StandardCycle, VehicleParams};
 use otem_faults::{FaultKind, FaultPlan, FaultedController};
+use otem_telemetry::Counter;
 use otem_units::{Farads, Kelvin, Seconds};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -257,12 +258,37 @@ impl SolveOutcomes {
 #[derive(Debug, Default)]
 pub struct TraceCache {
     base: Mutex<HashMap<(StandardCycle, bool), Arc<PowerTrace>>>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
 }
 
 impl TraceCache {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache whose hit/miss counters are the given handles —
+    /// typically children of a
+    /// [`otem_telemetry::MetricsRegistry`], so cache effectiveness
+    /// shows up on `/metrics` without a separate read path.
+    pub fn with_metrics(hits: Arc<Counter>, misses: Arc<Counter>) -> Self {
+        Self {
+            base: Mutex::default(),
+            hits,
+            misses,
+        }
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Lookups that had to synthesise the base trace (including lost
+    /// cold-key races, which each cost one redundant synthesis).
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
     }
 
     /// The spec's power trace: the base cycle's trace for the spec's
@@ -286,8 +312,12 @@ impl TraceCache {
                 .get(&key)
                 .cloned();
             match cached {
-                Some(b) => b,
+                Some(b) => {
+                    self.hits.inc();
+                    b
+                }
                 None => {
+                    self.misses.inc();
                     // Synthesise outside the lock: cycle synthesis is
                     // milliseconds, and concurrent workers hitting a cold
                     // key would serialise behind it. A lost race costs one
@@ -519,6 +549,22 @@ mod tests {
         let b = cache.trace_for(&spec).expect("trace");
         assert_eq!(a.samples(), b.samples());
         assert_eq!(a.len(), spec.steps);
+    }
+
+    #[test]
+    fn trace_cache_counts_hits_and_misses_on_shared_handles() {
+        let hits = Arc::new(Counter::new());
+        let misses = Arc::new(Counter::new());
+        let cache = TraceCache::with_metrics(Arc::clone(&hits), Arc::clone(&misses));
+        let spec = VehicleSpec::synthesize(3, 42);
+        cache.trace_for(&spec).expect("trace");
+        cache.trace_for(&spec).expect("trace");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(
+            (hits.get(), misses.get()),
+            (1, 1),
+            "the external handles observe the same counts"
+        );
     }
 
     #[test]

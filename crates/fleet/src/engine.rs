@@ -317,6 +317,22 @@ impl FleetEngine {
     /// engine's containment events ([`Event::PanicCaught`]) in addition
     /// to the per-solve outcome stream.
     pub fn run_with(&self, campaign: &Campaign, sink: &(dyn Sink + Sync)) -> FleetReport {
+        self.run_with_request(campaign, sink, 0)
+    }
+
+    /// [`FleetEngine::run_with`] under a serving-layer correlation id:
+    /// every worker enters [`otem_telemetry::request_scope`]`(request_id)`
+    /// before touching a vehicle, so spans and flight-recorder entries
+    /// produced inside the solve are stamped with the request that
+    /// caused them, and each vehicle announces itself with
+    /// [`Event::VehicleStarted`]. `request_id == 0` means "no request"
+    /// (the in-process path).
+    pub fn run_with_request(
+        &self,
+        campaign: &Campaign,
+        sink: &(dyn Sink + Sync),
+        request_id: u64,
+    ) -> FleetReport {
         let latency = latency_histogram_ms();
         let tally = OutcomeTally::new();
         let pair = PairSink {
@@ -325,6 +341,14 @@ impl FleetEngine {
         };
         let started = Instant::now();
         let job = |_i: usize, spec: &VehicleSpec| {
+            // The scope is thread-local, so it must be (re-)entered
+            // inside the job closure: pool workers do not inherit the
+            // dispatching thread's correlation id.
+            let _scope = otem_telemetry::request_scope(request_id);
+            pair.record(Event::VehicleStarted {
+                request_id,
+                vehicle: spec.id,
+            });
             let t0 = Instant::now();
             let outcome = self.run_vehicle_caught(spec, &pair);
             latency.observe(t0.elapsed().as_secs_f64() * 1e3);
@@ -419,6 +443,34 @@ mod tests {
         let stealing = FleetEngine::new(Schedule::WorkStealing { shards: 3 }).run(&campaign);
         assert_eq!(serial.summaries, stealing.summaries);
         assert_eq!(serial.fleet_checksum(), stealing.fleet_checksum());
+    }
+
+    #[test]
+    fn run_with_request_announces_each_vehicle_under_the_id() {
+        use otem_telemetry::MemorySink;
+
+        let campaign = Campaign::synthetic(3, 5);
+        // Roomy: the announcements arrive first and per-step events
+        // must not evict them from the bounded ring.
+        let sink = MemorySink::with_capacity(1 << 20);
+        FleetEngine::new(Schedule::WorkStealing { shards: 2 })
+            .run_with_request(&campaign, &sink, 77);
+        let mut started: Vec<u64> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::VehicleStarted {
+                    request_id,
+                    vehicle,
+                } => {
+                    assert_eq!(request_id, 77, "vehicle {vehicle} lost the id");
+                    Some(vehicle)
+                }
+                _ => None,
+            })
+            .collect();
+        started.sort_unstable();
+        assert_eq!(started, [0, 1, 2], "every vehicle announced exactly once");
     }
 
     #[test]

@@ -26,18 +26,40 @@
 //!    stops accepting, lets queued and in-flight requests finish up to
 //!    `drain_deadline_ms`, then joins the pool.
 //!
+//! # Observability
+//!
+//! Every serving-layer counter lives in a [`MetricsRegistry`] and is
+//! exposed on `GET /metrics` as Prometheus v0.0.4 text (the legacy JSON
+//! blob moved to `GET /metrics.json`): request/shed/timeout/panic
+//! totals, in-flight and uptime gauges, `otem_build_info`, per-route
+//! request-latency histograms, MPC solve outcomes by gradient mode, and
+//! trace-cache plus JSONL-drop counters. Each accepted connection mints
+//! a `request_id` that rides a thread-local
+//! [`otem_telemetry::request_scope`] through the engine's workers, so
+//! spans and flight-recorder entries name the request that caused them.
+//! An always-on [`FlightRecorder`] keeps the last N events per lane and
+//! freezes a post-mortem dump the moment a contained panic or
+//! supervisor fallback flows through it; the frozen dump is served on
+//! `GET /debug/flight` (and written to [`ServerConfig::flight_dir`]
+//! when configured). `GET /debug/trace?sample=N` arms 1-in-N span
+//! sampling and streams the sampled spans collected so far.
+//!
 //! # Routes
 //!
 //! | route | body | response |
 //! |-------|------|----------|
 //! | `GET /healthz` | — | one status line |
-//! | `GET /metrics` | — | request/shed/timeout/panic counters + latency quantiles |
+//! | `GET /metrics` | — | Prometheus v0.0.4 text exposition of the registry |
+//! | `GET /metrics.json` | — | request/shed/timeout/panic counters + latency quantiles (one JSON line) |
+//! | `GET /debug/flight` | — | frozen flight-recorder dump if an incident occurred, else the live ring |
+//! | `GET /debug/trace?sample=N` | — | arms 1-in-N span sampling; streams sampled spans |
 //! | `POST /simulate` | [`SimulateRequest`] JSON | JSONL summaries (fleet) or telemetry stream + summary (vehicle) |
 //! | `POST /plan` | single-vehicle JSON | clairvoyant DP split, one line per step |
 //! | `POST /shutdown` | — | ack line, then the server drains and exits |
 //!
-//! Responses are `application/x-ndjson`, close-delimited
-//! (`Connection: close`), so clients just read lines until EOF.
+//! Responses are `application/x-ndjson` (`/metrics` is
+//! `text/plain; version=0.0.4`), close-delimited (`Connection: close`),
+//! so clients just read lines until EOF.
 
 use crate::campaign::{Campaign, SummaryBuilder, TraceCache, VehicleSpec};
 use crate::engine::{latency_histogram_ms, FleetEngine, OutcomeTally};
@@ -45,7 +67,10 @@ use crate::protocol::{failure_line, outcomes_json, summary_line, SimulateRequest
 use crate::queue::{BoundedQueue, PushError};
 use otem::planner::{plan_split, PlannerConfig};
 use otem::{OtemError, Simulator};
-use otem_telemetry::{ChromeTraceSink, Counter, Event, Histogram, JsonlSink, NullSink, Sink};
+use otem_telemetry::{
+    current_request_id, request_scope, ChromeTraceSink, Counter, Event, FlightDump, FlightEntry,
+    FlightRecorder, Gauge, Histogram, JsonlSink, MetricsRegistry, NullSink, Sink,
+};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -101,6 +126,11 @@ pub struct ServerConfig {
     /// abandoning the stragglers (their socket timeouts still bound
     /// them).
     pub drain_deadline_ms: u64,
+    /// Directory flight-recorder dumps are written to as
+    /// `flight-<seq>-<trigger>.jsonl`. Empty (the default) keeps dumps
+    /// in memory only, where `GET /debug/flight` serves the most
+    /// recent one.
+    pub flight_dir: String,
 }
 
 impl Default for ServerConfig {
@@ -116,9 +146,16 @@ impl Default for ServerConfig {
             read_timeout_ms: 2_000,
             write_timeout_ms: 2_000,
             drain_deadline_ms: 5_000,
+            flight_dir: String::new(),
         }
     }
 }
+
+/// Help text constants: the registry requires a family's help to be
+/// identical on every lookup, so call sites share these.
+const SOLVE_OUTCOME_HELP: &str = "MPC solve outcomes by gradient mode across every request served.";
+const LATENCY_HELP: &str = "End-to-end request latency (queue wait included) by route.";
+const FLIGHT_DUMPS_HELP: &str = "Flight-recorder dumps frozen, by trigger event.";
 
 /// Shared mutable server state (metrics + shutdown flag).
 struct ServerState {
@@ -129,19 +166,49 @@ struct ServerState {
     /// [`Event::DrainStarted`]); [`NullSink`] unless installed via
     /// [`FleetServer::with_sink`].
     sink: Arc<dyn Sink + Send + Sync>,
-    requests: Counter,
-    errors: Counter,
+    /// The unified metric registry behind `/metrics`. Every named
+    /// counter below is a child of one of its families, so the ad-hoc
+    /// accessors, the JSON blob and the Prometheus exposition all read
+    /// the same atomics.
+    registry: Arc<MetricsRegistry>,
+    /// Always-on ring of recent telemetry; freezes on contained panics
+    /// and supervisor fallbacks (see [`FlightRecorder`]).
+    recorder: FlightRecorder,
+    /// The most recent frozen dump, drained from the recorder by the
+    /// worker that observed it — `GET /debug/flight` serves this.
+    last_dump: Mutex<Option<FlightDump>>,
+    /// Monotone file-name sequence for persisted dumps.
+    flight_seq: AtomicU64,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
     /// Failed `accept(2)` calls — transport-level, counted apart from
     /// request errors so the two failure modes stay distinguishable.
-    accept_errors: Counter,
+    accept_errors: Arc<Counter>,
     /// Connections refused with `503` because the queue was full.
-    shed: Counter,
+    shed: Arc<Counter>,
     /// Requests cut off by a socket deadline (`408`).
-    timeouts: Counter,
+    timeouts: Arc<Counter>,
     /// Request-handler panics contained by the worker's `catch_unwind`.
-    panics: Counter,
+    panics: Arc<Counter>,
     /// Per-vehicle panics contained inside the fleet engine.
-    vehicle_panics: Counter,
+    vehicle_panics: Arc<Counter>,
+    /// Telemetry records dropped by per-request JSONL streaming sinks.
+    jsonl_dropped: Arc<Counter>,
+    /// `otem_in_flight_requests`, refreshed from `in_flight` at scrape.
+    in_flight_gauge: Arc<Gauge>,
+    /// `otem_uptime_seconds`, refreshed from `started` at scrape.
+    uptime: Arc<Gauge>,
+    /// Construction time, the uptime epoch.
+    started: Instant,
+    /// Correlation-id mint; ids start at 1 (`0` means "no request").
+    request_ids: AtomicU64,
+    /// Span-sampling rate armed by `/debug/trace?sample=N`: requests
+    /// whose id is divisible by N run with an enabled sink so their
+    /// spans reach the flight recorder. `0` (the default) samples none.
+    trace_sample: AtomicU64,
+    /// Bucket bounds (seconds) shared by every `route` child of
+    /// `otem_request_latency_seconds`.
+    latency_bounds: Vec<f64>,
     /// Requests currently being handled by workers.
     in_flight: AtomicU64,
     /// Live shedder threads (see [`shed_connection`]); capped so a shed
@@ -149,13 +216,92 @@ struct ServerState {
     shedders: AtomicU64,
     latency_ms: Histogram,
     /// MPC solve outcomes across every request served so far (fleet and
-    /// single-vehicle alike) — exported on `/metrics`.
+    /// single-vehicle alike) — exported on `/metrics.json`.
     solves: OutcomeTally,
     shutdown: AtomicBool,
     /// The bound address, set at bind time — lets the `/shutdown`
     /// handler (running on a worker) wake the blocking accept loop with
     /// a self-connect.
     addr: OnceLock<SocketAddr>,
+}
+
+impl ServerState {
+    /// Feeds one event to the flight recorder (stamping the recording
+    /// thread's correlation id) and folds solve outcomes into the
+    /// per-`(mode, outcome)` registry family.
+    fn observe(&self, event: Event) {
+        self.recorder.record(event);
+        if let Event::SolveOutcome { outcome, mode, .. } = event {
+            self.registry
+                .counter(
+                    "otem_solve_outcome_total",
+                    SOLVE_OUTCOME_HELP,
+                    &[("mode", mode), ("outcome", outcome)],
+                )
+                .inc();
+        }
+    }
+
+    /// An event for both the observational sink and the recorder.
+    fn observe_ops(&self, event: Event) {
+        self.sink.record(event);
+        self.recorder.record(event);
+    }
+
+    /// The latency-histogram child for a route.
+    fn route_latency(&self, route: &str) -> Arc<Histogram> {
+        self.registry.histogram(
+            "otem_request_latency_seconds",
+            LATENCY_HELP,
+            &[("route", route)],
+            &self.latency_bounds,
+        )
+    }
+
+    /// `true` when span sampling is armed and this request drew the
+    /// 1-in-N slot.
+    fn trace_sampled(&self, request_id: u64) -> bool {
+        let n = self.trace_sample.load(Ordering::Relaxed);
+        n != 0 && request_id != 0 && request_id.is_multiple_of(n)
+    }
+
+    /// Books a dump the recorder froze: counts it by trigger, persists
+    /// it when a flight directory is configured, and retains it for
+    /// `GET /debug/flight`.
+    fn note_flight_dump(&self, dump: FlightDump) {
+        self.registry
+            .counter(
+                "otem_flight_dumps_total",
+                FLIGHT_DUMPS_HELP,
+                &[("trigger", dump.trigger)],
+            )
+            .inc();
+        if !self.config.flight_dir.is_empty() {
+            let seq = self.flight_seq.fetch_add(1, Ordering::Relaxed);
+            let path = format!(
+                "{}/flight-{seq:04}-{}.jsonl",
+                self.config.flight_dir, dump.trigger
+            );
+            // Persistence is best-effort: an unwritable directory must
+            // not take down request serving, and the dump is still
+            // retained in memory below.
+            let _ = std::fs::create_dir_all(&self.config.flight_dir);
+            let _ = std::fs::write(path, dump.to_jsonl());
+        }
+        *self
+            .last_dump
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(dump);
+    }
+
+    /// The Prometheus text exposition, with scrape-time gauges
+    /// (uptime, in-flight) refreshed first.
+    fn render_prometheus(&self) -> String {
+        self.uptime.set(self.started.elapsed().as_secs_f64());
+        self.in_flight_gauge
+            .set(self.in_flight.load(Ordering::Relaxed) as f64);
+        self.registry.snapshot().render_prometheus()
+    }
 }
 
 impl std::fmt::Debug for ServerState {
@@ -172,10 +318,12 @@ impl std::fmt::Debug for ServerState {
 }
 
 /// A connection waiting for a worker; `accepted` timestamps queue entry
-/// so the latency histogram includes queue wait.
+/// so the latency histogram includes queue wait, and `request_id` is
+/// the correlation id minted at accept time.
 struct Job {
     stream: TcpStream,
     accepted: Instant,
+    request_id: u64,
 }
 
 /// Counts live workers; the drain waits on it instead of polling.
@@ -238,18 +386,90 @@ impl FleetServer {
     /// harness passes a [`otem_telemetry::MemorySink`] to assert on
     /// them.
     pub fn with_sink(config: ServerConfig, sink: Arc<dyn Sink + Send + Sync>) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let counter = |name: &str, help: &str| registry.counter(name, help, &[]);
+        registry
+            .gauge(
+                "otem_build_info",
+                "Build metadata; the value is always 1.",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    (
+                        "profile",
+                        if cfg!(debug_assertions) {
+                            "debug"
+                        } else {
+                            "release"
+                        },
+                    ),
+                ],
+            )
+            .set(1.0);
+        let cache = Arc::new(TraceCache::with_metrics(
+            counter(
+                "otem_trace_cache_hits_total",
+                "Power-trace cache lookups served from the cache.",
+            ),
+            counter(
+                "otem_trace_cache_misses_total",
+                "Power-trace cache lookups that synthesised the base trace.",
+            ),
+        ));
         Self {
             state: Arc::new(ServerState {
-                config,
-                cache: Arc::new(TraceCache::new()),
+                cache,
                 sink,
-                requests: Counter::new(),
-                errors: Counter::new(),
-                accept_errors: Counter::new(),
-                shed: Counter::new(),
-                timeouts: Counter::new(),
-                panics: Counter::new(),
-                vehicle_panics: Counter::new(),
+                recorder: FlightRecorder::new(),
+                last_dump: Mutex::new(None),
+                flight_seq: AtomicU64::new(0),
+                requests: counter(
+                    "otem_requests_total",
+                    "Requests handled by the worker pool (shed connections and \
+                     shutdown wake-ups excluded).",
+                ),
+                errors: counter(
+                    "otem_request_errors_total",
+                    "Requests answered with an error status or dropped on a \
+                     transport error (timeouts counted separately).",
+                ),
+                accept_errors: counter("otem_accept_errors_total", "Failed accept(2) calls."),
+                shed: counter(
+                    "otem_requests_shed_total",
+                    "Connections refused with 503 because the worker queue was full.",
+                ),
+                timeouts: counter(
+                    "otem_request_timeouts_total",
+                    "Requests cut off by a socket deadline (408).",
+                ),
+                panics: counter(
+                    "otem_request_panics_total",
+                    "Request-handler panics contained by catch_unwind.",
+                ),
+                vehicle_panics: counter(
+                    "otem_vehicle_panics_total",
+                    "Per-vehicle panics contained inside fleet campaigns.",
+                ),
+                jsonl_dropped: counter(
+                    "otem_jsonl_dropped_records_total",
+                    "Telemetry records dropped by per-request JSONL streaming sinks.",
+                ),
+                in_flight_gauge: registry.gauge(
+                    "otem_in_flight_requests",
+                    "Requests currently being handled by workers.",
+                    &[],
+                ),
+                uptime: registry.gauge(
+                    "otem_uptime_seconds",
+                    "Seconds since the server was constructed.",
+                    &[],
+                ),
+                started: Instant::now(),
+                request_ids: AtomicU64::new(0),
+                trace_sample: AtomicU64::new(0),
+                // ~10 µs .. ~20 s in doubling buckets.
+                latency_bounds: Histogram::exponential(1e-5, 2.0, 22).bounds().to_vec(),
+                registry,
+                config,
                 in_flight: AtomicU64::new(0),
                 shedders: AtomicU64::new(0),
                 latency_ms: latency_histogram_ms(),
@@ -337,12 +557,15 @@ impl FleetServer {
             let job = Job {
                 stream,
                 accepted: Instant::now(),
+                // Ids start at 1: 0 is the "no request" sentinel of
+                // `otem_telemetry::current_request_id`.
+                request_id: state.request_ids.fetch_add(1, Ordering::Relaxed) + 1,
             };
             match queue.try_push(job) {
                 Ok(()) => {}
                 Err(PushError::Full(job)) => {
                     state.shed.inc();
-                    state.sink.record(Event::RequestShed {
+                    state.observe_ops(Event::RequestShed {
                         queued: queue.len() as u64,
                         retry_after_ms: RETRY_AFTER_MS,
                     });
@@ -361,7 +584,7 @@ impl FleetServer {
         // Drain: stop feeding the pool, serve what is queued and
         // in-flight, give up at the deadline (stragglers stay bounded by
         // their socket timeouts).
-        state.sink.record(Event::DrainStarted {
+        state.observe_ops(Event::DrainStarted {
             in_flight: state.in_flight.load(Ordering::Relaxed),
             queued: queue.len() as u64,
         });
@@ -450,20 +673,28 @@ impl Drop for ServerHandle {
 }
 
 /// One worker's handling of one connection: count it, contain panics,
-/// map socket deadlines to `408`, observe latency.
+/// map socket deadlines to `408`, observe latency per route, and drain
+/// any flight-recorder dump the request froze.
 fn serve_job(state: &Arc<ServerState>, job: Job) {
     state.requests.inc();
     state.in_flight.fetch_add(1, Ordering::Relaxed);
+    // The correlation scope covers the whole handling, so even the
+    // timeout/panic bookkeeping below stamps this request's id into
+    // the recorder.
+    let _scope = request_scope(job.request_id);
     // A clone of the socket survives the handler consuming (and on
     // panic, dropping) the original — it is the only way to still
     // answer the client after a timeout or a contained panic.
     let peer = job.stream.try_clone().ok();
-    let outcome = catch_unwind(AssertUnwindSafe(|| handle_connection(state, job.stream)));
-    match outcome {
-        Ok(Ok(status)) => {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        handle_connection(state, job.stream, job.request_id)
+    }));
+    let route = match outcome {
+        Ok(Ok((status, route))) => {
             if status >= 400 {
                 state.errors.inc();
             }
+            route
         }
         Ok(Err(err)) => {
             if matches!(
@@ -471,7 +702,7 @@ fn serve_job(state: &Arc<ServerState>, job: Job) {
                 io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
             ) {
                 state.timeouts.inc();
-                state.sink.record(Event::RequestTimeout {
+                state.observe_ops(Event::RequestTimeout {
                     after_ms: job.accepted.elapsed().as_secs_f64() * 1e3,
                 });
                 if let Some(peer) = peer {
@@ -482,19 +713,26 @@ fn serve_job(state: &Arc<ServerState>, job: Job) {
                 // count it, keep serving.
                 state.errors.inc();
             }
+            "transport"
         }
         Err(_) => {
             state.panics.inc();
-            state.sink.record(Event::PanicCaught { context: "request" });
+            // Flowing through the recorder freezes it: the dump is
+            // drained below, after the latency bookkeeping.
+            state.observe_ops(Event::PanicCaught { context: "request" });
             if let Some(peer) = peer {
                 let _ = respond_error(peer, 500, "internal panic (contained)");
             }
+            "panic"
         }
-    }
-    state
-        .latency_ms
-        .observe(job.accepted.elapsed().as_secs_f64() * 1e3);
+    };
+    let elapsed_s = job.accepted.elapsed().as_secs_f64();
+    state.latency_ms.observe(elapsed_s * 1e3);
+    state.route_latency(route).observe(elapsed_s);
     state.in_flight.fetch_sub(1, Ordering::Relaxed);
+    if let Some(dump) = state.recorder.take_dump() {
+        state.note_flight_dump(dump);
+    }
 }
 
 /// Outcome of reading one head line under the byte budget.
@@ -557,25 +795,56 @@ fn refuse(
     Ok(status)
 }
 
+/// The canonical route label of a request — the `route` label value on
+/// `otem_request_latency_seconds` and [`Event::RequestStarted`].
+/// Unrecognised method/path pairs collapse to `"other"` so hostile
+/// path scans cannot mint unbounded label children.
+fn route_name(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("GET", "/healthz") => "/healthz",
+        ("GET", "/metrics") => "/metrics",
+        ("GET", "/metrics.json") => "/metrics.json",
+        ("GET", "/debug/flight") => "/debug/flight",
+        ("GET", "/debug/trace") => "/debug/trace",
+        ("POST", "/shutdown") => "/shutdown",
+        ("POST", "/simulate") => "/simulate",
+        ("POST", "/plan") => "/plan",
+        _ => "other",
+    }
+}
+
 /// Reads the request head + body, dispatches the route, writes the
-/// response. Returns the HTTP status written; `Err` means the
-/// connection died mid-request (a socket deadline surfaces here as
-/// `WouldBlock`/`TimedOut`).
-fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<u16> {
+/// response. Returns the HTTP status written and the route label;
+/// `Err` means the connection died mid-request (a socket deadline
+/// surfaces here as `WouldBlock`/`TimedOut`).
+fn handle_connection(
+    state: &ServerState,
+    stream: TcpStream,
+    request_id: u64,
+) -> io::Result<(u16, &'static str)> {
+    const MALFORMED: &str = "malformed";
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut budget = MAX_HEADER_BYTES;
     let mut line = String::new();
     match read_head_line(&mut reader, &mut budget, &mut line)? {
         HeadRead::Line => {}
-        HeadRead::Eof => return respond_error(stream, 400, "truncated request"),
+        HeadRead::Eof => return Ok((respond_error(stream, 400, "truncated request")?, MALFORMED)),
         HeadRead::CapExceeded => {
-            return refuse(&mut reader, stream, 400, "request head exceeds byte cap")
+            return Ok((
+                refuse(&mut reader, stream, 400, "request head exceeds byte cap")?,
+                MALFORMED,
+            ))
         }
     }
     let mut parts = line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m.to_owned(), p.to_owned()),
-        _ => return refuse(&mut reader, stream, 400, "malformed request line"),
+        _ => {
+            return Ok((
+                refuse(&mut reader, stream, 400, "malformed request line")?,
+                MALFORMED,
+            ))
+        }
     };
 
     let mut content_length: u64 = 0;
@@ -583,9 +852,17 @@ fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<u16> 
     loop {
         match read_head_line(&mut reader, &mut budget, &mut line)? {
             HeadRead::Line => {}
-            HeadRead::Eof => return respond_error(stream, 400, "truncated request head"),
+            HeadRead::Eof => {
+                return Ok((
+                    respond_error(stream, 400, "truncated request head")?,
+                    MALFORMED,
+                ))
+            }
             HeadRead::CapExceeded => {
-                return refuse(&mut reader, stream, 400, "request head exceeds byte cap")
+                return Ok((
+                    refuse(&mut reader, stream, 400, "request head exceeds byte cap")?,
+                    MALFORMED,
+                ))
             }
         }
         let header = line.trim_end();
@@ -594,12 +871,15 @@ fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<u16> 
         }
         header_count += 1;
         if header_count > MAX_HEADER_COUNT {
-            return refuse(
-                &mut reader,
-                stream,
-                400,
-                &format!("more than {MAX_HEADER_COUNT} headers"),
-            );
+            return Ok((
+                refuse(
+                    &mut reader,
+                    stream,
+                    400,
+                    &format!("more than {MAX_HEADER_COUNT} headers"),
+                )?,
+                MALFORMED,
+            ));
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -607,20 +887,46 @@ fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<u16> 
                 // request, not an empty body.
                 content_length = match value.trim().parse() {
                     Ok(n) => n,
-                    Err(_) => return refuse(&mut reader, stream, 400, "malformed Content-Length"),
+                    Err(_) => {
+                        return Ok((
+                            refuse(&mut reader, stream, 400, "malformed Content-Length")?,
+                            MALFORMED,
+                        ))
+                    }
                 };
             }
         }
     }
     if content_length > BODY_CAP {
-        return refuse(&mut reader, stream, 413, "request body too large");
+        return Ok((
+            refuse(&mut reader, stream, 413, "request body too large")?,
+            MALFORMED,
+        ));
     }
     let mut body = String::new();
     reader.take(content_length).read_to_string(&mut body)?;
 
-    match (method.as_str(), path.as_str()) {
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path.as_str(), ""),
+    };
+    let route = route_name(&method, path);
+    // The id's birth announcement: the first correlated event of the
+    // request, visible to the ops sink and the flight recorder.
+    state.observe_ops(Event::RequestStarted { request_id, route });
+    let status = match (method.as_str(), path) {
         ("GET", "/healthz") => respond_line(stream, "{\"status\":\"ok\"}"),
-        ("GET", "/metrics") => respond_line(stream, &metrics_line(state)),
+        ("GET", "/metrics") => {
+            let body = state.render_prometheus();
+            let mut stream = stream;
+            write_head_with_type(&mut stream, 200, "OK", PROMETHEUS_CONTENT_TYPE)?;
+            stream.write_all(body.as_bytes())?;
+            stream.flush()?;
+            Ok(200)
+        }
+        ("GET", "/metrics.json") => respond_line(stream, &metrics_line(state)),
+        ("GET", "/debug/flight") => flight_route(state, stream),
+        ("GET", "/debug/trace") => trace_route(state, stream, query),
         ("POST", "/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
             // Wake the (possibly parked) accept loop so the drain starts
@@ -631,7 +937,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<u16> 
             respond_line(stream, "{\"event\":\"shutdown\"}")
         }
         ("POST", "/simulate") => match SimulateRequest::parse(&body) {
-            Ok(request) => simulate(state, stream, &request),
+            Ok(request) => simulate(state, stream, &request, request_id),
             Err(reason) => respond_error(stream, 400, &reason),
         },
         ("POST", "/plan") => match SimulateRequest::parse(&body) {
@@ -642,7 +948,74 @@ fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<u16> 
             Err(reason) => respond_error(stream, 400, &reason),
         },
         _ => respond_error(stream, 404, "no such route"),
+    }?;
+    Ok((status, route))
+}
+
+/// Serves the flight recorder: the frozen dump of the most recent
+/// incident when one exists, otherwise a `flight_live` snapshot of the
+/// current ring.
+fn flight_route(state: &ServerState, mut stream: TcpStream) -> io::Result<u16> {
+    let dump = state
+        .last_dump
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    write_head(&mut stream, 200, "OK")?;
+    match dump {
+        Some(dump) => stream.write_all(dump.to_jsonl().as_bytes())?,
+        None => {
+            let entries = state.recorder.live_entries();
+            writeln!(
+                stream,
+                "{{\"flight_live\":true,\"entries\":{}}}",
+                entries.len()
+            )?;
+            write_entries(&mut stream, &entries)?;
+        }
     }
+    stream.flush()?;
+    Ok(200)
+}
+
+/// Arms span sampling (`?sample=N`; `0` disarms) and streams the span
+/// events the flight recorder has collected from sampled requests.
+fn trace_route(state: &ServerState, mut stream: TcpStream, query: &str) -> io::Result<u16> {
+    if let Some(raw) = query.split('&').find_map(|kv| kv.strip_prefix("sample=")) {
+        match raw.parse::<u64>() {
+            Ok(rate) => state.trace_sample.store(rate, Ordering::Relaxed),
+            Err(_) => {
+                return respond_error(stream, 400, "\"sample\" must be an integer (0 disables)")
+            }
+        }
+    }
+    let rate = state.trace_sample.load(Ordering::Relaxed);
+    let spans: Vec<FlightEntry> = state
+        .recorder
+        .live_entries()
+        .into_iter()
+        .filter(|e| matches!(e.event, Event::SpanStart { .. } | Event::SpanEnd { .. }))
+        .collect();
+    write_head(&mut stream, 200, "OK")?;
+    writeln!(
+        stream,
+        "{{\"event\":\"trace\",\"sample\":{rate},\"spans\":{}}}",
+        spans.len()
+    )?;
+    write_entries(&mut stream, &spans)?;
+    stream.flush()?;
+    Ok(200)
+}
+
+/// Writes flight entries as JSONL, one object per line.
+fn write_entries(stream: &mut TcpStream, entries: &[FlightEntry]) -> io::Result<()> {
+    let mut line = String::with_capacity(192);
+    for entry in entries {
+        line.clear();
+        entry.write_json(&mut line);
+        writeln!(stream, "{line}")?;
+    }
+    Ok(())
 }
 
 fn metrics_line(state: &ServerState) -> String {
@@ -669,22 +1042,24 @@ fn metrics_line(state: &ServerState) -> String {
 }
 
 /// Forwards events to a per-request sink while tallying MPC solve
-/// outcomes into the server-lifetime [`OutcomeTally`]. `enabled` defers
-/// to the inner sink so streaming telemetry modes keep their derived
-/// events.
+/// outcomes into the server-lifetime [`OutcomeTally`], the registry's
+/// `(mode, outcome)` family, and the flight recorder. `enabled` defers
+/// to the inner sink (so streaming telemetry modes keep their derived
+/// events) or to span sampling when `/debug/trace` armed it.
 struct TallySink<'a> {
-    tally: &'a OutcomeTally,
+    state: &'a ServerState,
     inner: &'a dyn Sink,
 }
 
 impl Sink for TallySink<'_> {
     fn record(&self, event: Event) {
-        self.tally.record(event);
+        self.state.solves.record(event);
+        self.state.observe(event);
         self.inner.record(event);
     }
 
     fn enabled(&self) -> bool {
-        self.inner.enabled()
+        self.inner.enabled() || self.state.trace_sampled(current_request_id())
     }
 
     fn flush(&self) {
@@ -692,37 +1067,53 @@ impl Sink for TallySink<'_> {
     }
 }
 
-/// Forwards only serving-layer events (contained vehicle panics) to the
-/// observational sink. Fleet campaigns would otherwise stream *per-step*
-/// simulation telemetry into it — thousands of events per request that
-/// drown the operational signal (and evict it from a bounded
-/// [`otem_telemetry::MemorySink`]). `enabled` is `false` so the
-/// simulator skips building step events entirely.
+/// The fleet-campaign sink: everything feeds the flight recorder and
+/// the solve-outcome registry family, but only serving-layer events
+/// (contained vehicle panics) reach the observational sink — fleet
+/// campaigns would otherwise stream *per-step* simulation telemetry
+/// into it, thousands of events per request that drown the operational
+/// signal (and evict it from a bounded
+/// [`otem_telemetry::MemorySink`]). `enabled` is `false` (so the
+/// simulator skips building step events entirely) unless span sampling
+/// selected the current request.
 struct OpsSink<'a> {
-    inner: &'a (dyn Sink + Sync),
+    state: &'a ServerState,
 }
 
 impl Sink for OpsSink<'_> {
     fn record(&self, event: Event) {
+        self.state.observe(event);
         if matches!(event, Event::PanicCaught { .. }) {
-            self.inner.record(event);
+            self.state.sink.record(event);
         }
     }
 
     fn enabled(&self) -> bool {
-        false
+        self.state.trace_sampled(current_request_id())
     }
 
     fn flush(&self) {
-        self.inner.flush();
+        self.state.sink.flush();
     }
 }
 
-fn write_head(stream: &mut TcpStream, status: u16, reason: &str) -> io::Result<()> {
+/// The `Content-Type` of the Prometheus text exposition format v0.0.4.
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+fn write_head_with_type(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n"
     )
+}
+
+fn write_head(stream: &mut TcpStream, status: u16, reason: &str) -> io::Result<()> {
+    write_head_with_type(stream, status, reason, "application/x-ndjson")
 }
 
 fn respond_line(mut stream: TcpStream, line: &str) -> io::Result<u16> {
@@ -806,7 +1197,12 @@ fn respond_otem_error(stream: TcpStream, err: &OtemError) -> io::Result<u16> {
     respond_error(stream, 500, &err.to_string())
 }
 
-fn simulate(state: &ServerState, stream: TcpStream, request: &SimulateRequest) -> io::Result<u16> {
+fn simulate(
+    state: &ServerState,
+    stream: TcpStream,
+    request: &SimulateRequest,
+    request_id: u64,
+) -> io::Result<u16> {
     match request {
         SimulateRequest::Fleet {
             vehicles,
@@ -836,10 +1232,8 @@ fn simulate(state: &ServerState, stream: TcpStream, request: &SimulateRequest) -
                 // vehicle's controller panics at its second step.
                 campaign.vehicles[*id as usize].poison_step = Some(1);
             }
-            let ops = OpsSink {
-                inner: state.sink.as_ref(),
-            };
-            let report = engine.run_with(&campaign, &ops);
+            let ops = OpsSink { state };
+            let report = engine.run_with_request(&campaign, &ops, request_id);
             state.solves.add(report.solve_outcomes);
             state.vehicle_panics.add(report.vehicle_panics());
             let mut stream = stream;
@@ -917,10 +1311,7 @@ fn simulate_vehicle(
     write_head(&mut stream, 200, "OK")?;
 
     let mut run = |sink: &dyn Sink, builder: &mut SummaryBuilder| {
-        let tallied = TallySink {
-            tally: &state.solves,
-            inner: sink,
-        };
+        let tallied = TallySink { state, inner: sink };
         sim.run_each(controller.as_mut(), &trace, &tallied, |_, r| {
             builder.push(r)
         })
@@ -930,6 +1321,7 @@ fn simulate_vehicle(
         Telemetry::Jsonl => {
             let sink = JsonlSink::new(stream.try_clone()?);
             let totals = run(&sink, &mut builder);
+            state.jsonl_dropped.add(sink.dropped_records());
             sink.into_inner().flush()?;
             totals
         }

@@ -39,6 +39,7 @@ fn config(workers: usize, queue_depth: usize, read_timeout_ms: u64) -> ServerCon
         read_timeout_ms,
         write_timeout_ms: read_timeout_ms,
         drain_deadline_ms: 5_000,
+        ..ServerConfig::default()
     }
 }
 
@@ -192,7 +193,16 @@ fn slow_loris_is_cut_off_without_delaying_concurrent_requests() {
 
 #[test]
 fn poisoned_vehicle_yields_structured_error_and_server_keeps_serving() {
-    let (mut handle, sink) = spawn_observed(2, 8, 2_000);
+    // A configured flight directory also persists each frozen dump to
+    // disk (best-effort, directory created on demand).
+    let flight_dir = std::env::temp_dir().join(format!("otem-flight-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&flight_dir);
+    let mut cfg = config(2, 8, 2_000);
+    cfg.flight_dir = flight_dir.to_string_lossy().into_owned();
+    let sink = Arc::new(MemorySink::with_capacity(4_096));
+    let mut handle = FleetServer::with_sink(cfg, sink.clone())
+        .spawn()
+        .expect("bind chaos server");
     let resp = request(
         handle.addr(),
         "POST",
@@ -229,6 +239,35 @@ fn poisoned_vehicle_yields_structured_error_and_server_keeps_serving() {
     assert!(trailer.contains("\"vehicle_panics\":1"), "{trailer}");
     assert_eq!(handle.vehicle_panics(), 1);
     assert_eq!(sink.count_kind("panic_caught"), 1);
+
+    // The contained panic froze the flight recorder: /debug/flight now
+    // serves a post-mortem dump whose entries (including the trigger)
+    // carry the poisoned request's correlation id.
+    let flight = request(handle.addr(), "GET", "/debug/flight", "").expect("flight dump");
+    assert_eq!(flight.status, 200);
+    assert!(
+        flight.lines[0].starts_with("{\"flight_dump\":true,\"trigger\":\"panic_caught\","),
+        "frozen dump served: {}",
+        flight.lines[0]
+    );
+    let trigger = flight
+        .lines
+        .iter()
+        .find(|l| l.contains("\"event\":{\"event\":\"panic_caught\""))
+        .expect("the trigger event is in the dump");
+    assert!(
+        trigger.contains("\"request_id\":") && !trigger.contains("\"request_id\":0,"),
+        "dump entries are stamped with the originating request: {trigger}"
+    );
+
+    // The same dump was persisted to the configured flight directory.
+    let on_disk = std::fs::read_to_string(flight_dir.join("flight-0000-panic_caught.jsonl"))
+        .expect("dump persisted to flight_dir");
+    assert!(
+        on_disk.starts_with("{\"flight_dump\":true,\"trigger\":\"panic_caught\","),
+        "persisted dump carries the header: {on_disk}"
+    );
+    let _ = std::fs::remove_dir_all(&flight_dir);
 
     // The next request is served normally — the panic poisoned nothing.
     let clean = request(

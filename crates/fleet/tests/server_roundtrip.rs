@@ -140,8 +140,9 @@ fn serves_health_fleet_vehicle_plan_metrics_and_shuts_down() {
         "deadline-capped vehicle still summarises: {lines:?}"
     );
 
-    // Metrics reflect the traffic above.
-    let (status, lines) = roundtrip(&handle, "GET", "/metrics", "");
+    // The legacy JSON blob moved to /metrics.json and still reflects
+    // the traffic above.
+    let (status, lines) = roundtrip(&handle, "GET", "/metrics.json", "");
     assert_eq!(status, "HTTP/1.1 200 OK");
     let metrics = &lines[0];
     assert!(metrics.starts_with("{\"event\":\"metrics\","), "{metrics}");
@@ -164,6 +165,97 @@ fn serves_health_fleet_vehicle_plan_metrics_and_shuts_down() {
         "1 µs deadline never tripped: {metrics}"
     );
     assert!(handle.requests() >= 8);
+
+    // /metrics now serves the Prometheus text exposition: it parses
+    // and validates (every family typed, buckets cumulative), and
+    // covers the serving-layer counters, the per-mode solve outcomes
+    // and the per-route latency histograms.
+    let (status, lines) = roundtrip(&handle, "GET", "/metrics", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let text = lines.join("\n") + "\n";
+    let parsed = otem_telemetry::promparse::validate_exposition(&text)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+    let requests = parsed
+        .sample("otem_requests_total", &[])
+        .expect("otem_requests_total exported")
+        .value;
+    assert!(requests >= 8.0, "request counter covers the traffic above");
+    assert!(
+        parsed
+            .families
+            .get("otem_solve_outcome_total")
+            .is_some_and(|f| f.samples.iter().any(
+                |s| s.label("mode").is_some() && s.label("outcome") == Some("deadline_reached")
+            )),
+        "solve outcomes broken out by gradient mode: {text}"
+    );
+    assert!(
+        parsed
+            .families
+            .get("otem_request_latency_seconds")
+            .is_some_and(|f| f
+                .samples
+                .iter()
+                .any(|s| s.name.ends_with("_bucket") && s.label("route") == Some("/simulate"))),
+        "per-route latency histogram present: {text}"
+    );
+    assert!(
+        parsed.sample("otem_build_info", &[]).is_none(),
+        "build info carries version/profile labels, not a bare sample"
+    );
+    assert!(
+        parsed.families.get("otem_build_info").is_some_and(|f| f
+            .samples
+            .iter()
+            .any(|s| s.value == 1.0
+                && s.label("version").is_some()
+                && s.label("profile").is_some())),
+        "otem_build_info{{version,profile}} == 1: {text}"
+    );
+    assert!(
+        parsed
+            .sample("otem_uptime_seconds", &[])
+            .is_some_and(|s| s.value >= 0.0),
+        "uptime gauge present"
+    );
+    assert!(
+        parsed
+            .sample("otem_trace_cache_misses_total", &[])
+            .is_some_and(|s| s.value >= 1.0),
+        "trace-cache misses surfaced in the registry"
+    );
+
+    // The flight recorder has seen no incident: /debug/flight serves
+    // the live ring.
+    let (status, lines) = roundtrip(&handle, "GET", "/debug/flight", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(
+        lines[0].starts_with("{\"flight_live\":true,"),
+        "no frozen dump on a healthy server: {}",
+        lines[0]
+    );
+
+    // Span sampling: arm 1-in-1 sampling, run a request, and the next
+    // /debug/trace call streams its spans, stamped with a request id.
+    let (status, lines) = roundtrip(&handle, "GET", "/debug/trace?sample=1", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(
+        lines[0].starts_with("{\"event\":\"trace\",\"sample\":1,"),
+        "sampling armed: {}",
+        lines[0]
+    );
+    let (status, _) = roundtrip(&handle, "POST", "/simulate", "{\"steps\":5}");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let (status, lines) = roundtrip(&handle, "GET", "/debug/trace?sample=0", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(
+        lines
+            .iter()
+            .skip(1)
+            .any(|l| l.contains("\"event\":{\"event\":\"span_start\"")
+                && !l.contains("\"request_id\":0,")),
+        "sampled spans carry their originating request id: {lines:?}"
+    );
 
     // HTTP-level shutdown: ack line, then the accept loop exits (the
     // handle's join below would hang forever if it didn't).

@@ -54,6 +54,18 @@ impl GradientMode {
             GradientMode::Parallel { threads } => (*threads).max(1),
         }
     }
+
+    /// Stable snake_case mode name — the `mode` label on solve-outcome
+    /// telemetry and the `otem_solve_outcome_total{mode,outcome}`
+    /// metric family.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            GradientMode::Serial => "serial",
+            GradientMode::Parallel { .. } => "parallel",
+            GradientMode::Adjoint => "adjoint",
+            GradientMode::GaussNewton => "gauss_newton",
+        }
+    }
 }
 
 /// A differentiable objective function `f: Rⁿ → R`.

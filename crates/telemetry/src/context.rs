@@ -1,0 +1,84 @@
+//! Correlation context: the `request_id` that joins telemetry back to
+//! the serving-layer request that caused it.
+//!
+//! The serving layer mints a `request_id` when it accepts a
+//! connection; everything that happens on behalf of that request —
+//! per-vehicle simulation, MPC solves, fault containment — should be
+//! attributable to it after the fact. Threading an id argument through
+//! every plant/solver signature would bloat APIs that are pinned by
+//! the zero-cost contract, so the id rides in a thread-local instead:
+//! set by an RAII [`RequestScope`] at the dispatch boundary, read by
+//! consumers that stamp records (the flight recorder, per-request
+//! sinks).
+//!
+//! Worker threads do **not** inherit the thread-local — whoever fans
+//! work out (the fleet engine's per-vehicle job closures) re-enters
+//! the scope on the worker. `0` means "no request": background work,
+//! tests, the bench bins' in-process runs.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+
+thread_local! {
+    /// The current request id on this thread (`0` = none).
+    static REQUEST_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The request id active on this thread (`0` when none is set).
+pub fn current_request_id() -> u64 {
+    REQUEST_ID.with(|c| c.get())
+}
+
+/// Sets the thread's request id for the guard's lifetime; the previous
+/// id is restored on drop, so scopes nest (a re-entrant engine call
+/// inside a request keeps the outer id after the inner scope closes).
+pub fn request_scope(id: u64) -> RequestScope {
+    let prev = REQUEST_ID.with(|c| c.replace(id));
+    RequestScope {
+        prev,
+        _not_send: PhantomData,
+    }
+}
+
+/// RAII guard for [`request_scope`]: restores the previous request id
+/// on drop. `!Send` — a scope opens and closes on one thread.
+#[derive(Debug)]
+pub struct RequestScope {
+    prev: u64,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        REQUEST_ID.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert_eq!(current_request_id(), 0);
+        {
+            let _outer = request_scope(7);
+            assert_eq!(current_request_id(), 7);
+            {
+                let _inner = request_scope(9);
+                assert_eq!(current_request_id(), 9);
+            }
+            assert_eq!(current_request_id(), 7);
+        }
+        assert_eq!(current_request_id(), 0);
+    }
+
+    #[test]
+    fn threads_do_not_inherit_the_scope() {
+        let _scope = request_scope(42);
+        std::thread::scope(|s| {
+            s.spawn(|| assert_eq!(current_request_id(), 0, "fresh thread, fresh context"));
+        });
+        assert_eq!(current_request_id(), 42);
+    }
+}

@@ -45,6 +45,11 @@ pub enum Event {
     SolveOutcome {
         /// Stable snake_case outcome name (`SolverOutcome::name()`).
         outcome: &'static str,
+        /// Stable snake_case gradient-mode name (`GradientMode::
+        /// name()`: `serial` / `parallel` / `adjoint` /
+        /// `gauss_newton`) — the `mode` label of the
+        /// `otem_solve_outcome_total` metric family.
+        mode: &'static str,
         /// Outer iterations actually performed.
         iterations: u64,
     },
@@ -184,6 +189,24 @@ pub enum Event {
         /// Accepted-but-unstarted jobs still queued.
         queued: u64,
     },
+    /// The serving layer dispatched a request to a worker: the moment
+    /// a correlation id is minted. Every subsequent event recorded on
+    /// behalf of this request joins back to it through the flight
+    /// recorder's `request_id` stamp.
+    RequestStarted {
+        /// The id minted for this request (never `0`).
+        request_id: u64,
+        /// The route being served (e.g. `"/simulate"`).
+        route: &'static str,
+    },
+    /// The fleet engine started one vehicle of a campaign on a worker
+    /// thread, inside the request's correlation scope.
+    VehicleStarted {
+        /// The originating request id (`0` for in-process runs).
+        request_id: u64,
+        /// The vehicle's id within the campaign.
+        vehicle: u64,
+    },
     /// One closed-loop simulation step completed (the per-step signal
     /// set behind the paper's Figs. 1, 6–9).
     StepCompleted {
@@ -227,6 +250,8 @@ impl Event {
             Event::RequestTimeout { .. } => "request_timeout",
             Event::PanicCaught { .. } => "panic_caught",
             Event::DrainStarted { .. } => "drain_started",
+            Event::RequestStarted { .. } => "request_started",
+            Event::VehicleStarted { .. } => "vehicle_started",
             Event::SpanStart { .. } => "span_start",
             Event::SpanEnd { .. } => "span_end",
             Event::StepCompleted { .. } => "step_completed",
@@ -255,9 +280,11 @@ impl Event {
             }
             Event::SolveOutcome {
                 outcome,
+                mode,
                 iterations,
             } => {
                 str_field(out, "outcome", outcome);
+                str_field(out, "mode", mode);
                 let _ = write!(out, ",\"iterations\":{iterations}");
             }
             Event::PoolHit | Event::PoolMiss => {}
@@ -314,6 +341,16 @@ impl Event {
             }
             Event::DrainStarted { in_flight, queued } => {
                 let _ = write!(out, ",\"in_flight\":{in_flight},\"queued\":{queued}");
+            }
+            Event::RequestStarted { request_id, route } => {
+                let _ = write!(out, ",\"request_id\":{request_id}");
+                str_field(out, "route", route);
+            }
+            Event::VehicleStarted {
+                request_id,
+                vehicle,
+            } => {
+                let _ = write!(out, ",\"request_id\":{request_id},\"vehicle\":{vehicle}");
             }
             Event::SpanStart {
                 id,
@@ -448,15 +485,39 @@ mod tests {
     }
 
     #[test]
-    fn solve_outcome_encodes_name_and_iterations() {
+    fn solve_outcome_encodes_name_mode_and_iterations() {
         let e = Event::SolveOutcome {
             outcome: "deadline_reached",
+            mode: "adjoint",
             iterations: 7,
         };
         assert_eq!(e.kind(), "solve_outcome");
         assert_eq!(
             e.to_json(),
-            "{\"event\":\"solve_outcome\",\"outcome\":\"deadline_reached\",\"iterations\":7}"
+            "{\"event\":\"solve_outcome\",\"outcome\":\"deadline_reached\",\
+             \"mode\":\"adjoint\",\"iterations\":7}"
+        );
+    }
+
+    #[test]
+    fn correlation_events_encode_request_ids() {
+        let e = Event::RequestStarted {
+            request_id: 12,
+            route: "/simulate",
+        };
+        assert_eq!(e.kind(), "request_started");
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"request_started\",\"request_id\":12,\"route\":\"/simulate\"}"
+        );
+        let e = Event::VehicleStarted {
+            request_id: 12,
+            vehicle: 4,
+        };
+        assert_eq!(e.kind(), "vehicle_started");
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"vehicle_started\",\"request_id\":12,\"vehicle\":4}"
         );
     }
 

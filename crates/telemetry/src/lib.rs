@@ -32,6 +32,17 @@
 //!   gradient worker threads.
 //! * [`RingBuffer`] — the bounded FIFO behind [`MemorySink`], exposed
 //!   for reuse.
+//! * [`MetricsRegistry`] — named counter/gauge/histogram *families*
+//!   with label sets, commutative snapshots, and hand-rolled
+//!   Prometheus text exposition (validated by the parser in
+//!   [`promparse`]).
+//! * [`request_scope`] / [`current_request_id`] — the correlation id
+//!   that joins telemetry back to the serving-layer request that
+//!   caused it.
+//! * [`FlightRecorder`] — an always-on bounded ring of recent events
+//!   that freezes itself the moment a containment event
+//!   ([`Event::PanicCaught`], [`Event::FallbackEngaged`]) flows
+//!   through it, yielding a JSONL post-mortem.
 //!
 //! # The zero-cost contract
 //!
@@ -62,14 +73,21 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod context;
 mod event;
+mod flight;
 mod metrics;
+pub mod promparse;
+mod registry;
 mod ring;
 mod sink;
 mod span;
 
+pub use context::{current_request_id, request_scope, RequestScope};
 pub use event::{write_json_string, Event};
+pub use flight::{FlightDump, FlightEntry, FlightRecorder};
 pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{FamilySnapshot, MetricKind, MetricValue, MetricsRegistry, RegistrySnapshot};
 pub use ring::RingBuffer;
 pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, NullSink, Sink};
 pub use span::{span, Span, SpanGuard};

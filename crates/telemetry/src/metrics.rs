@@ -109,6 +109,11 @@ impl Clone for Gauge {
 pub struct Histogram {
     bounds: Box<[f64]>,
     counts: Box<[AtomicU64]>,
+    /// Running sum of all *finite* observations, stored as `f64` bits.
+    /// Non-finite observations are still counted (overflow bucket) but
+    /// excluded from the sum, so one stray `NaN` cannot poison the
+    /// Prometheus `_sum` series.
+    sum: AtomicU64,
 }
 
 impl Histogram {
@@ -136,6 +141,7 @@ impl Histogram {
         Self {
             bounds: bounds.into(),
             counts,
+            sum: AtomicU64::new(0f64.to_bits()),
         }
     }
 
@@ -171,6 +177,29 @@ impl Histogram {
     /// Records one observation.
     pub fn observe(&self, value: f64) {
         self.counts[self.bucket_for(value)].fetch_add(1, Ordering::Relaxed);
+        if value.is_finite() {
+            self.add_to_sum(value);
+        }
+    }
+
+    /// CAS-adds `v` to the running sum (stored as `f64` bits).
+    fn add_to_sum(&self, v: f64) {
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .sum
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Sum of all finite observations (the Prometheus `_sum` series).
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum.load(Ordering::Relaxed))
     }
 
     /// The inclusive upper bucket edges.
@@ -263,6 +292,7 @@ impl Histogram {
         for (mine, theirs) in self.counts.iter().zip(other.counts.iter()) {
             mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
         }
+        self.add_to_sum(other.sum());
     }
 }
 
@@ -365,6 +395,21 @@ mod tests {
         let neg = Histogram::with_bounds(&[-5.0, 5.0]);
         neg.observe(-10.0);
         assert_eq!(neg.quantile(0.0), -5.0, "negative edge is its own floor");
+    }
+
+    #[test]
+    fn sum_tracks_finite_observations_and_merges() {
+        let h = Histogram::with_bounds(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(f64::NAN); // counted, excluded from the sum
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 5.5);
+        let other = Histogram::with_bounds(&[1.0, 10.0]);
+        other.observe(4.5);
+        h.merge(&other);
+        assert_eq!(h.sum(), 10.0);
+        assert_eq!(h.clone().sum(), 10.0, "clone carries the sum");
     }
 
     #[test]

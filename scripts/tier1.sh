@@ -57,4 +57,12 @@ cargo run -q --release -p otem-bench --bin fleet_bench -- --vehicles 64 --smoke
 echo "==> fleet_bench --chaos-smoke (serving-layer robustness)"
 cargo run -q --release -p otem-bench --bin fleet_bench -- --chaos-smoke
 
+# Observability gate: boot a live server, scrape /metrics and validate
+# the Prometheus exposition with the test-suite parser, check the
+# legacy /metrics.json snapshot and /debug/trace span sampling, then
+# inject a poisoned vehicle and assert the flight recorder freezes a
+# dump attributed to the originating request id.
+echo "==> fleet_bench --obs-smoke (metrics exposition + flight recorder)"
+cargo run -q --release -p otem-bench --bin fleet_bench -- --obs-smoke
+
 echo "tier-1: all green"
