@@ -127,11 +127,13 @@ impl Cell {
     /// The Joule term is always non-negative; the entropic term changes
     /// sign with the current direction.
     pub fn heat_generation(&self, current: Amps, temperature: Kelvin) -> Watts {
-        let i = current.value();
         let r = self.internal_resistance(temperature).value();
-        let joule = i * i * r;
-        let entropic = i * temperature.value() * self.params.entropy_coefficient;
-        Watts::new(joule + entropic)
+        Watts::new(crate::kernel::cell_heat(
+            current.value(),
+            r,
+            temperature.value(),
+            self.params.entropy_coefficient,
+        ))
     }
 
     /// Discharge C-rate implied by the given current (1C = *effective*
@@ -170,7 +172,11 @@ impl Cell {
     /// `SoC ← SoC − ∫ I / C_bat` against the effective capacity,
     /// clamped to `[0, 1]`.
     pub fn integrate_current(&mut self, current: Amps, dt: Seconds) {
-        let delta = current.value() * dt.value() / self.effective_capacity().to_coulombs().value();
+        let delta = crate::kernel::soc_decrement(
+            current.value(),
+            dt.value(),
+            self.effective_capacity().to_coulombs().value(),
+        );
         self.soc = self.soc.saturating_add(-delta);
     }
 }

@@ -38,6 +38,7 @@ mod aging;
 mod cell;
 mod error;
 mod estimator;
+pub mod kernel;
 mod pack;
 mod params;
 mod transient;

@@ -1,0 +1,86 @@
+//! SoA batch kernel vs N scalar rollouts — the per-candidate cost of a
+//! line-search ladder, measured at the kernel level (no solver on top).
+//!
+//! `batch/N` runs `rollout_cost_batch` once over N lanes; `scalar/N`
+//! runs `rollout_cost` N times over the same candidate matrix. Both
+//! produce bit-identical costs (pinned in `tests/batch_parity.rs`), so
+//! the comparison is purely about the lockstep layout's amortisation
+//! of per-rollout overhead and locality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use otem::batch::rollout_cost_batch;
+use otem::mpc::{rollout_cost, MpcConfig, MpcPlant};
+use otem::SystemConfig;
+use otem_hees::HybridHees;
+use otem_thermal::{CoolingPlant, ThermalModel, ThermalState};
+use otem_units::{Kelvin, Ratio, Seconds, Watts};
+
+fn plant(config: &SystemConfig) -> MpcPlant {
+    let mut hees = HybridHees::ev_default(config.capacitance).unwrap();
+    hees.set_state(Ratio::new(0.8), Ratio::new(0.6));
+    MpcPlant {
+        hees,
+        thermal: ThermalModel::new(config.thermal_active).unwrap(),
+        plant: CoolingPlant::new(config.plant).unwrap(),
+        state: ThermalState::uniform(Kelvin::from_celsius(33.0)),
+        aging: config.aging,
+        soc_min: config.soc_min,
+        soe_min: config.soe_min,
+        battery_power_max: config.battery_power_max,
+        cap_power_max: config.cap_power_max,
+    }
+}
+
+/// Deterministic splitmix64 candidate matrix.
+fn candidates(lanes: usize, horizon: usize, mut state: u64) -> Vec<f64> {
+    (0..lanes * 2 * horizon)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+        })
+        .collect()
+}
+
+fn bench_batch_rollout(c: &mut Criterion) {
+    let config = SystemConfig::default();
+    let p = plant(&config);
+    let horizon = 24;
+    let cfg = MpcConfig {
+        horizon,
+        ..MpcConfig::default()
+    };
+    let dt = Seconds::new(1.0);
+    let loads: Vec<Watts> = (0..horizon)
+        .map(|k| Watts::new(20_000.0 + 40_000.0 * ((k % 5) as f64 / 4.0)))
+        .collect();
+
+    let mut group = c.benchmark_group("batch_rollout");
+    for lanes in [2usize, 4, 8, 16] {
+        let zs = candidates(lanes, horizon, 0x0b_a7c4);
+        group.bench_with_input(BenchmarkId::new("batch", lanes), &lanes, |b, _| {
+            let mut out = vec![0.0; lanes];
+            b.iter(|| rollout_cost_batch(&p, &loads, dt, &cfg, &zs, lanes, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", lanes), &lanes, |b, _| {
+            let mut out = vec![0.0; lanes];
+            b.iter(|| {
+                for lane in 0..lanes {
+                    out[lane] = rollout_cost(
+                        &p,
+                        &loads,
+                        dt,
+                        &cfg,
+                        &zs[lane * 2 * horizon..(lane + 1) * 2 * horizon],
+                    );
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_rollout);
+criterion_main!(benches);

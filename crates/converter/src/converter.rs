@@ -81,26 +81,27 @@ impl DcDcConverter {
         Ok(())
     }
 
-    /// Width of the quiescent-loss wake-up ramp (W): below this power the
-    /// controller overhead fades toward zero, keeping the loss model
-    /// smooth at zero transfer (the MPC differentiates through it).
-    const QUIESCENT_RAMP: f64 = 50.0;
+    /// Width of the quiescent-loss wake-up ramp (W); see
+    /// [`crate::kernel::QUIESCENT_RAMP`].
+    const QUIESCENT_RAMP: f64 = crate::kernel::QUIESCENT_RAMP;
 
     /// Loss for a given storage-side power magnitude at a given storage
     /// voltage.
     ///
     /// `P_loss = P_0·p/(p + 50 W) + k_i·|I| + k_r·I²` — the quiescent
     /// term ramps in smoothly as the converter wakes from idle.
+    /// Delegates to the scalar-generic [`crate::kernel::loss`] (the `f64`
+    /// instantiation is operation-identical to the historical inline
+    /// body).
     #[inline]
     pub fn loss(&self, storage_power: Watts, storage_voltage: Volts) -> Watts {
-        let p = storage_power.value().abs();
-        if p == 0.0 {
-            return Watts::ZERO;
-        }
-        let v = storage_voltage.value().max(1e-3);
-        let i = p / v;
-        let quiescent = self.quiescent_loss * p / (p + Self::QUIESCENT_RAMP);
-        Watts::new(quiescent + self.conduction_coefficient * i + self.ohmic_coefficient * i * i)
+        Watts::new(crate::kernel::loss(
+            self.quiescent_loss,
+            self.conduction_coefficient,
+            self.ohmic_coefficient,
+            storage_power.value(),
+            storage_voltage.value(),
+        ))
     }
 
     /// Partial derivatives of [`DcDcConverter::loss`] in the transfer
@@ -222,53 +223,23 @@ impl DcDcConverter {
             });
         }
         let p_out = p_out.abs();
-        // Solve x − loss(x) = P_out by fixed-point iteration from the
-        // constant-quiescent closed form. The iteration is a contraction
-        // (∂loss/∂x < 1 in the feasible regime) and converges in a
-        // handful of rounds.
-        let a = self.ohmic_coefficient / (v * v);
-        let b = self.conduction_coefficient / v - 1.0;
-        let c = p_out + self.quiescent_loss;
-        let seed = if a == 0.0 {
-            if b >= 0.0 {
-                return Err(ConverterError::TransferInfeasible {
-                    requested: p_out,
-                    voltage: v,
-                });
-            }
-            -c / b
-        } else {
-            let disc = b * b - 4.0 * a * c;
-            if disc < 0.0 {
-                return Err(ConverterError::TransferInfeasible {
-                    requested: p_out,
-                    voltage: v,
-                });
-            }
-            (-b - disc.sqrt()) / (2.0 * a)
-        };
-        if !seed.is_finite() || seed <= 0.0 {
-            return Err(ConverterError::TransferInfeasible {
+        // Solve x − loss(x) = P_out in the magnitude domain via the
+        // scalar-generic kernel: a closed-form constant-quiescent seed
+        // refined by fixed-point iteration (a contraction in the feasible
+        // regime — ∂loss/∂x < 1).
+        match crate::kernel::input_for_output_magnitude(
+            self.quiescent_loss,
+            self.conduction_coefficient,
+            self.ohmic_coefficient,
+            p_out,
+            v,
+        ) {
+            Some(x) => Ok(Watts::new(x.copysign(bus_out.value()))),
+            None => Err(ConverterError::TransferInfeasible {
                 requested: p_out,
                 voltage: v,
-            });
+            }),
         }
-        let mut x = seed;
-        for _ in 0..30 {
-            let next = p_out + self.loss(Watts::new(x), storage_voltage).value();
-            if (next - x).abs() < 1e-9 * x.max(1.0) {
-                x = next;
-                break;
-            }
-            x = next;
-        }
-        if !x.is_finite() || x <= 0.0 {
-            return Err(ConverterError::TransferInfeasible {
-                requested: p_out,
-                voltage: v,
-            });
-        }
-        Ok(Watts::new(x.copysign(bus_out.value())))
     }
 
     /// Charge path: storage power received when `bus_in` is taken off the
@@ -287,16 +258,19 @@ impl DcDcConverter {
         if p_in == 0.0 {
             return Ok(Watts::ZERO);
         }
-        let magnitude = p_in.abs();
-        let loss = self.loss(Watts::new(magnitude), storage_voltage).value();
-        let delivered = magnitude - loss;
-        if delivered <= 0.0 {
-            return Err(ConverterError::TransferInfeasible {
-                requested: magnitude,
+        match crate::kernel::output_for_input(
+            self.quiescent_loss,
+            self.conduction_coefficient,
+            self.ohmic_coefficient,
+            p_in,
+            storage_voltage.value(),
+        ) {
+            Some(delivered) => Ok(Watts::new(delivered)),
+            None => Err(ConverterError::TransferInfeasible {
+                requested: p_in.abs(),
                 voltage: storage_voltage.value(),
-            });
+            }),
         }
-        Ok(Watts::new(delivered.copysign(p_in)))
     }
 
     /// Conversion efficiency for a transfer of the given bus-side power at

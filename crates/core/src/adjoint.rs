@@ -51,6 +51,7 @@
 
 use crate::mpc::{MpcConfig, MpcPlant};
 use otem_hees::{HeesStepJacobian, HybridCommand, HybridHees};
+use otem_thermal::ThermalState;
 use otem_units::{Kelvin, Seconds, Watts, GAS_CONSTANT};
 
 /// One horizon step's forward-pass record: everything the backward sweep
@@ -112,7 +113,6 @@ pub(crate) fn rollout_cost_taped(
     let n = config.horizon;
     debug_assert_eq!(z.len(), 2 * n);
     let mut state = plant.state;
-    let dtv = dt.value();
     let mut cost = 0.0;
     if let Some(t) = tape.as_deref_mut() {
         t.clear();
@@ -120,101 +120,153 @@ pub(crate) fn rollout_cost_taped(
 
     for k in 0..n {
         let load = loads.get(k).copied().unwrap_or(Watts::ZERO);
-        let cap_bus = Watts::new(z[k] * plant.cap_power_max.value());
-        let duty = z[n + k].clamp(0.0, 1.0);
-
-        // Cooling actuation: duty scales the inlet drop toward the
-        // coldest achievable; price it with Eq. 16.
-        let outlet = state.coolant;
-        let coldest = plant.plant.coldest_inlet(outlet);
-        let inlet = Kelvin::new(outlet.value() - duty * (outlet.value() - coldest.value()));
-        let action = plant.plant.actuate(outlet, inlet);
-        // Smooth relaxation of the pump's on/off behaviour: the rollout
-        // prices the pump proportionally to the duty so the objective
-        // stays differentiable at duty = 0 (the applied move re-imposes
-        // the real on/off gate).
-        let cooling_electric = action.cooler_power + action.pump_power * duty;
-
-        // Bus power balance pins the battery's share.
-        let battery_bus = load + cooling_electric - cap_bus;
-        let command = HybridCommand {
-            battery_bus,
-            cap_bus,
-        };
-        let (step, jac) = if tape.is_some() {
-            hees.step_with_jacobian(command, state.battery, dt)
-        } else {
-            (
-                hees.step(command, state.battery, dt),
-                HeesStepJacobian::default(),
-            )
-        };
-
-        state = plant
-            .thermal
-            .step_crank_nicolson(state, step.battery_heat, action.inlet, dt);
-
-        // --- Eq. 19 terms ---------------------------------------------
-        cost += config.w1 * cooling_electric.value() * dtv;
-        let loss = plant.aging.loss_rate(state.battery, step.battery_c_rate) * dtv;
-        cost += config.w2 * loss;
-        cost += config.w3 * step.hees_power().value() * dtv;
-
-        // --- Constraint penalties ---------------------------------------
-        let over_t = (state.battery.value() - config.temp_soft.value()).max(0.0);
-        cost += config.temp_penalty * over_t * over_t;
-
-        let soc_short = (plant.soc_min.value() - hees.soc().value()).max(0.0);
-        let soe_short = (plant.soe_min.value() - hees.soe().value()).max(0.0);
-        cost += config.state_penalty * (soc_short * soc_short + soe_short * soe_short);
-
-        cost += config.shortfall_penalty * step.shortfall.value().powi(2);
-
-        let over_p = (battery_bus.value().abs() - plant.battery_power_max.value()).max(0.0);
-        cost += config.power_penalty * over_p * over_p;
-
-        if let Some(t) = tape.as_deref_mut() {
-            t.push(TapeStep {
-                jac,
-                battery_post: state.battery.value(),
-                c_rate: step.battery_c_rate,
-                shortfall: step.shortfall.value(),
-                soc_post: hees.soc().value(),
-                soe_post: hees.soe().value(),
-                battery_bus: battery_bus.value(),
-                duty,
-                delta: outlet.value() - coldest.value(),
-                dcoldest: plant.plant.coldest_inlet_slope(outlet),
-                cooler_active: action.cooler_power.value() > 0.0
-                    || (duty == 0.0 && outlet > coldest),
-                duty_gain: {
-                    let raw = z[n + k];
-                    if raw == 0.0 || raw == 1.0 {
-                        0.5
-                    } else if (0.0..=1.0).contains(&raw) {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                },
-            });
-        }
+        state = rollout_stage(
+            plant,
+            hees,
+            state,
+            load,
+            z[k],
+            z[n + k],
+            dt,
+            config,
+            &mut cost,
+            tape.as_deref_mut(),
+        );
     }
 
-    // Terminal cost: the horizon is far shorter than the pack's thermal
-    // time constant, so value the end-of-horizon temperature as if the
-    // route's stress persisted for `terminal_tail` seconds. The nominal
-    // C-rate is derived from the *load forecast alone* — deliberately
-    // excluding the cooling-induced battery current, which would
-    // otherwise make the tail punish the very cooling that lowers the
-    // terminal temperature.
+    rollout_terminal(plant, loads, n, state, dt, config, &mut cost);
+    cost
+}
+
+/// One horizon step of the rollout: actuation chain, HEES power split,
+/// thermal update, and the Eq. 19 stage cost — the *single* per-step
+/// body shared by the scalar rollout above and the batched SoA kernel
+/// ([`crate::batch`]), so the two are bit-identical by construction.
+///
+/// Accumulates directly into the caller's `cost` (preserving the scalar
+/// path's float summation order) and returns the post-step thermal
+/// state. `z_cap`/`z_duty` are the step's raw decision entries
+/// (`z[k]`, `z[n + k]`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rollout_stage(
+    plant: &MpcPlant,
+    hees: &mut HybridHees,
+    mut state: ThermalState,
+    load: Watts,
+    z_cap: f64,
+    z_duty: f64,
+    dt: Seconds,
+    config: &MpcConfig,
+    cost: &mut f64,
+    tape: Option<&mut Vec<TapeStep>>,
+) -> ThermalState {
+    let dtv = dt.value();
+    let cap_bus = Watts::new(z_cap * plant.cap_power_max.value());
+    let duty = z_duty.clamp(0.0, 1.0);
+
+    // Cooling actuation: duty scales the inlet drop toward the
+    // coldest achievable; price it with Eq. 16.
+    let outlet = state.coolant;
+    let coldest = plant.plant.coldest_inlet(outlet);
+    let inlet = Kelvin::new(outlet.value() - duty * (outlet.value() - coldest.value()));
+    let action = plant.plant.actuate(outlet, inlet);
+    // Smooth relaxation of the pump's on/off behaviour: the rollout
+    // prices the pump proportionally to the duty so the objective
+    // stays differentiable at duty = 0 (the applied move re-imposes
+    // the real on/off gate).
+    let cooling_electric = action.cooler_power + action.pump_power * duty;
+
+    // Bus power balance pins the battery's share.
+    let battery_bus = load + cooling_electric - cap_bus;
+    let command = HybridCommand {
+        battery_bus,
+        cap_bus,
+    };
+    let (step, jac) = if tape.is_some() {
+        hees.step_with_jacobian(command, state.battery, dt)
+    } else {
+        (
+            hees.step(command, state.battery, dt),
+            HeesStepJacobian::default(),
+        )
+    };
+
+    state = plant
+        .thermal
+        .step_crank_nicolson(state, step.battery_heat, action.inlet, dt);
+
+    // --- Eq. 19 terms ---------------------------------------------
+    *cost += config.w1 * cooling_electric.value() * dtv;
+    let loss = plant.aging.loss_rate(state.battery, step.battery_c_rate) * dtv;
+    *cost += config.w2 * loss;
+    *cost += config.w3 * step.hees_power().value() * dtv;
+
+    // --- Constraint penalties ---------------------------------------
+    let over_t = (state.battery.value() - config.temp_soft.value()).max(0.0);
+    *cost += config.temp_penalty * over_t * over_t;
+
+    let soc_short = (plant.soc_min.value() - hees.soc().value()).max(0.0);
+    let soe_short = (plant.soe_min.value() - hees.soe().value()).max(0.0);
+    *cost += config.state_penalty * (soc_short * soc_short + soe_short * soe_short);
+
+    *cost += config.shortfall_penalty * step.shortfall.value().powi(2);
+
+    let over_p = (battery_bus.value().abs() - plant.battery_power_max.value()).max(0.0);
+    *cost += config.power_penalty * over_p * over_p;
+
+    if let Some(t) = tape {
+        t.push(TapeStep {
+            jac,
+            battery_post: state.battery.value(),
+            c_rate: step.battery_c_rate,
+            shortfall: step.shortfall.value(),
+            soc_post: hees.soc().value(),
+            soe_post: hees.soe().value(),
+            battery_bus: battery_bus.value(),
+            duty,
+            delta: outlet.value() - coldest.value(),
+            dcoldest: plant.plant.coldest_inlet_slope(outlet),
+            cooler_active: action.cooler_power.value() > 0.0 || (duty == 0.0 && outlet > coldest),
+            duty_gain: {
+                let raw = z_duty;
+                if raw == 0.0 || raw == 1.0 {
+                    0.5
+                } else if (0.0..=1.0).contains(&raw) {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        });
+    }
+    state
+}
+
+/// Terminal cost: the horizon is far shorter than the pack's thermal
+/// time constant, so value the end-of-horizon temperature as if the
+/// route's stress persisted for `terminal_tail` seconds. The nominal
+/// C-rate is derived from the *load forecast alone* — deliberately
+/// excluding the cooling-induced battery current, which would
+/// otherwise make the tail punish the very cooling that lowers the
+/// terminal temperature. Like [`rollout_stage`], accumulates directly
+/// into the caller's `cost` so scalar and batched paths sum in the
+/// same order.
+pub(crate) fn rollout_terminal(
+    plant: &MpcPlant,
+    loads: &[Watts],
+    n: usize,
+    state: ThermalState,
+    dt: Seconds,
+    config: &MpcConfig,
+    cost: &mut f64,
+) {
     if config.terminal_tail > 0.0 {
         let c_load = terminal_c_rate(plant, loads, n);
-        cost += config.w2 * plant.aging.loss_rate(state.battery, c_load) * config.terminal_tail;
+        *cost += config.w2 * plant.aging.loss_rate(state.battery, c_load) * config.terminal_tail;
         let over_t = (state.battery.value() - config.temp_soft.value()).max(0.0);
-        cost += config.temp_penalty * over_t * over_t * (config.terminal_tail / dtv.max(1e-9));
+        *cost +=
+            config.temp_penalty * over_t * over_t * (config.terminal_tail / dt.value().max(1e-9));
     }
-    cost
 }
 
 /// The terminal tail's nominal per-cell C-rate — a constant of the load

@@ -47,6 +47,7 @@
 
 mod adjoint;
 pub mod analysis;
+pub mod batch;
 mod config;
 mod controller;
 mod error;
@@ -61,5 +62,5 @@ pub use config::SystemConfig;
 pub use controller::{Controller, PlantFault, StepRecord, SystemState};
 pub use error::OtemError;
 pub use metrics::SimulationResult;
-pub use sim::{RunTotals, Simulator};
+pub use sim::{RunCursor, RunTotals, Simulator};
 pub use supervisor::{SupervisedOtem, SupervisorConfig};

@@ -94,6 +94,14 @@ pub struct MpcConfig {
     /// inside the box, never worse than the projected warm start.
     /// `None` disables the deadline.
     pub deadline_ns: Option<u64>,
+    /// Line-search batch width for the inner solver: `0` (or `1`)
+    /// keeps the scalar one-candidate-at-a-time backtracking ladder;
+    /// `≥ 2` speculatively evaluates that many ladder rungs per call
+    /// through the structure-of-arrays batched rollout kernel (see the
+    /// `batch` module). The accepted iterate is bit-identical either
+    /// way — lanes run the same scalar step body — only the number of
+    /// speculative evaluations differs.
+    pub batch_line_search: usize,
 }
 
 impl Default for MpcConfig {
@@ -114,6 +122,7 @@ impl Default for MpcConfig {
             block_size: 1,
             gradient_mode: GradientMode::Serial,
             deadline_ns: None,
+            batch_line_search: 0,
         }
     }
 }
@@ -200,6 +209,7 @@ impl Mpc {
             max_iterations: config.solver_iterations,
             tolerance: 1e-5,
             gradient_mode: config.gradient_mode,
+            batch_width: config.batch_line_search,
             ..ProjectedGradient::default()
         };
         let n = config.horizon;
@@ -277,6 +287,14 @@ impl Mpc {
         self.pool.rollouts.load(Ordering::Relaxed)
     }
 
+    /// The subset of [`Mpc::rollouts`] that ran through the batched
+    /// lockstep kernel (each lane of a batched line-search evaluation
+    /// counts as one rollout). Zero unless
+    /// [`MpcConfig::batch_line_search`] is `≥ 2`.
+    pub fn batched_rollouts(&self) -> u64 {
+        self.pool.batched_rollouts.load(Ordering::Relaxed)
+    }
+
     /// Solves the control window given the plant snapshot and the load
     /// forecast (`loads[0]` is the period being decided). Returns the
     /// first move, retaining the full solution as the next warm start.
@@ -346,6 +364,7 @@ impl Mpc {
             let gauss_newton = GaussNewton {
                 max_iterations: solver.max_iterations,
                 tolerance: solver.tolerance,
+                batch_width: self.config.batch_line_search,
                 ..GaussNewton::default()
             };
             gauss_newton.minimize_within(
@@ -438,6 +457,9 @@ struct RolloutWorkspace {
     /// Forward-sensitivity buffers for the Gauss-Newton curvature sweep
     /// over the same tape; likewise capacity-retaining.
     curvature: crate::adjoint::CurvatureScratch,
+    /// Structure-of-arrays lane state for batched line-search
+    /// evaluations; likewise capacity-retaining.
+    batch: crate::batch::BatchState,
 }
 
 /// Shared pool of [`RolloutWorkspace`]s, sized on demand (one per
@@ -445,6 +467,9 @@ struct RolloutWorkspace {
 struct WorkspacePool {
     slots: Mutex<Vec<RolloutWorkspace>>,
     rollouts: AtomicU64,
+    /// How many of `rollouts` ran through the batched lockstep kernel
+    /// (each batched lane counts as one rollout).
+    batched_rollouts: AtomicU64,
 }
 
 impl WorkspacePool {
@@ -452,6 +477,7 @@ impl WorkspacePool {
         Self {
             slots: Mutex::new(Vec::new()),
             rollouts: AtomicU64::new(0),
+            batched_rollouts: AtomicU64::new(0),
         }
     }
 
@@ -491,6 +517,7 @@ impl WorkspacePool {
                     xp: Vec::new(),
                     tape: Vec::new(),
                     curvature: crate::adjoint::CurvatureScratch::default(),
+                    batch: crate::batch::BatchState::new(),
                 }
             }
         }
@@ -511,6 +538,7 @@ impl Clone for WorkspacePool {
         Self {
             slots: Mutex::new(Vec::new()),
             rollouts: AtomicU64::new(self.rollouts.load(Ordering::Relaxed)),
+            batched_rollouts: AtomicU64::new(self.batched_rollouts.load(Ordering::Relaxed)),
         }
     }
 }
@@ -520,6 +548,10 @@ impl std::fmt::Debug for WorkspacePool {
         f.debug_struct("WorkspacePool")
             .field("slots", &self.slots.lock().map(|s| s.len()).unwrap_or(0))
             .field("rollouts", &self.rollouts.load(Ordering::Relaxed))
+            .field(
+                "batched_rollouts",
+                &self.batched_rollouts.load(Ordering::Relaxed),
+            )
             .finish()
     }
 }
@@ -593,6 +625,47 @@ impl Objective for RolloutObjective<'_> {
         cost
     }
 
+    /// Batched line-search evaluation: all candidate rollouts advance in
+    /// lockstep through the structure-of-arrays kernel (`batch` module)
+    /// instead of looping [`Objective::value`]. Each lane runs the same
+    /// scalar step body, so per-lane costs are bit-identical to the
+    /// scalar path; only the traversal order (step-major instead of
+    /// lane-major) differs.
+    fn value_batch(&self, points: &[f64], m: usize, out: &mut [f64]) {
+        assert_eq!(
+            points.len(),
+            out.len() * m,
+            "batched point matrix must be lanes × m"
+        );
+        let _rollout_span = span(self.sink, "rollout");
+        let lanes = out.len();
+        let mut ws = self.pool.take(&self.plant.hees, self.sink);
+        let RolloutWorkspace { hees, batch, .. } = &mut ws;
+        hees.restore(self.start);
+        self.pool
+            .rollouts
+            .fetch_add(lanes as u64, Ordering::Relaxed);
+        self.pool
+            .batched_rollouts
+            .fetch_add(lanes as u64, Ordering::Relaxed);
+        self.sink.record(Event::BatchEvaluated {
+            lanes: lanes as u64,
+            width: self.config.batch_line_search.max(lanes) as u64,
+        });
+        crate::batch::rollout_cost_batch_with(
+            self.plant,
+            hees,
+            self.loads,
+            self.dt,
+            self.config,
+            points,
+            lanes,
+            batch,
+            out,
+        );
+        self.pool.put(ws);
+    }
+
     fn gradient(&self, x: &[f64], grad: &mut [f64]) {
         self.gradient_with(x, grad, self.config.gradient_mode);
     }
@@ -609,7 +682,9 @@ impl Objective for RolloutObjective<'_> {
                 return;
             }
             GradientMode::Serial => 1,
-            GradientMode::Parallel { threads } => threads.clamp(1, n.max(1)),
+            GradientMode::Parallel { threads } => {
+                otem_solver::resolve_threads(threads).clamp(1, n.max(1))
+            }
         };
         if threads <= 1 {
             self.gradient_window(x, grad, 0);
@@ -1657,5 +1732,66 @@ mod tests {
         let bad = rollout_cost(&p, &loads, Seconds::new(1.0), &cfg, &z);
         let good = rollout_cost(&p, &loads, Seconds::new(1.0), &cfg, &[0.0; 6]);
         assert!(bad > good, "shortfall not penalised: {bad} vs {good}");
+    }
+
+    /// Batched line search is an execution strategy, not a different
+    /// algorithm: for every gradient mode the decisions of a batched MPC
+    /// must be bit-identical to the scalar MPC's over a whole receding-
+    /// horizon run, and the batched-rollout counter must prove the
+    /// lockstep kernel actually ran.
+    #[test]
+    fn batched_line_search_solves_bit_identical_to_scalar() {
+        let config = SystemConfig::default();
+        let mut p = plant(&config);
+        p.state = ThermalState::uniform(Kelvin::from_celsius(36.0));
+        let dt = Seconds::new(1.0);
+        let loads: Vec<Watts> = (0..8)
+            .map(|k| Watts::new(8_000.0 + 9_000.0 * (k % 3) as f64))
+            .collect();
+        for mode in [
+            GradientMode::Serial,
+            GradientMode::Adjoint,
+            GradientMode::GaussNewton,
+        ] {
+            for width in [2usize, 5] {
+                let mut scalar = Mpc::new(MpcConfig {
+                    horizon: 8,
+                    gradient_mode: mode,
+                    ..MpcConfig::default()
+                });
+                let mut batched = Mpc::new(MpcConfig {
+                    horizon: 8,
+                    gradient_mode: mode,
+                    batch_line_search: width,
+                    ..MpcConfig::default()
+                });
+                for _ in 0..3 {
+                    let a = scalar.solve(&p, &loads, dt);
+                    let b = batched.solve(&p, &loads, dt);
+                    assert_eq!(
+                        a.cap_bus.value().to_bits(),
+                        b.cap_bus.value().to_bits(),
+                        "cap_bus diverged ({mode:?}, width {width})"
+                    );
+                    assert_eq!(
+                        a.cool_duty.to_bits(),
+                        b.cool_duty.to_bits(),
+                        "cool_duty diverged ({mode:?}, width {width})"
+                    );
+                    assert_eq!(
+                        a.cost.to_bits(),
+                        b.cost.to_bits(),
+                        "cost diverged ({mode:?}, width {width})"
+                    );
+                    assert_eq!(a.iterations, b.iterations, "iterations ({mode:?})");
+                    assert_eq!(a.outcome, b.outcome, "outcome ({mode:?})");
+                }
+                assert_eq!(scalar.batched_rollouts(), 0, "scalar MPC must not batch");
+                assert!(
+                    batched.batched_rollouts() > 0,
+                    "batched kernel never ran ({mode:?}, width {width})"
+                );
+            }
+        }
     }
 }

@@ -97,32 +97,90 @@ impl Simulator {
         sink: &dyn Sink,
         mut observe: impl FnMut(usize, &crate::StepRecord),
     ) -> RunTotals {
-        let dt = self.config.dt;
-        let mut aging = AgingModel::new(self.config.aging);
+        let mut cursor = self.cursor();
+        while cursor.advance(controller, trace, sink, &mut observe) {}
+        cursor.finish(sink)
+    }
 
-        for t in 0..trace.len() {
-            let _step_span = span(sink, "sim_step");
-            let load = trace.get(t);
-            let forecast = trace.window(t + 1, self.forecast_len);
-            let record = controller.step_with(load, &forecast, dt, sink);
-            aging.accumulate(record.state.battery_temp, record.hees.battery_c_rate, dt);
-            sink.record(Event::StepCompleted {
-                step: t as u64,
-                load_w: record.load.value(),
-                delivered_w: record.hees.delivered.value(),
-                shortfall_w: record.hees.shortfall.value(),
-                cooling_w: record.cooling_power.value(),
-                battery_temp_k: record.state.battery_temp.value(),
-                soc: record.state.soc.value(),
-                soe: record.state.soe.value(),
-            });
-            observe(t, &record);
+    /// A suspended run at step zero: the step loop of
+    /// [`Simulator::run_each`] handed out one [`RunCursor::advance`] at
+    /// a time, so a caller can interleave several vehicles' steps
+    /// (the fleet engine's lockstep batches). A fully drained cursor
+    /// produces [`RunTotals`] bit-identical to [`Simulator::run_each`]
+    /// — the advance body *is* `run_each`'s loop body.
+    pub fn cursor(&self) -> RunCursor {
+        RunCursor {
+            aging: AgingModel::new(self.config.aging),
+            dt: self.config.dt,
+            forecast_len: self.forecast_len,
+            t: 0,
         }
-        sink.flush();
+    }
+}
 
+/// The resumable step loop of [`Simulator::run_each`]: holds exactly
+/// the loop state (`t` and the aging integrator), borrowing nothing, so
+/// a batch of cursors can be advanced in lockstep against their own
+/// controllers and traces.
+#[derive(Debug)]
+pub struct RunCursor {
+    aging: AgingModel,
+    dt: otem_units::Seconds,
+    forecast_len: usize,
+    t: usize,
+}
+
+impl RunCursor {
+    /// Steps executed so far.
+    pub fn steps(&self) -> usize {
+        self.t
+    }
+
+    /// Runs one closed-loop step — the exact body of
+    /// [`Simulator::run_each`]'s loop — and returns `true`, or returns
+    /// `false` without side effects once the trace is exhausted.
+    pub fn advance(
+        &mut self,
+        controller: &mut dyn Controller,
+        trace: &PowerTrace,
+        sink: &dyn Sink,
+        mut observe: impl FnMut(usize, &crate::StepRecord),
+    ) -> bool {
+        let t = self.t;
+        if t >= trace.len() {
+            return false;
+        }
+        let _step_span = span(sink, "sim_step");
+        let load = trace.get(t);
+        let forecast = trace.window(t + 1, self.forecast_len);
+        let record = controller.step_with(load, &forecast, self.dt, sink);
+        self.aging.accumulate(
+            record.state.battery_temp,
+            record.hees.battery_c_rate,
+            self.dt,
+        );
+        sink.record(Event::StepCompleted {
+            step: t as u64,
+            load_w: record.load.value(),
+            delivered_w: record.hees.delivered.value(),
+            shortfall_w: record.hees.shortfall.value(),
+            cooling_w: record.cooling_power.value(),
+            battery_temp_k: record.state.battery_temp.value(),
+            soc: record.state.soc.value(),
+            soe: record.state.soe.value(),
+        });
+        observe(t, &record);
+        self.t += 1;
+        true
+    }
+
+    /// Flushes the sink and closes the run. `steps` equals the trace
+    /// length when the cursor was drained to completion.
+    pub fn finish(self, sink: &dyn Sink) -> RunTotals {
+        sink.flush();
         RunTotals {
-            steps: trace.len(),
-            capacity_loss: aging.cumulative_loss(),
+            steps: self.t,
+            capacity_loss: self.aging.cumulative_loss(),
         }
     }
 }

@@ -26,6 +26,19 @@ fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// The worker width a fan call resolves a `threads` argument to, before
+/// job-count clamping: `0` means "one worker per available core" (so a
+/// 1-CPU container benches honestly instead of oversubscribing), any
+/// other value is taken as-is. The bench binaries report this resolved
+/// width next to their timings.
+pub fn resolve_workers(threads: usize) -> usize {
+    if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
+}
+
 /// Fans independent jobs across scoped worker threads and returns the
 /// results **in job order**, using one thread per available core.
 ///
@@ -56,7 +69,7 @@ where
     F: Fn(usize, T) -> R + Sync,
 {
     let n = jobs.len();
-    let threads = threads.clamp(1, n.max(1));
+    let threads = resolve_workers(threads).clamp(1, n.max(1));
     if threads <= 1 {
         return jobs.into_iter().enumerate().map(|(i, j)| f(i, j)).collect();
     }
@@ -105,7 +118,7 @@ where
     F: Fn(usize, T) -> R + Sync,
 {
     let n = jobs.len();
-    let threads = threads.clamp(1, n.max(1));
+    let threads = resolve_workers(threads).clamp(1, n.max(1));
     if threads <= 1 {
         return jobs.into_iter().enumerate().map(|(i, j)| f(i, j)).collect();
     }

@@ -21,6 +21,16 @@ pub struct Lbfgs {
     /// Gradient evaluation strategy used by [`Lbfgs::minimize_sync`]
     /// (ignored by [`Lbfgs::minimize`], which cannot assume `Sync`).
     pub gradient_mode: GradientMode,
+    /// Line-search batching width: `0` or `1` evaluates trial points
+    /// one at a time; `≥ 2` prefetches the pure-backtracking ladder
+    /// `t ∈ {1, ½, ¼, …}` (that many rungs) through one
+    /// [`Objective::value_batch`] call into a cache keyed by the step
+    /// length's bit pattern. The weak-Wolfe bisection control flow is
+    /// unchanged — a cache hit returns exactly what the scalar
+    /// evaluation would (the batch contract), a miss (once the
+    /// curvature branch moves `t` off the ladder) falls through to a
+    /// scalar evaluation — so iterates are bit-identical.
+    pub batch_width: usize,
 }
 
 impl Default for Lbfgs {
@@ -31,6 +41,7 @@ impl Default for Lbfgs {
             history: 10,
             armijo: 1e-4,
             gradient_mode: GradientMode::Serial,
+            batch_width: 0,
         }
     }
 }
@@ -109,6 +120,17 @@ impl Lbfgs {
         // entry, so a full window updates without touching the heap.
         let mut s_new = vec![0.0; n];
         let mut y_new = vec![0.0; n];
+        // Prefetch-cache scratch for the batched line search, allocated
+        // once and only when batching is on.
+        let batch = self.batch_width;
+        let mut pf_pts = Vec::new();
+        let mut pf_keys: Vec<u64> = Vec::new();
+        let mut pf_vals = Vec::new();
+        if batch >= 2 {
+            pf_pts.reserve(batch * n);
+            pf_keys.reserve(batch);
+            pf_vals.reserve(batch);
+        }
 
         for iter in 0..self.max_iterations {
             let _iter_span = span(sink, "iteration");
@@ -169,11 +191,40 @@ impl Lbfgs {
             // both are line-search work; closes at iteration end or on
             // the stall return, balanced either way by RAII.
             let _line_search = span(sink, "line_search");
+            if batch >= 2 {
+                // Prefetch the pure-backtracking ladder: as long as only
+                // the Armijo branch fires, `t` walks 1, ½, ¼, … — exactly
+                // these points, evaluated in one batched pass. The
+                // bisection below consumes them by cache hit; once the
+                // curvature branch moves `t` off the ladder it falls back
+                // to scalar evaluations.
+                pf_pts.clear();
+                pf_keys.clear();
+                let mut tt = 1.0f64;
+                for _ in 0..batch {
+                    for i in 0..n {
+                        trial[i] = x[i] + tt * d[i];
+                    }
+                    pf_pts.extend_from_slice(&trial);
+                    pf_keys.push(tt.to_bits());
+                    tt *= 0.5;
+                }
+                pf_vals.clear();
+                pf_vals.resize(pf_keys.len(), 0.0);
+                f.value_batch(&pf_pts, n, &mut pf_vals);
+            }
             for _ in 0..60 {
                 for i in 0..n {
                     trial[i] = x[i] + t * d[i];
                 }
-                let f_trial = f.value(&trial);
+                let f_trial = if batch >= 2 {
+                    match pf_keys.iter().position(|&k| k == t.to_bits()) {
+                        Some(j) => pf_vals[j],
+                        None => f.value(&trial),
+                    }
+                } else {
+                    f.value(&trial)
+                };
                 if f_trial > value + self.armijo * t * dir_deriv {
                     hi = t;
                     t = 0.5 * (lo + hi);
@@ -364,6 +415,31 @@ mod tests {
             last < Lbfgs::default().tolerance,
             "terminal residual {last}"
         );
+    }
+
+    #[test]
+    fn batched_prefetch_is_bit_identical_to_scalar() {
+        let f = FnObjective::new(|x: &[f64]| {
+            x.windows(2)
+                .map(|w| 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2))
+                .sum::<f64>()
+        });
+        let x0 = [-1.2, 1.0, -0.7, 0.4];
+        let scalar = Lbfgs::default().minimize(&f, &x0);
+        for width in [2, 4] {
+            let solver = Lbfgs {
+                batch_width: width,
+                ..Lbfgs::default()
+            };
+            let batched = solver.minimize(&f, &x0);
+            assert_eq!(batched.iterations, scalar.iterations, "width = {width}");
+            assert_eq!(batched.outcome, scalar.outcome, "width = {width}");
+            assert_eq!(
+                batched.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                scalar.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "width = {width}"
+            );
+        }
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub use gauss_newton::{CurvatureObjective, DenseLeastSquares, GaussNewton};
 pub use lagrangian::{AugmentedLagrangian, ConstrainedProblem, Constraint};
 pub use lbfgs::Lbfgs;
 pub use nelder_mead::NelderMead;
-pub use objective::{FnObjective, FnObjectiveWithGrad, GradientMode, NumericalGradient, Objective};
+pub use objective::{
+    resolve_threads, FnObjective, FnObjectiveWithGrad, GradientMode, NumericalGradient, Objective,
+};
 pub use projected::ProjectedGradient;
 pub use scalar::{brent, golden_section};
 pub use solution::{Solution, SolverOutcome};

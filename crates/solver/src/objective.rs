@@ -44,14 +44,31 @@ pub enum GradientMode {
     GaussNewton,
 }
 
+/// Resolves a configured worker-thread count: `0` means "use every
+/// available core" ([`std::thread::available_parallelism`], falling
+/// back to 1 where the parallelism is unknown); any other value is
+/// taken as-is. Shared by [`GradientMode::Parallel`] and the fan-out
+/// helpers so a zero width consistently auto-sizes to the machine.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
 impl GradientMode {
     /// Worker threads this mode fans a gradient out across (1 for the
     /// serial path) — the figure telemetry reports per
     /// [`GradientEval`](otem_telemetry::Event::GradientEval).
+    /// A configured width of `0` resolves to the machine's available
+    /// parallelism (see [`resolve_threads`]).
     pub fn worker_threads(&self) -> usize {
         match self {
             GradientMode::Serial | GradientMode::Adjoint | GradientMode::GaussNewton => 1,
-            GradientMode::Parallel { threads } => (*threads).max(1),
+            GradientMode::Parallel { threads } => resolve_threads(*threads),
         }
     }
 
@@ -108,6 +125,32 @@ pub trait Objective {
             }
         }
     }
+
+    /// Evaluates the objective at several points in one call: `points`
+    /// holds the lane-major flat matrix (`lanes × m`, lane `l` at
+    /// `points[l·m .. (l+1)·m]`), and one value per lane is written to
+    /// `out`.
+    ///
+    /// The default loops over [`Objective::value`]; implementations
+    /// with a cheaper lockstep path (e.g. the MPC rollout objective's
+    /// structure-of-arrays kernel) override this. Every lane must
+    /// return **exactly** what a scalar [`Objective::value`] of that
+    /// lane would — solvers rely on this to keep batched line searches
+    /// bit-identical to scalar ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.len() != out.len() * m`.
+    fn value_batch(&self, points: &[f64], m: usize, out: &mut [f64]) {
+        assert_eq!(
+            points.len(),
+            out.len() * m,
+            "batched point matrix must be lanes × m"
+        );
+        for (z, o) in points.chunks_exact(m).zip(out.iter_mut()) {
+            *o = self.value(z);
+        }
+    }
 }
 
 impl<T: Objective + ?Sized> Objective for &T {
@@ -116,6 +159,11 @@ impl<T: Objective + ?Sized> Objective for &T {
     }
     fn gradient(&self, x: &[f64], grad: &mut [f64]) {
         (**self).gradient(x, grad);
+    }
+    // Forwarded explicitly: solvers see objectives through `&T`, and the
+    // default would silently hide an underlying batched override.
+    fn value_batch(&self, points: &[f64], m: usize, out: &mut [f64]) {
+        (**self).value_batch(points, m, out);
     }
 }
 
@@ -281,7 +329,7 @@ impl NumericalGradient {
     ) {
         assert_eq!(grad.len(), x.len(), "gradient buffer length mismatch");
         let n = x.len();
-        let threads = threads.clamp(1, n.max(1));
+        let threads = resolve_threads(threads).clamp(1, n.max(1));
         if threads <= 1 {
             Self::central(f, x, grad);
             return;

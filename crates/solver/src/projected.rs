@@ -33,6 +33,15 @@ pub struct ProjectedGradient {
     /// [`ProjectedGradient::minimize_sync`] (ignored by
     /// [`ProjectedGradient::minimize`], which cannot assume `Sync`).
     pub gradient_mode: GradientMode,
+    /// Line-search batching width: `0` or `1` runs the scalar Armijo
+    /// backtracking ladder; `≥ 2` speculatively evaluates groups of
+    /// that many step-size candidates through one
+    /// [`Objective::value_batch`] call and scans them in ladder order
+    /// with the identical acceptance test. The accepted iterate — and
+    /// therefore the whole solve trajectory — is **bit-identical** to
+    /// the scalar ladder; only the number of (speculative) objective
+    /// evaluations differs.
+    pub batch_width: usize,
 }
 
 impl Default for ProjectedGradient {
@@ -45,6 +54,7 @@ impl Default for ProjectedGradient {
             step_min: 1e-12,
             step_max: 1e10,
             gradient_mode: GradientMode::Serial,
+            batch_width: 0,
         }
     }
 }
@@ -163,6 +173,17 @@ impl ProjectedGradient {
         // Line-search trial point, allocated once for the whole solve —
         // the backtracking loop below runs up to 40 times per iteration.
         let mut trial = vec![0.0; n];
+        // Batched-ladder scratch (candidate matrix, predicted decreases,
+        // batched values), allocated once and only when batching is on.
+        let batch = self.batch_width;
+        let mut cand_pts = Vec::new();
+        let mut cand_dec = Vec::new();
+        let mut cand_val = Vec::new();
+        if batch >= 2 {
+            cand_pts.reserve(batch * n);
+            cand_dec.reserve(batch);
+            cand_val.reserve(batch);
+        }
 
         for iter in 0..self.max_iterations {
             let _iter_span = span(sink, "iteration");
@@ -198,24 +219,79 @@ impl ProjectedGradient {
             let mut alpha = step.clamp(self.step_min, self.step_max);
             let mut accepted = false;
             let line_search = span(sink, "line_search");
-            for _ in 0..40 {
-                for i in 0..n {
-                    trial[i] = x[i] - alpha * grad[i];
+            if batch >= 2 {
+                // Speculative batched ladder: materialise up to `batch`
+                // candidates of the scalar halving ladder, evaluate them
+                // in one `value_batch` call, and scan in ladder order
+                // with the scalar acceptance test. Identical candidate
+                // points + identical test ⇒ the accepted iterate is the
+                // one the scalar loop would pick, bit for bit.
+                let mut tried = 0usize;
+                'ladder: loop {
+                    cand_pts.clear();
+                    cand_dec.clear();
+                    // `true` once the ladder is exhausted (40-candidate
+                    // cap or the step_min cut) within this group.
+                    let mut exhausted = false;
+                    for _ in 0..batch {
+                        if tried == 40 {
+                            exhausted = true;
+                            break;
+                        }
+                        for i in 0..n {
+                            trial[i] = x[i] - alpha * grad[i];
+                        }
+                        bounds.project(&mut trial);
+                        let decrease: f64 = (0..n).map(|i| grad[i] * (x[i] - trial[i])).sum();
+                        cand_pts.extend_from_slice(&trial);
+                        cand_dec.push(decrease);
+                        tried += 1;
+                        alpha *= 0.5;
+                        if alpha < self.step_min {
+                            exhausted = true;
+                            break;
+                        }
+                    }
+                    if cand_dec.is_empty() {
+                        break;
+                    }
+                    cand_val.clear();
+                    cand_val.resize(cand_dec.len(), 0.0);
+                    f.value_batch(&cand_pts, n, &mut cand_val);
+                    for (j, (&f_trial, &decrease)) in cand_val.iter().zip(&cand_dec).enumerate() {
+                        if f_trial <= f_ref - self.armijo * decrease.max(0.0) {
+                            x_prev.copy_from_slice(&x);
+                            grad_prev.copy_from_slice(&grad);
+                            x.copy_from_slice(&cand_pts[j * n..(j + 1) * n]);
+                            value = f_trial;
+                            accepted = true;
+                            break 'ladder;
+                        }
+                    }
+                    if exhausted {
+                        break;
+                    }
                 }
-                bounds.project(&mut trial);
-                let decrease: f64 = (0..n).map(|i| grad[i] * (x[i] - trial[i])).sum();
-                let f_trial = f.value(&trial);
-                if f_trial <= f_ref - self.armijo * decrease.max(0.0) {
-                    x_prev.copy_from_slice(&x);
-                    grad_prev.copy_from_slice(&grad);
-                    x.copy_from_slice(&trial);
-                    value = f_trial;
-                    accepted = true;
-                    break;
-                }
-                alpha *= 0.5;
-                if alpha < self.step_min {
-                    break;
+            } else {
+                for _ in 0..40 {
+                    for i in 0..n {
+                        trial[i] = x[i] - alpha * grad[i];
+                    }
+                    bounds.project(&mut trial);
+                    let decrease: f64 = (0..n).map(|i| grad[i] * (x[i] - trial[i])).sum();
+                    let f_trial = f.value(&trial);
+                    if f_trial <= f_ref - self.armijo * decrease.max(0.0) {
+                        x_prev.copy_from_slice(&x);
+                        grad_prev.copy_from_slice(&grad);
+                        x.copy_from_slice(&trial);
+                        value = f_trial;
+                        accepted = true;
+                        break;
+                    }
+                    alpha *= 0.5;
+                    if alpha < self.step_min {
+                        break;
+                    }
                 }
             }
             line_search.close();
@@ -518,6 +594,55 @@ mod tests {
             Some(&deadline),
         );
         assert_eq!(sol.outcome, SolverOutcome::Converged, "{sol:?}");
+    }
+
+    #[test]
+    fn batched_line_search_is_bit_identical_to_scalar() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // A counting objective: verifies the batched path both matches
+        // bitwise and actually routes through value_batch.
+        struct Counting(AtomicUsize);
+        impl Objective for Counting {
+            fn value(&self, x: &[f64]) -> f64 {
+                x.windows(2)
+                    .map(|w| 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2))
+                    .sum::<f64>()
+            }
+            fn value_batch(&self, points: &[f64], m: usize, out: &mut [f64]) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                for (z, o) in points.chunks_exact(m).zip(out.iter_mut()) {
+                    *o = self.value(z);
+                }
+            }
+        }
+        let bounds = Bounds::uniform(6, -2.0, 2.0);
+        let x0 = [-1.2, 1.0, -0.5, 0.3, 1.5, -1.0];
+        let f = Counting(AtomicUsize::new(0));
+        let scalar = ProjectedGradient::default().minimize(&f, &bounds, &x0);
+        assert_eq!(f.0.load(Ordering::Relaxed), 0, "scalar path must not batch");
+        for width in [2, 3, 8] {
+            let solver = ProjectedGradient {
+                batch_width: width,
+                ..ProjectedGradient::default()
+            };
+            let batched = solver.minimize(&f, &bounds, &x0);
+            assert_eq!(batched.iterations, scalar.iterations, "width = {width}");
+            assert_eq!(batched.outcome, scalar.outcome, "width = {width}");
+            assert_eq!(
+                batched.value.to_bits(),
+                scalar.value.to_bits(),
+                "width = {width}"
+            );
+            assert_eq!(
+                batched.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                scalar.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "width = {width}"
+            );
+        }
+        assert!(
+            f.0.load(Ordering::Relaxed) > 0,
+            "batched solves must route through value_batch"
+        );
     }
 
     #[test]

@@ -207,6 +207,19 @@ pub enum Event {
         /// The vehicle's id within the campaign.
         vehicle: u64,
     },
+    /// One lockstep batched evaluation ran: `lanes` independent
+    /// rollouts (line-search candidates or fleet vehicles) advanced
+    /// together through a batch sized for `width` lanes. `lanes <
+    /// width` means a partially-full batch (ladder tail, drained or
+    /// faulted fleet lanes) — the signal behind the
+    /// `otem_rollout_batch_occupancy` histogram and the
+    /// `otem_batched_rollouts_total` counter.
+    BatchEvaluated {
+        /// Lanes actually occupied in this evaluation.
+        lanes: u64,
+        /// The batch's configured lane capacity.
+        width: u64,
+    },
     /// One closed-loop simulation step completed (the per-step signal
     /// set behind the paper's Figs. 1, 6–9).
     StepCompleted {
@@ -254,6 +267,7 @@ impl Event {
             Event::VehicleStarted { .. } => "vehicle_started",
             Event::SpanStart { .. } => "span_start",
             Event::SpanEnd { .. } => "span_end",
+            Event::BatchEvaluated { .. } => "batch_evaluated",
             Event::StepCompleted { .. } => "step_completed",
         }
     }
@@ -373,6 +387,9 @@ impl Event {
                 let _ = write!(out, ",\"id\":{id}");
                 str_field(out, "name", name);
                 let _ = write!(out, ",\"lane\":{lane},\"t_ns\":{t_ns},\"dur_ns\":{dur_ns}");
+            }
+            Event::BatchEvaluated { lanes, width } => {
+                let _ = write!(out, ",\"lanes\":{lanes},\"width\":{width}");
             }
             Event::StepCompleted {
                 step,
@@ -721,6 +738,16 @@ mod tests {
                 "control char {byte:#x} must be escaped, got {out:?}"
             );
         }
+    }
+
+    #[test]
+    fn batch_evaluated_encodes_lanes_and_width() {
+        let e = Event::BatchEvaluated { lanes: 3, width: 8 };
+        assert_eq!(e.kind(), "batch_evaluated");
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"batch_evaluated\",\"lanes\":3,\"width\":8}"
+        );
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Scalar-generic thermal step math.
+//!
+//! The Crank–Nicolson update of the coupled battery/coolant two-node
+//! system (Eq. 14–17), written once against [`otem_units::Scalar`] and
+//! monomorphised per scalar type. The concrete `f64` method
+//! [`crate::ThermalModel::step_crank_nicolson`] delegates here — the
+//! `f64` instantiation performs the *same operations in the same order*
+//! as the pre-refactor hand-written code, so delegation is bit-identical
+//! (the contract the golden traces pin).
+
+use otem_units::Scalar;
+
+/// The physical constants of the two-node system, pre-extracted from
+/// `ThermalParams` so batched lanes can hoist them out of the lane loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeConstants<S> {
+    /// Battery lump heat capacity `C_b` (J/K).
+    pub cb: S,
+    /// Coolant lump heat capacity `C_c` (J/K).
+    pub cc: S,
+    /// Battery↔coolant conductance `h` (W/K).
+    pub h: S,
+    /// Coolant flow capacity `f = ṁ·c_p` (W/K).
+    pub f: S,
+    /// Battery↔ambient conductance `h_a` (W/K).
+    pub ha: S,
+    /// Ambient temperature `T_a` (K).
+    pub t_ambient: S,
+}
+
+/// One Crank–Nicolson step of `dx/dt = A·x + r` with `x = [T_b, T_c]`:
+/// `(I − dt/2·A)·x⁺ = (I + dt/2·A)·x + dt·r`, solved by the explicit
+/// 2×2 inverse. Returns the next `(T_b, T_c)` pair.
+#[inline]
+pub fn crank_nicolson<S: Scalar>(
+    n: NodeConstants<S>,
+    xb: S,
+    xc: S,
+    battery_heat: S,
+    inlet: S,
+    dt: S,
+) -> (S, S) {
+    let a11 = -(n.h + n.ha) / n.cb;
+    let a12 = n.h / n.cb;
+    let a21 = n.h / n.cc;
+    let a22 = -(n.h + n.f) / n.cc;
+    let r1 = (battery_heat + n.ha * n.t_ambient) / n.cb;
+    let r2 = n.f * inlet / n.cc;
+
+    let k = dt / S::from_f64(2.0);
+    let m11 = S::ONE - k * a11;
+    let m12 = -(k * a12);
+    let m21 = -(k * a21);
+    let m22 = S::ONE - k * a22;
+    let b1 = xb + k * (a11 * xb + a12 * xc) + dt * r1;
+    let b2 = xc + k * (a21 * xb + a22 * xc) + dt * r2;
+    let det = m11 * m22 - m12 * m21;
+    debug_assert!(det.abs().to_f64() > 1e-12, "CN system became singular");
+    ((b1 * m22 - b2 * m12) / det, (b2 * m11 - b1 * m21) / det)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constants() -> NodeConstants<f64> {
+        NodeConstants {
+            cb: 2.0e5,
+            cc: 2.0e4,
+            h: 500.0,
+            f: 350.0,
+            ha: 15.0,
+            t_ambient: 298.15,
+        }
+    }
+
+    #[test]
+    fn heating_raises_the_battery_node() {
+        let (tb, tc) = crank_nicolson(constants(), 298.15, 298.15, 2_000.0, 288.15, 1.0);
+        assert!(tb > 298.15, "T_b = {tb}");
+        assert!(tc < 298.15, "cold inlet pulls the coolant node down");
+    }
+
+    #[test]
+    fn zero_step_is_identity() {
+        let (tb, tc) = crank_nicolson(constants(), 305.0, 300.0, 5_000.0, 290.0, 0.0);
+        assert_eq!(tb, 305.0);
+        assert_eq!(tc, 300.0);
+    }
+
+    #[cfg(feature = "f32")]
+    #[test]
+    fn f32_lanes_track_f64_within_single_precision() {
+        let wide = crank_nicolson(constants(), 305.0, 300.0, 5_000.0, 290.0, 1.0).0;
+        let n32 = NodeConstants::<f32> {
+            cb: 2.0e5,
+            cc: 2.0e4,
+            h: 500.0,
+            f: 350.0,
+            ha: 15.0,
+            t_ambient: 298.15,
+        };
+        let narrow = crank_nicolson(n32, 305.0, 300.0, 5_000.0, 290.0, 1.0).0 as f64;
+        assert!((wide - narrow).abs() < 1e-2, "{wide} vs {narrow}");
+    }
+}

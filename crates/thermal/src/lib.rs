@@ -46,6 +46,7 @@
 
 mod cooler;
 mod error;
+pub mod kernel;
 mod model;
 mod multi_node;
 mod pump;

@@ -264,37 +264,31 @@ impl ThermalModel {
         inlet: Kelvin,
         dt: Seconds,
     ) -> ThermalState {
-        let p = &self.params;
-        let cb = p.battery_heat_capacity.value();
-        let cc = p.coolant_heat_capacity.value();
-        let h = p.battery_coolant_conductance.value();
-        let f = p.coolant_flow_capacity.value();
-        let ha = p.ambient_conductance.value();
-        let dtv = dt.value();
-
-        // dx/dt = A·x + r with x = [T_b, T_c]:
-        let a11 = -(h + ha) / cb;
-        let a12 = h / cb;
-        let a21 = h / cc;
-        let a22 = -(h + f) / cc;
-        let r1 = (battery_heat.value() + ha * p.ambient_temperature.value()) / cb;
-        let r2 = f * inlet.value() / cc;
-
-        // (I − dt/2·A)·x⁺ = (I + dt/2·A)·x + dt·r
-        let k = dtv / 2.0;
-        let m11 = 1.0 - k * a11;
-        let m12 = -k * a12;
-        let m21 = -k * a21;
-        let m22 = 1.0 - k * a22;
-        let xb = state.battery.value();
-        let xc = state.coolant.value();
-        let b1 = xb + k * (a11 * xb + a12 * xc) + dtv * r1;
-        let b2 = xc + k * (a21 * xb + a22 * xc) + dtv * r2;
-        let det = m11 * m22 - m12 * m21;
-        debug_assert!(det.abs() > 1e-12, "CN system became singular");
+        let (tb, tc) = crate::kernel::crank_nicolson(
+            self.node_constants(),
+            state.battery.value(),
+            state.coolant.value(),
+            battery_heat.value(),
+            inlet.value(),
+            dt.value(),
+        );
         ThermalState {
-            battery: Kelvin::new((b1 * m22 - b2 * m12) / det),
-            coolant: Kelvin::new((b2 * m11 - b1 * m21) / det),
+            battery: Kelvin::new(tb),
+            coolant: Kelvin::new(tc),
+        }
+    }
+
+    /// The kernel-facing constants of the two-node system — what the
+    /// batched SoA rollout hoists out of its lane loop.
+    pub fn node_constants(&self) -> crate::kernel::NodeConstants<f64> {
+        let p = &self.params;
+        crate::kernel::NodeConstants {
+            cb: p.battery_heat_capacity.value(),
+            cc: p.coolant_heat_capacity.value(),
+            h: p.battery_coolant_conductance.value(),
+            f: p.coolant_flow_capacity.value(),
+            ha: p.ambient_conductance.value(),
+            t_ambient: p.ambient_temperature.value(),
         }
     }
 

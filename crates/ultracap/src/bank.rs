@@ -114,7 +114,10 @@ impl UltracapBank {
     /// the voltage swing that the DC/DC converter efficiency model keys
     /// off.
     pub fn voltage(&self) -> Volts {
-        self.params.rated_voltage * self.soe.value().sqrt()
+        Volts::new(crate::kernel::bank_voltage(
+            self.params.rated_voltage.value(),
+            self.soe.value(),
+        ))
     }
 
     /// Maximum discharge power deliverable right now: limited by the
@@ -167,23 +170,18 @@ impl UltracapBank {
                 available: Watts::ZERO,
             });
         }
-        // With the (tiny) series resistance: P = V·I − R·I².
+        // With the (tiny) series resistance: P = V·I − R·I². The
+        // zero-resistance branch floors a depleted bank's voltage at 5 %
+        // of rated to avoid a singularity when accepting charge.
         let r = self.params.series_resistance;
-        let i = if r == 0.0 {
-            // Depleted bank accepting charge: current through the
-            // converter at (near-)zero voltage is modelled at rated
-            // voltage to avoid a singularity; the SoE integral uses
-            // internal power anyway.
-            p / v.max(0.05 * self.params.rated_voltage.value())
-        } else {
-            let disc = v * v - 4.0 * r * p;
-            if disc < 0.0 {
+        let i = match crate::kernel::bank_current(p, v, r, self.params.rated_voltage.value()) {
+            Some(i) => i,
+            None => {
                 return Err(UltracapError::PowerInfeasible {
                     requested: power,
                     available: Watts::new(v * v / (4.0 * r)),
                 });
             }
-            (v - disc.sqrt()) / (2.0 * r)
         };
         Ok(CapDraw {
             terminal_power: power,
@@ -280,9 +278,13 @@ impl UltracapBank {
     /// to `[0, 1]`.
     pub fn integrate(&mut self, draw: CapDraw, dt: Seconds) {
         let e_cap = self.params.energy_capacity().value();
-        let delta = draw.internal_power.value() * dt.value() / e_cap;
-        let leak = (-dt.value() / self.params.leakage_time_constant).exp();
-        self.soe = Ratio::new((self.soe.value() - delta) * leak);
+        self.soe = Ratio::new(crate::kernel::soe_after_step(
+            self.soe.value(),
+            draw.internal_power.value(),
+            dt.value(),
+            e_cap,
+            self.params.leakage_time_constant,
+        ));
     }
 
     /// Lets the bank idle (no power exchange) for the given duration:

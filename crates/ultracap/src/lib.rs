@@ -32,6 +32,7 @@
 
 mod bank;
 mod error;
+pub mod kernel;
 mod params;
 
 pub use bank::{CapDraw, CapDrawPartials, UltracapBank};

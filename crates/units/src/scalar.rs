@@ -1,0 +1,219 @@
+//! The numeric abstraction the batched rollout kernels are generic over.
+//!
+//! The model crates' step math (converter power maps, the battery current
+//! solve, the ultracapacitor terminal solve, the Crank–Nicolson thermal
+//! step) is written once against this trait and monomorphised per scalar
+//! type. `f64` is the production scalar: its kernel instantiations execute
+//! the *same operations in the same order* as the pre-refactor concrete
+//! code, so the f64 path stays bit-identical to the committed golden
+//! traces. `f32` (behind the `f32` feature) exists as a stress test of the
+//! abstraction — it proves no kernel silently assumes the scalar *is*
+//! `f64` — and as the staging ground for wide SIMD lanes later.
+
+use core::fmt::Debug;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A floating-point scalar the model kernels can be generic over.
+///
+/// Implementations must be plain IEEE-754 value types: `Copy`, totally
+/// ordered where comparable, and with every method mapping to the
+/// corresponding `f64`/`f32` intrinsic — kernels rely on the `f64`
+/// instantiation being operation-for-operation identical to hand-written
+/// `f64` code.
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Converts from `f64` (model parameters are stored as `f64`;
+    /// narrower scalars round here, once, at the kernel boundary).
+    fn from_f64(value: f64) -> Self;
+    /// Converts to `f64` (for reporting and cross-checking; lossless for
+    /// the production scalar).
+    fn to_f64(self) -> f64;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// IEEE-754 maximum (NaN-ignoring, like [`f64::max`]).
+    fn max(self, other: Self) -> Self;
+    /// IEEE-754 minimum (NaN-ignoring, like [`f64::min`]).
+    fn min(self, other: Self) -> Self;
+    /// Clamps into `[lo, hi]` with [`f64::clamp`] semantics.
+    fn clamp(self, lo: Self, hi: Self) -> Self;
+    /// Magnitude of `self` with the sign of `sign` ([`f64::copysign`]).
+    fn copysign(self, sign: Self) -> Self;
+    /// `true` when neither NaN nor infinite.
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline(always)]
+    fn from_f64(value: f64) -> Self {
+        value
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+
+    #[inline(always)]
+    fn exp(self) -> Self {
+        f64::exp(self)
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+
+    #[inline(always)]
+    fn clamp(self, lo: Self, hi: Self) -> Self {
+        f64::clamp(self, lo, hi)
+    }
+
+    #[inline(always)]
+    fn copysign(self, sign: Self) -> Self {
+        f64::copysign(self, sign)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+#[cfg(feature = "f32")]
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline(always)]
+    fn from_f64(value: f64) -> Self {
+        value as f32
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+
+    #[inline(always)]
+    fn exp(self) -> Self {
+        f32::exp(self)
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+
+    #[inline(always)]
+    fn min(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+
+    #[inline(always)]
+    fn clamp(self, lo: Self, hi: Self) -> Self {
+        f32::clamp(self, lo, hi)
+    }
+
+    #[inline(always)]
+    fn copysign(self, sign: Self) -> Self {
+        f32::copysign(self, sign)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_quadratic<S: Scalar>(a: S, b: S, c: S) -> S {
+        // The stable root of a·x² + b·x + c the model kernels use.
+        let disc = b * b - S::from_f64(4.0) * a * c;
+        (-b - disc.sqrt()) / (S::from_f64(2.0) * a)
+    }
+
+    #[test]
+    fn f64_kernel_matches_hand_written_code_bitwise() {
+        let (a, b, c) = (0.02_f64, -1.3, 5.0);
+        let hand = (-b - (b * b - 4.0 * a * c).sqrt()) / (2.0 * a);
+        assert_eq!(kernel_quadratic(a, b, c).to_bits(), hand.to_bits());
+    }
+
+    #[test]
+    fn f64_ops_are_the_intrinsics() {
+        assert_eq!(Scalar::max(1.0_f64, f64::NAN).to_bits(), 1.0_f64.to_bits());
+        assert_eq!(Scalar::min(f64::NAN, 2.0_f64).to_bits(), 2.0_f64.to_bits());
+        assert_eq!(Scalar::copysign(3.0_f64, -0.0), -3.0);
+        assert_eq!(Scalar::clamp(1.7_f64, 0.0, 1.0), 1.0);
+        assert!(Scalar::is_finite(0.0_f64));
+        assert!(!Scalar::is_finite(f64::INFINITY));
+        assert_eq!(<f64 as Scalar>::ZERO, 0.0);
+        assert_eq!(<f64 as Scalar>::ONE, 1.0);
+        assert_eq!(<f64 as Scalar>::from_f64(2.5).to_f64(), 2.5);
+    }
+
+    #[cfg(feature = "f32")]
+    #[test]
+    fn f32_kernel_tracks_f64_to_single_precision() {
+        let wide = kernel_quadratic(0.02_f64, -1.3, 5.0);
+        let narrow = kernel_quadratic(0.02_f32, -1.3, 5.0);
+        assert!((wide - narrow.to_f64()).abs() < 1e-4 * wide.abs());
+        assert_eq!(<f32 as Scalar>::from_f64(0.5), 0.5_f32);
+    }
+}

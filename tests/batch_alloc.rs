@@ -1,0 +1,144 @@
+//! Allocation-parity pin for the batched rollout workspace.
+//!
+//! The SoA batch kernel runs inside the MPC's pooled
+//! `RolloutWorkspace`, so in steady state a batched line search must
+//! perform **no per-lane, per-step, or per-rollout heap allocations**:
+//! widening the ladder or the horizon changes the steady-state
+//! allocation count not at all, and relative to the scalar ladder a
+//! batched solve pays at most the small once-per-solve candidate
+//! scratch.
+//!
+//! This file holds a single `#[test]` on purpose: the counting global
+//! allocator below is process-wide, and a sibling test running
+//! concurrently would pollute the counts (same discipline as
+//! `tests/telemetry_parity.rs`).
+
+use otem_repro::control::mpc::{Mpc, MpcConfig, MpcPlant};
+use otem_repro::control::SystemConfig;
+use otem_repro::hees::HybridHees;
+use otem_repro::thermal::{CoolingPlant, ThermalModel, ThermalState};
+use otem_repro::units::{Farads, Kelvin, Ratio, Seconds, Watts};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation (and reallocation) made by the process.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+const SOLVES: u64 = 8;
+
+fn plant(config: &SystemConfig) -> MpcPlant {
+    let mut hees = HybridHees::ev_default(Farads::new(25_000.0)).expect("valid preset");
+    hees.set_state(Ratio::new(0.8), Ratio::new(0.6));
+    MpcPlant {
+        hees,
+        thermal: ThermalModel::new(config.thermal_active).expect("valid thermal"),
+        plant: CoolingPlant::new(config.plant).expect("valid plant"),
+        state: ThermalState::uniform(Kelvin::from_celsius(33.0)),
+        aging: config.aging,
+        soc_min: config.soc_min,
+        soe_min: config.soe_min,
+        battery_power_max: config.battery_power_max,
+        cap_power_max: config.cap_power_max,
+    }
+}
+
+/// Allocations across `SOLVES` fully warm-started solves at the given
+/// ladder width and horizon (a fresh `Mpc` each call; three warm-up
+/// solves populate the workspace pool, the warm start, and the batch
+/// lanes before counting begins).
+fn steady_allocs(batch: usize, horizon: usize) -> u64 {
+    let config = SystemConfig::default();
+    let p = plant(&config);
+    let loads: Vec<Watts> = (0..horizon)
+        .map(|k| Watts::new(8_000.0 + 9_000.0 * (k % 3) as f64))
+        .collect();
+    let dt = Seconds::new(1.0);
+    let mut mpc = Mpc::new(MpcConfig {
+        horizon,
+        batch_line_search: batch,
+        solver_iterations: 12,
+        ..MpcConfig::default()
+    });
+    for _ in 0..3 {
+        let d = mpc.solve(&p, &loads, dt);
+        assert!(d.cap_bus.value().is_finite(), "warm-up solve diverged");
+    }
+    if batch >= 2 {
+        assert!(
+            mpc.batched_rollouts() > 0,
+            "width-{batch} warm-up never hit the batch kernel"
+        );
+    }
+    let before = allocations();
+    for _ in 0..SOLVES {
+        let _ = mpc.solve(&p, &loads, dt);
+    }
+    allocations() - before
+}
+
+#[test]
+fn batched_workspace_is_steady_state_allocation_parity_with_scalar() {
+    // Throwaway run: fault in lazy process-level initialisation so the
+    // measured runs below do identical work.
+    let _ = steady_allocs(4, 6);
+
+    let scalar_h6 = steady_allocs(0, 6);
+    let scalar_h12 = steady_allocs(0, 12);
+    let b4_h6 = steady_allocs(4, 6);
+    let b8_h6 = steady_allocs(8, 6);
+    let b4_h12 = steady_allocs(4, 12);
+    let b8_h12 = steady_allocs(8, 12);
+
+    // No per-lane allocations: doubling the ladder width changes the
+    // steady-state allocation count not at all.
+    assert_eq!(
+        b4_h6, b8_h6,
+        "widening the ladder changed the allocation count at horizon 6"
+    );
+    assert_eq!(
+        b4_h12, b8_h12,
+        "widening the ladder changed the allocation count at horizon 12"
+    );
+
+    // No per-step allocations: the batched-minus-scalar overhead is the
+    // same at both horizons (the once-per-solve candidate scratch), so
+    // nothing in the batch kernel scales with the rollout length.
+    let delta_h6 = b4_h6 as i64 - scalar_h6 as i64;
+    let delta_h12 = b4_h12 as i64 - scalar_h12 as i64;
+    assert_eq!(
+        delta_h6, delta_h12,
+        "batched allocation overhead scales with the horizon \
+         (h6: {b4_h6} vs {scalar_h6}, h12: {b4_h12} vs {scalar_h12})"
+    );
+
+    // And that overhead is at most a handful of vectors per solve.
+    assert!(
+        delta_h6 <= 8 * SOLVES as i64,
+        "batched solves allocate {delta_h6} more than scalar over {SOLVES} solves"
+    );
+}

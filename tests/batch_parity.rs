@@ -1,0 +1,151 @@
+//! Batched-vs-scalar bit-exactness, pinned by property tests.
+//!
+//! The SoA batch kernel and the fleet lockstep engine both promise the
+//! same thing: running N rollouts (or N vehicles) in lockstep changes
+//! **no bits** — every lane executes the exact scalar step body, so the
+//! batch is a scheduling decision, never a numerical one. Two
+//! properties enforce that:
+//!
+//! 1. **Kernel parity** — `rollout_cost_batch` reproduces
+//!    `rollout_cost` bit for bit on every lane, across random plant
+//!    states, horizons 1–41, and degenerate lane counts (1, 2, and
+//!    non-powers-of-two).
+//! 2. **Lockstep parity** — `FleetEngine` with lanes enabled produces
+//!    `PartialEq`-equal summaries and an identical FNV-1a fleet
+//!    checksum for campaigns forced onto each of the four controllers
+//!    (Parallel, ActiveCooling, Dual, Otem), with every healthy step
+//!    accounted to a lockstep sweep.
+
+use otem_repro::control::batch::rollout_cost_batch;
+use otem_repro::control::mpc::{rollout_cost, MpcConfig, MpcPlant};
+use otem_repro::control::SystemConfig;
+use otem_repro::fleet::{Campaign, FleetEngine, Methodology, Schedule};
+use otem_repro::hees::HybridHees;
+use otem_repro::thermal::{CoolingPlant, ThermalModel, ThermalState};
+use otem_repro::units::{Farads, Kelvin, Ratio, Seconds, Watts};
+use proptest::prelude::*;
+
+fn plant(config: &SystemConfig, soc: f64, soe: f64, celsius: f64) -> MpcPlant {
+    let mut hees = HybridHees::ev_default(Farads::new(25_000.0)).expect("valid preset");
+    hees.set_state(Ratio::new(soc), Ratio::new(soe));
+    MpcPlant {
+        hees,
+        thermal: ThermalModel::new(config.thermal_active).expect("valid thermal"),
+        plant: CoolingPlant::new(config.plant).expect("valid plant"),
+        state: ThermalState::uniform(Kelvin::from_celsius(celsius)),
+        aging: config.aging,
+        soc_min: config.soc_min,
+        soe_min: config.soe_min,
+        battery_power_max: config.battery_power_max,
+        cap_power_max: config.cap_power_max,
+    }
+}
+
+/// Deterministic splitmix64 — fills load forecasts and decision
+/// matrices from one seed so every proptest case is reproducible.
+struct Mix(u64);
+
+impl Mix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_kernel_matches_scalar_on_every_lane(
+        soc in 0.35..0.95f64,
+        soe in 0.15..0.9f64,
+        celsius in 15.0..41.0f64,
+        horizon in 1usize..=41,
+        lanes in prop_oneof![Just(1usize), Just(2usize), Just(3usize), Just(5usize), Just(7usize)],
+        seed in 0u64..1_000_000,
+    ) {
+        let config = SystemConfig::default();
+        let p = plant(&config, soc, soe, celsius);
+        let cfg = MpcConfig { horizon, ..MpcConfig::default() };
+        let dt = Seconds::new(1.0);
+        let mut mix = Mix(seed);
+        let loads: Vec<Watts> = (0..horizon)
+            .map(|_| Watts::new(mix.range(-20_000.0, 70_000.0)))
+            .collect();
+        // A full lane-major decision matrix, anywhere in the [0, 1]²
+        // box — kinks included: both paths run the same step body, so
+        // exactness must hold even on the clamp branches.
+        let zs: Vec<f64> = (0..lanes * 2 * horizon).map(|_| mix.unit()).collect();
+
+        let mut batched = vec![0.0; lanes];
+        rollout_cost_batch(&p, &loads, dt, &cfg, &zs, lanes, &mut batched);
+        for lane in 0..lanes {
+            let z = &zs[lane * 2 * horizon..(lane + 1) * 2 * horizon];
+            let scalar = rollout_cost(&p, &loads, dt, &cfg, z);
+            prop_assert_eq!(scalar.to_bits(), batched[lane].to_bits());
+        }
+    }
+}
+
+proptest! {
+    // Each case runs 4 methodologies x (1 scalar + 1 batched) campaign,
+    // with an MPC fleet among them — a handful of cases is already a
+    // broad sweep, and debug-build solver time adds up fast.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn lockstep_engine_matches_scalar_for_every_controller(
+        seed in 0u64..1_000_000,
+        lanes in prop_oneof![Just(1usize), Just(2usize), Just(3usize), Just(5usize)],
+        vehicles in 1usize..=6,
+    ) {
+        for methodology in [
+            Methodology::Parallel,
+            Methodology::ActiveCooling,
+            Methodology::Dual,
+            Methodology::Otem,
+        ] {
+            let mut campaign = Campaign::synthetic(vehicles, seed);
+            for spec in &mut campaign.vehicles {
+                spec.methodology = methodology;
+                // Short heterogeneous routes and a small MPC problem
+                // keep the debug-build sweep affordable while still
+                // draining lanes at different steps (the occupancy
+                // tail the lockstep loop has to get right).
+                spec.steps = 6 + (spec.id as usize % 5);
+                spec.mpc_horizon = 4;
+                spec.mpc_iterations = 6;
+            }
+            let scalar = FleetEngine::new(Schedule::Serial).run(&campaign);
+            let batched = FleetEngine::new(Schedule::Serial)
+                .with_batch_lanes(lanes)
+                .run(&campaign);
+            prop_assert_eq!(&batched.summaries, &scalar.summaries);
+            prop_assert_eq!(batched.fleet_checksum(), scalar.fleet_checksum());
+            prop_assert_eq!(batched.total_steps, scalar.total_steps);
+            if lanes >= 2 {
+                // Every healthy step ran inside a lockstep sweep …
+                prop_assert_eq!(batched.batched_steps, batched.total_steps);
+                prop_assert!(batched.batch_sweeps > 0);
+                let occupancy = batched.mean_batch_occupancy();
+                prop_assert!(occupancy > 0.0 && occupancy <= lanes as f64);
+            } else {
+                // … and a single lane degrades to the scalar dispatch.
+                prop_assert_eq!(batched.batched_steps, 0);
+            }
+        }
+    }
+}
